@@ -1,0 +1,75 @@
+"""Extension bench: the headline result across three demand families.
+
+The paper argues its conclusions are robust to the demand model by
+checking CED and logit.  We add a third family (linear demand, the shape
+Figure 1 draws) behind the same interface and re-ask the central
+question on all three networks.  Asserted: under every family,
+
+* 3-4 optimally-chosen tiers capture most of the blended-to-per-flow gap;
+* profit-weighted bundling remains a strong heuristic;
+* capture at one bundle is zero (the blended rate is calibrated optimal)."""
+
+from repro.core.bundling import OptimalBundling, ProfitWeightedBundling
+from repro.core.ced import CEDDemand
+from repro.core.cost import LinearDistanceCost
+from repro.core.linear import LinearDemand
+from repro.core.logit import LogitDemand
+from repro.core.market import Market
+from repro.experiments.runner import render_series_table
+from repro.synth.datasets import DATASET_NAMES, load_dataset
+
+
+def demand_family_study(n_flows=100, seed=7):
+    families = {
+        "ced": lambda: CEDDemand(alpha=1.1),
+        "logit": lambda: LogitDemand(alpha=1.1, s0=0.2),
+        "linear": lambda: LinearDemand(kappa=1.5),
+    }
+    results = {}
+    for dataset in DATASET_NAMES:
+        flows = load_dataset(dataset, n_flows=n_flows, seed=seed)
+        panel = {}
+        for family, factory in families.items():
+            market = Market(
+                flows, factory(), LinearDistanceCost(0.2), blended_rate=20.0
+            )
+            panel[f"{family}/optimal"] = [
+                market.tiered_outcome(OptimalBundling(), b).profit_capture
+                for b in (1, 2, 3, 4)
+            ]
+            panel[f"{family}/profit-w"] = [
+                market.tiered_outcome(ProfitWeightedBundling(), b).profit_capture
+                for b in (1, 2, 3, 4)
+            ]
+        results[dataset] = panel
+    return results
+
+
+def render(results):
+    blocks = []
+    for dataset, panel in results.items():
+        blocks.append(
+            render_series_table(
+                f"Demand-family robustness ({dataset}): profit capture",
+                "family/strategy",
+                (1, 2, 3, 4),
+                panel,
+            )
+        )
+    return "\n\n".join(blocks)
+
+
+def test_three_demand_families(run_once, save_output):
+    results = run_once(demand_family_study)
+    save_output("ext_demand_families", render(results))
+    for dataset, panel in results.items():
+        for label, curve in panel.items():
+            assert abs(curve[0]) < 1e-6, (dataset, label)
+        for family in ("ced", "logit", "linear"):
+            optimal = panel[f"{family}/optimal"]
+            heuristic = panel[f"{family}/profit-w"]
+            assert optimal[3] > 0.85, (dataset, family, optimal)
+            assert optimal[2] > 0.75, (dataset, family, optimal)
+            for o, h in zip(optimal, heuristic):
+                assert h <= o + 1e-9, (dataset, family)
+            assert heuristic[3] > 0.55, (dataset, family, heuristic)

@@ -1,0 +1,56 @@
+"""Extension bench: the §2.1 product taxonomy, priced on one market.
+
+Evaluates every offering the paper's background section catalogs —
+conventional transit, backplane peering, paid peering, regional pricing —
+plus the paper's proposal (profit-weighted tiers), each as a bundling
+constraint on the same calibrated EU-ISP market.  Asserted: the §2.2
+narrative arc — the ad-hoc offerings beat the blended rate, and
+demand+cost aware tiers beat the ad-hoc offerings."""
+
+from repro.core.ced import CEDDemand
+from repro.core.cost import DestinationTypeCost, LinearDistanceCost, RegionalCost
+from repro.core.market import Market
+from repro.peering.offerings import compare_offerings, render_offerings
+from repro.synth.datasets import load_dataset
+
+
+def offering_study(n_flows=100, seed=7):
+    flows = load_dataset("eu_isp", n_flows=n_flows, seed=seed)
+    markets = {
+        "linear-cost": Market(
+            flows, CEDDemand(1.1), LinearDistanceCost(0.2), 20.0
+        ),
+        "regional-cost": Market(flows, CEDDemand(1.1), RegionalCost(1.1), 20.0),
+        "destination-type-cost": Market(
+            flows, CEDDemand(1.1), DestinationTypeCost(0.2), 20.0
+        ),
+    }
+    return {
+        name: compare_offerings(market) for name, market in markets.items()
+    }
+
+
+def test_offering_taxonomy(run_once, save_output):
+    panels = run_once(offering_study)
+    text = "\n\n".join(
+        f"[{name}]\n" + render_offerings(results)
+        for name, results in panels.items()
+    )
+    save_output("ext_offerings", text)
+
+    linear = {r.offering: r for r in panels["linear-cost"]}
+    assert linear["backplane-peering"].profit > linear["conventional-transit"].profit
+    assert (
+        linear["profit-weighted-3-tiers"].profit
+        > linear["backplane-peering"].profit
+    )
+
+    regional = {r.offering: r for r in panels["regional-cost"]}
+    assert regional["regional-pricing"].profit > (
+        regional["conventional-transit"].profit
+    )
+
+    onnet = {r.offering: r for r in panels["destination-type-cost"]}
+    assert onnet["paid-peering"].profit > onnet["conventional-transit"].profit
+    # Two flat cost classes: paid peering already captures everything.
+    assert onnet["paid-peering"].profit_capture > 0.999

@@ -1,0 +1,18 @@
+"""Figure 1 — market efficiency loss due to coarse bundling (§2.2.1).
+
+Paper values: blended rate P0 = $1.2/Mbps earns $2.08 profit and $4.17
+consumer surplus; splitting the two flows into tiers priced ($2, $1)
+earns $2.25 and $4.50 — both ISP and customers gain."""
+
+from repro.experiments import figure1_data
+from repro.experiments.render import render_figure1 as render
+
+
+def test_figure1(run_once, save_output):
+    data = run_once(figure1_data)
+    save_output("fig01", render(data))
+    assert abs(data["blended"]["price"] - 1.2) < 1e-9
+    assert abs(data["blended"]["profit"] - 25.0 / 12.0) < 1e-9
+    assert abs(data["blended"]["surplus"] - 25.0 / 6.0) < 1e-9
+    assert abs(data["tiered"]["profit"] - 2.25) < 1e-9
+    assert abs(data["tiered"]["surplus"] - 4.5) < 1e-9

@@ -1,0 +1,23 @@
+"""Figure 2 — direct peering under blended-rate pricing (§2.2.2).
+
+The customer procures a direct link to a nearby IXP iff its amortized
+unit cost is below the blended rate R; the bypass is a *market failure*
+when that cost still exceeds what a tiered contract could have charged,
+(M+1)*c_ISP + A."""
+
+from repro.experiments import figure2_data
+from repro.experiments.render import render_figure2 as render
+
+
+def test_figure2(run_once, save_output):
+    data = run_once(figure2_data)
+    save_output("fig02", render(data))
+    outcomes = [p["outcome"] for p in data["points"]]
+    # The three regimes appear in order as c_direct grows.
+    assert outcomes[0] == "efficient-bypass"
+    assert "market-failure" in outcomes
+    assert outcomes[-1] == "stays"
+    first_failure = outcomes.index("market-failure")
+    first_stay = outcomes.index("stays")
+    assert first_failure < first_stay
+    assert all(o != "efficient-bypass" for o in outcomes[first_failure:])

@@ -1,0 +1,24 @@
+"""Figure 3 — feasible CED demand functions (§3.2.1).
+
+Demand curves Q = (v/p)^alpha for v = 1 at the paper's two illustrative
+sensitivities: alpha = 3.3 (elastic, e.g. residential ISPs with cheap
+substitutes) and alpha = 1.4 (inelastic).  Varying alpha spans the whole
+feasible demand space."""
+
+from repro.experiments import figure3_data
+from repro.experiments.render import render_figure3 as render
+
+
+def test_figure3(run_once, save_output):
+    data = run_once(figure3_data)
+    save_output("fig03", render(data))
+    for name, curve in data["curves"].items():
+        quantities = [q for _, q in curve]
+        # Downward sloping everywhere.
+        assert all(a > b for a, b in zip(quantities, quantities[1:]))
+    # Higher alpha is more elastic: steeper decline below p=1, lower tail.
+    q_14 = dict(data["curves"]["alpha=1.4"])
+    q_33 = dict(data["curves"]["alpha=3.3"])
+    prices = [p for p, _ in data["curves"]["alpha=1.4"]]
+    above_one = [p for p in prices if p > 1.05]
+    assert all(q_33[p] < q_14[p] for p in above_one)

@@ -1,0 +1,24 @@
+"""Figure 4 — profit vs price for two flows of different cost (§3.2.1).
+
+Identical demand (v = 1, alpha = 2) but c1 = $1 vs c2 = $2: the optima sit
+at p* = 2c, so the cheap flow peaks at ($2, $0.25 profit) and the costly
+one at ($4, $0.125) — ISPs must price costly traffic higher to maximize
+profit."""
+
+from repro.experiments import figure4_data
+from repro.experiments.render import render_figure4 as render
+
+
+def test_figure4(run_once, save_output):
+    data = run_once(figure4_data)
+    save_output("fig04", render(data))
+    assert abs(data["maxima"]["c=1.0"]["price"] - 2.0) < 1e-12
+    assert abs(data["maxima"]["c=1.0"]["profit"] - 0.25) < 1e-12
+    assert abs(data["maxima"]["c=2.0"]["price"] - 4.0) < 1e-12
+    assert abs(data["maxima"]["c=2.0"]["profit"] - 0.125) < 1e-12
+    # The sampled curves peak at (or next to) the analytic optimum.
+    for name, peak in data["maxima"].items():
+        curve = data["curves"][name]
+        best_price, best_profit = max(curve, key=lambda pair: pair[1])
+        assert best_profit <= peak["profit"] + 1e-12
+        assert abs(best_price - peak["price"]) < 0.1

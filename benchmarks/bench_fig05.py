@@ -1,0 +1,22 @@
+"""Figure 5 — logit demand function (§3.2.2).
+
+Two flows with valuations (1.6, 1.0); flow 1's price is fixed at $1 and
+flow 2's price sweeps 0..4.  Lower alpha is less elastic — users need
+bigger price changes to move."""
+
+from repro.experiments import figure5_data
+from repro.experiments.render import render_figure5 as render
+
+
+def test_figure5(run_once, save_output):
+    data = run_once(figure5_data)
+    save_output("fig05", render(data))
+    for curve in data["curves"].values():
+        quantities = [q for _, q in curve]
+        assert all(a > b for a, b in zip(quantities, quantities[1:]))
+        assert all(0.0 < q < 1.0 for q in quantities)
+    # Higher alpha reacts more strongly: by p2 = 3.5 its share is lower.
+    q1 = dict(data["curves"]["alpha=1.0"])
+    q2 = dict(data["curves"]["alpha=2.0"])
+    last_price = data["prices"][-1]
+    assert q2[last_price] < q1[last_price]

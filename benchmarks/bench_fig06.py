@@ -1,0 +1,20 @@
+"""Figure 6 — concave distance-to-cost fits on price-list data (§3.3).
+
+The paper fits y = a*log_b(x) + c to ITU and NTT leased-line price lists
+(normalized axes).  Those lists are proprietary/offline, so the bench
+generates points from the paper's reported curves plus noise and checks
+the fitter recovers the generating slope k = a/ln(b) and intercept c.
+(Only k and c are identifiable: a and b enter the model solely through
+their ratio.)"""
+
+from repro.experiments import figure6_data
+from repro.experiments.render import render_figure6 as render
+
+
+def test_figure6(run_once, save_output):
+    data = run_once(figure6_data)
+    save_output("fig06", render(data))
+    for fit in data.values():
+        assert abs(fit["k_fit"] - fit["k_true"]) < 0.02
+        assert abs(fit["c_fit"] - fit["c_true"]) < 0.02
+        assert fit["residual"] < 0.05

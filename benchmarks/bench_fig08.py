@@ -1,0 +1,41 @@
+"""Figure 8 — profit capture per bundling strategy, CED demand (§4.2.2).
+
+Three panels (EU ISP, Internet2, CDN), six strategies, linear cost with
+theta = 0.2, alpha = 1.1, P0 = $20.  Headline paper findings asserted:
+
+* the optimal bundling reaches >= 0.9 capture with 3-4 bundles;
+* optimal dominates every heuristic at every bundle count;
+* profit-weighted bundling stays close to optimal and demand-weighted
+  bundling falls well behind it."""
+
+from repro.experiments import figure8_data
+from repro.experiments.render import render_figure8 as render
+
+
+def assert_strategy_claims(panels: dict, optimal_floor_at4: float) -> None:
+    for name, panel in panels.items():
+        capture = panel["capture"]
+        optimal = capture["optimal"]
+        at = {b: i for i, b in enumerate(panel["bundle_counts"])}
+        assert optimal[at[4]] >= optimal_floor_at4, (name, optimal)
+        # Optimal dominates (small float slack for evaluation noise).
+        for strategy, curve in capture.items():
+            for b, value in zip(panel["bundle_counts"], curve):
+                assert value <= optimal[at[b]] + 1e-6, (name, strategy, b)
+        # Optimal with more tiers never loses profit.
+        assert all(
+            later >= earlier - 1e-9
+            for earlier, later in zip(optimal, optimal[1:])
+        ), (name, optimal)
+        # Profit-weighted tracks optimal; demand-weighted trails it.
+        for b in (3, 4):
+            gap_profit = optimal[at[b]] - capture["profit-weighted"][at[b]]
+            gap_demand = optimal[at[b]] - capture["demand-weighted"][at[b]]
+            assert gap_profit < gap_demand, (name, b)
+            assert capture["profit-weighted"][at[b]] > 0.6, (name, b)
+
+
+def test_figure8(run_once, save_output):
+    panels = run_once(figure8_data)
+    save_output("fig08", render(panels))
+    assert_strategy_claims(panels, optimal_floor_at4=0.9)

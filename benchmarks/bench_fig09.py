@@ -1,0 +1,26 @@
+"""Figure 9 — profit capture per bundling strategy, logit demand (§4.2.2).
+
+Same panels as Figure 8 under logit demand (s0 = 0.2).  The paper's extra
+observation — "maximum profit capture occurs more quickly in the logit
+model" — is asserted by comparing the optimal curves of the two figures
+at two bundles."""
+
+from repro.experiments import figure8_data, figure9_data
+from repro.experiments.render import render_figure9 as render
+
+from bench_fig08 import assert_strategy_claims
+
+
+def test_figure9(run_once, save_output):
+    panels = run_once(figure9_data)
+    save_output("fig09", render(panels))
+    assert_strategy_claims(panels, optimal_floor_at4=0.9)
+    # Logit saturates faster than CED: optimal capture at 2 bundles is
+    # higher in every panel.
+    ced_panels = figure8_data()
+    for name, panel in panels.items():
+        at2 = panel["bundle_counts"].index(2)
+        assert (
+            panel["capture"]["optimal"][at2]
+            > ced_panels[name]["capture"]["optimal"][at2]
+        ), name

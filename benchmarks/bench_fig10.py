@@ -1,0 +1,31 @@
+"""Figure 10 — EU ISP profit increase, linear cost model (§4.3.1).
+
+Normalized profit gain vs #bundles for base-cost fractions theta in
+{0.1, 0.2, 0.3}.  Asserted paper findings: most of each curve's profit is
+reached by 2-3 bundles, and a larger base cost (lower cost CV) lowers the
+maximum attainable profit."""
+
+from repro.experiments import figure10_data
+from repro.experiments.render import render_theta_sweep as render
+
+
+def assert_theta_claims(data: dict, knee_fraction: float = 0.8) -> None:
+    """Claims shared by Figures 10 and 11."""
+    for family, panel in data["panels"].items():
+        thetas = sorted(panel["normalized_gain"])
+        curves = panel["normalized_gain"]
+        # Larger base cost -> lower attainable (normalized) profit.
+        for lo, hi in zip(thetas, thetas[1:]):
+            assert max(curves[hi]) < max(curves[lo]), (family, lo, hi)
+        # 3 bundles reach most of each curve's own ceiling.
+        counts = panel["bundle_counts"]
+        at3 = counts.index(3)
+        for theta in thetas:
+            curve = curves[theta]
+            assert curve[at3] >= knee_fraction * max(curve), (family, theta)
+
+
+def test_figure10(run_once, save_output):
+    data = run_once(figure10_data)
+    save_output("fig10", render(data, "Figure 10"))
+    assert_theta_claims(data)

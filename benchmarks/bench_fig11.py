@@ -1,0 +1,30 @@
+"""Figure 11 — EU ISP profit increase, concave cost model (§4.3.1).
+
+Same sweep as Figure 10 under the concave (log-of-distance) cost model.
+The shared claims (knee at 2-3 bundles; larger theta lowers attainable
+profit) are asserted.
+
+Documented deviation (EXPERIMENTS.md): the paper reports that capture
+falls *faster* with theta under the concave model than the linear one.
+With the paper's own base-cost definition beta = theta * max(f), raising
+theta rescales the cost CV by 1/(1 + theta * max(f)/mean(f)), and a
+concave transform always shrinks max/mean — so the concave model must
+respond *less* to theta, which is what we measure; the bench asserts our
+(analytically forced) ordering."""
+
+from repro.experiments import figure10_data, figure11_data
+
+from bench_fig10 import assert_theta_claims, render
+
+
+def test_figure11(run_once, save_output):
+    data = run_once(figure11_data)
+    save_output("fig11", render(data, "Figure 11"))
+    assert_theta_claims(data)
+    # Cross-figure ordering (see module docstring): the linear model loses
+    # more of its theta=0.1 profit by theta=0.3 than the concave model.
+    linear = figure10_data()
+    for family in data["panels"]:
+        concave_drop = max(data["panels"][family]["normalized_gain"][0.3])
+        linear_drop = max(linear["panels"][family]["normalized_gain"][0.3])
+        assert linear_drop < concave_drop, family

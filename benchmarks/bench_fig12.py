@@ -1,0 +1,27 @@
+"""Figure 12 — EU ISP profit increase, regional cost model (§4.3.1).
+
+Metro/national/international costs 1 : 2^theta : 3^theta for theta in
+{1.0, 1.1, 1.2}.  Asserted paper findings: higher theta (higher cost CV
+across regions) produces higher profit, and small dips with 5-6 bundles
+are expected when there are only a few traffic classes."""
+
+from repro.experiments import figure12_data
+
+from bench_fig10 import render
+
+
+def test_figure12(run_once, save_output):
+    data = run_once(figure12_data)
+    save_output("fig12", render(data, "Figure 12"))
+    for family, panel in data["panels"].items():
+        curves = panel["normalized_gain"]
+        thetas = sorted(curves)
+        # Higher theta -> more attainable profit (opposite of Figs 10-11,
+        # because here theta *widens* the regional cost spread).
+        for lo, hi in zip(thetas, thetas[1:]):
+            assert max(curves[hi]) > max(curves[lo]), (family, lo, hi)
+        # Three region classes: three bundles already capture most profit.
+        counts = panel["bundle_counts"]
+        at3 = counts.index(3)
+        for theta in thetas:
+            assert curves[theta][at3] >= 0.5 * max(curves[theta]), (family, theta)

@@ -1,0 +1,28 @@
+"""Figure 13 — EU ISP profit increase, destination-type cost model (§4.3.1).
+
+On-net traffic (fraction theta of each flow) costs half of off-net
+traffic; bundling uses the class-aware profit-weighted heuristic that
+never mixes the two classes.  Asserted paper finding: with two distinct
+cost classes, two bundles already attain (essentially all of) the
+achievable profit, under both demand models."""
+
+from repro.experiments import figure13_data
+
+from bench_fig10 import render
+
+
+def test_figure13(run_once, save_output):
+    data = run_once(figure13_data)
+    save_output("fig13", render(data, "Figure 13"))
+    for family, panel in data["panels"].items():
+        counts = panel["bundle_counts"]
+        at2 = counts.index(2)
+        for theta, curve in panel["normalized_gain"].items():
+            assert curve[at2] >= 0.99 * max(curve), (family, theta)
+        # CED responds more strongly to the theta-induced CV change than
+        # logit does (the paper's closing observation for this model).
+    ced = data["panels"]["ced"]["normalized_gain"]
+    logit = data["panels"]["logit"]["normalized_gain"]
+    ced_spread = max(ced[0.15]) - max(ced[0.05])
+    logit_spread = max(logit[0.15]) - max(logit[0.05])
+    assert ced_spread > logit_spread

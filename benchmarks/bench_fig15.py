@@ -1,0 +1,17 @@
+"""Figure 15 — worst-case capture over the starting blended rate (§4.3.2).
+
+Minimum profit capture of the profit-weighted strategy over
+P0 in [5, 30] $/Mbps for both demand models and all three networks."""
+
+from repro.experiments import figure15_data
+
+from bench_fig14 import assert_envelope_claims, render
+
+
+def test_figure15(run_once, save_output):
+    data = run_once(figure15_data)
+    save_output(
+        "fig15", render(data, "Figure 15", f"P0 in {data['blended_rates']}")
+    )
+    assert_envelope_claims(data, floor_at_2=0.4, floor_at_4=0.75)
+    assert data["panels"]["ced"]["eu_isp"][data["bundle_counts"].index(2)] >= 0.6

@@ -1,0 +1,23 @@
+"""Figure 16 — capture over the non-participating market share (§4.3.2).
+
+Best-case profit capture of the profit-weighted strategy over the logit
+outside share s0 in (0, 0.9] (logit only; s0 has no CED analogue).  All
+swept values respect the calibration feasibility bound alpha*P0*s0 > 1."""
+
+from repro.experiments import figure16_data
+
+from bench_fig14 import render
+
+
+def test_figure16(run_once, save_output):
+    data = run_once(figure16_data)
+    save_output(
+        "fig16", render(data, "Figure 16", f"s0 in {data['s0_values']}")
+    )
+    at2 = data["bundle_counts"].index(2)
+    panel = data["panels"]["logit"]
+    for network, curve in panel.items():
+        # Robustness: two bundles already capture most of the gap for the
+        # best s0, and more bundles never hurt the envelope much.
+        assert curve[at2] >= 0.75, (network, curve)
+        assert curve[-1] >= curve[at2] - 1e-9, (network, curve)

@@ -1,0 +1,22 @@
+"""Table 1 — dataset statistics (paper §4.1.1).
+
+Regenerates the three synthetic datasets and prints their demand-weighted
+average distance, distance CV, aggregate traffic, and demand CV next to
+the paper's values.  The calibration pins the synthetic samples to the
+published statistics, so paper and measured columns must agree."""
+
+from repro.experiments import render_table1, table1_data
+
+
+def test_table1(run_once, save_output):
+    rows = run_once(table1_data)
+    save_output("table1", render_table1(rows))
+    for row in rows:
+        for key, paper_value in row["paper"].items():
+            measured = row["measured"][key]
+            assert abs(measured - paper_value) / paper_value < 0.02, (
+                row["dataset"],
+                key,
+                measured,
+                paper_value,
+            )

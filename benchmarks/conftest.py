@@ -1,0 +1,40 @@
+"""Shared fixtures for the benchmark harness.
+
+Every bench regenerates one paper table/figure, times it with
+pytest-benchmark, prints the series, and archives the rendered text under
+``benchmarks/output/`` so paper-vs-measured comparisons (EXPERIMENTS.md)
+can cite a concrete artifact.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
+
+
+@pytest.fixture
+def save_output():
+    """Write a rendered figure/table to benchmarks/output/<name>.txt."""
+
+    def _save(name: str, text: str) -> pathlib.Path:
+        OUTPUT_DIR.mkdir(exist_ok=True)
+        path = OUTPUT_DIR / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(text)
+        return path
+
+    return _save
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Benchmark a driver with a single timed round (drivers are heavy
+    and deterministic; statistical repetition adds nothing)."""
+
+    def _run(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return _run

@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""Bring your own network: tier analysis on a custom topology and matrix.
+
+Shows the full public API surface for a user with their *own* data: build
+a topology, lay out a traffic matrix by hand, and compare demand models
+and the sensitivity to the price-elasticity assumption — the §4.3
+robustness question, on your data instead of the paper's.
+
+Run:  python examples/custom_network.py
+"""
+
+from repro import (
+    CEDDemand,
+    FlowSet,
+    LogitDemand,
+    Market,
+    OptimalBundling,
+    RegionalCost,
+)
+from repro.geo.coords import City, GeoPoint
+from repro.topology import Topology
+
+
+def build_topology() -> Topology:
+    """A small national ISP: four cities, a chain plus one shortcut."""
+    cities = {
+        "OSL": City("Oslo", "NO", GeoPoint(59.91, 10.75)),
+        "BGO": City("Bergen", "NO", GeoPoint(60.39, 5.32)),
+        "TRD": City("Trondheim", "NO", GeoPoint(63.43, 10.40)),
+        "STO": City("Stockholm", "SE", GeoPoint(59.33, 18.07)),
+    }
+    topo = Topology("nordic-isp")
+    for code, city in cities.items():
+        topo.add_pop(code, city)
+    for a, b in [("OSL", "BGO"), ("OSL", "TRD"), ("BGO", "TRD"), ("OSL", "STO")]:
+        topo.add_link(a, b)
+    return topo
+
+
+def build_traffic(topo: Topology) -> FlowSet:
+    """A hand-written traffic matrix over the topology's routed paths."""
+    matrix = [
+        # (entry, exit, Mbps)
+        ("OSL", "OSL", 4000.0),   # metro traffic
+        ("OSL", "BGO", 2500.0),
+        ("OSL", "TRD", 1500.0),
+        ("BGO", "TRD", 600.0),
+        ("OSL", "STO", 900.0),    # international
+        ("BGO", "STO", 250.0),
+        ("TRD", "STO", 150.0),
+    ]
+    demands, distances, regions = [], [], []
+    for entry, exit_, mbps in matrix:
+        demands.append(mbps)
+        distances.append(
+            0.0 if entry == exit_ else topo.routed_distance(entry, exit_)
+        )
+        same_country = topo.pop(entry).city.country == topo.pop(exit_).city.country
+        if entry == exit_:
+            regions.append("metro")
+        elif same_country:
+            regions.append("national")
+        else:
+            regions.append("international")
+    return FlowSet(demands, distances, regions=regions)
+
+
+def main() -> None:
+    topo = build_topology()
+    flows = build_traffic(topo)
+    print(f"{topo!r}\n{flows!r}\n")
+
+    # Regional cost model: metro/national/international at 1 : 2^t : 3^t.
+    cost_model = RegionalCost(theta=1.1)
+
+    print("capture with 1-4 tiers (optimal bundling):")
+    header = "model".ljust(24) + "".join(f"{b:>8}" for b in (1, 2, 3, 4))
+    print(header)
+    print("-" * len(header))
+    for label, model in (
+        ("CED alpha=1.1 (sticky)", CEDDemand(alpha=1.1)),
+        ("CED alpha=3.0 (elastic)", CEDDemand(alpha=3.0)),
+        ("logit s0=0.2", LogitDemand(alpha=1.1, s0=0.2)),
+        ("logit s0=0.5", LogitDemand(alpha=1.1, s0=0.5)),
+    ):
+        market = Market(flows, model, cost_model, blended_rate=14.0)
+        captures = [
+            market.tiered_outcome(OptimalBundling(), b).profit_capture
+            for b in (1, 2, 3, 4)
+        ]
+        print(label.ljust(24) + "".join(f"{c:8.3f}" for c in captures))
+
+    market = Market(flows, CEDDemand(1.1), cost_model, blended_rate=14.0)
+    outcome = market.tiered_outcome(OptimalBundling(), 3)
+    print("\nthe 3-tier design under CED (one tier per region class):")
+    for tier in outcome.tiers:
+        print(
+            f"  ${tier.price:6.2f}/Mbps  {tier.n_flows} flows  "
+            f"{tier.demand_mbps:8.1f} Mbps"
+        )
+    print(
+        "\nWith three region-cost classes, three tiers recover nearly all"
+        " achievable profit - whatever the demand model: the structural"
+        " finding survives the modeling assumptions (paper §4.3)."
+    )
+
+
+if __name__ == "__main__":
+    main()

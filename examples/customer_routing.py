@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""The customer's side of tier tags: smarter exits than hot-potato (§5.1).
+
+The paper's deployment story ends at the customer's routers: once the
+upstream tags routes with their pricing tier, "the customer might choose
+to use its own backbone to get closer to destination instead of
+performing the default hot-potato routing".  This example quantifies that
+choice for a CDN-like customer with a three-PoP US backbone buying from a
+tiered provider whose prices fall westward.
+
+Run:  python examples/customer_routing.py
+"""
+
+import numpy as np
+
+from repro.geo.coords import US_RESEARCH_CITIES
+from repro.topology import ExitSelector, FlowSpec, Topology
+
+
+def build_backbone() -> Topology:
+    def city(name):
+        return next(c for c in US_RESEARCH_CITIES if c.name == name)
+
+    topo = Topology("cdn-backbone")
+    for code, name in (
+        ("NYC", "New York"),
+        ("CHI", "Chicago"),
+        ("DEN", "Denver"),
+        ("HOU", "Houston"),
+    ):
+        topo.add_pop(code, city(name))
+    for a, b in (("NYC", "CHI"), ("CHI", "DEN"), ("CHI", "HOU"), ("DEN", "HOU")):
+        topo.add_link(a, b)
+    return topo
+
+
+#: The provider's tier price at each interconnect, $/Mbps/month — the
+#: westward exits reach the provider's cheap regional tiers.
+TIER_PRICE = {"NYC": 9.0, "CHI": 6.5, "DEN": 4.0, "HOU": 4.5}
+
+
+def build_traffic(rng) -> list:
+    flows = []
+    for source in ("NYC", "NYC", "NYC", "CHI", "HOU"):
+        for _ in range(8):
+            flows.append(
+                FlowSpec(
+                    source_pop=source,
+                    destination=f"dst-{len(flows)}",
+                    demand_mbps=float(rng.lognormal(3.0, 1.0)),
+                )
+            )
+    return flows
+
+
+def main() -> None:
+    topo = build_backbone()
+    flows = build_traffic(np.random.default_rng(5))
+    total = sum(f.demand_mbps for f in flows)
+    print(f"{topo!r}; {len(flows)} flows, {total:,.0f} Mbps\n")
+
+    print(
+        f"  {'backbone $/mile/Mbps':>21} {'hot-potato $':>13}"
+        f" {'tier-aware $':>13} {'savings':>9} {'moved exits':>12}"
+    )
+    for rate in (0.0005, 0.002, 0.005, 0.02, 0.1):
+        selector = ExitSelector(
+            topo,
+            handoff_pops=list(TIER_PRICE),
+            tier_price=lambda exit_pop, dst: TIER_PRICE[exit_pop],
+            backbone_cost_per_mile_mbps=rate,
+        )
+        report = selector.savings(flows)
+        moved = sum(
+            1
+            for hot, aware in zip(
+                report["hot_potato"].decisions, report["tier_aware"].decisions
+            )
+            if hot.exit_pop != aware.exit_pop
+        )
+        print(
+            f"  {rate:>21.4f} {report['hot_potato_cost']:>13,.0f}"
+            f" {report['tier_aware_cost']:>13,.0f}"
+            f" {report['savings_fraction']:>9.1%} {moved:>12}"
+        )
+
+    print(
+        "\n  Cheap backbone miles: tier tags pull traffic to the $4 exits"
+        " and cut the transit bill by double digits. As backbone cost"
+        " rises, tier-aware routing converges back to hot-potato - the"
+        " tags cost nothing when they are not worth acting on."
+    )
+
+
+if __name__ == "__main__":
+    main()

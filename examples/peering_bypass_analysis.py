@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""When does blended-rate pricing push customers into wasteful bypass?
+
+Walks the paper's §2.2 story end to end:
+
+1. the Figure 1 worked example — a two-destination market where tiering
+   raises both ISP profit and customer surplus; and
+2. the Figure 2 bypass model — a CDN deciding whether to build a private
+   link to a nearby IXP instead of paying the blended rate, including the
+   market-failure window where the bypass wastes money that tiered
+   pricing would have saved.
+
+Run:  python examples/peering_bypass_analysis.py
+"""
+
+import numpy as np
+
+from repro.peering import figure1_example, sweep_direct_costs, failure_window
+
+
+def show_worked_example() -> None:
+    example = figure1_example()
+    print("Part 1 - the blended-rate market failure (paper Fig. 1)")
+    print(
+        f"  blended rate ${example.blended.prices[0]:.2f}/Mbps:"
+        f" ISP profit ${example.blended.profit:.2f},"
+        f" customer surplus ${example.blended.consumer_surplus:.2f}"
+    )
+    print(
+        f"  two tiers (${example.tiered.prices[0]:.2f} /"
+        f" ${example.tiered.prices[1]:.2f}):"
+        f" ISP profit ${example.tiered.profit:.2f},"
+        f" customer surplus ${example.tiered.consumer_surplus:.2f}"
+    )
+    print(
+        f"  -> both sides gain: +${example.profit_gain:.2f} profit,"
+        f" +${example.surplus_gain:.2f} surplus,"
+        f" +${example.welfare_gain:.2f} welfare\n"
+    )
+
+
+def show_bypass_sweep() -> None:
+    blended_rate = 12.0      # $/Mbps blended transit
+    isp_unit_cost = 3.0      # ISP's true cost for the NYC->Boston flows
+    margin = 0.3             # ISP margin it would keep under tiering
+    overhead = 0.4           # accounting overhead of a tiered contract
+
+    print("Part 2 - the direct-peering decision (paper Fig. 2)")
+    lo, hi = failure_window(blended_rate, isp_unit_cost, margin, overhead)
+    print(
+        f"  blended rate R = ${blended_rate:.2f};"
+        f" tiered price would be ${lo:.2f}"
+    )
+    print(f"  market-failure window: private-link cost in (${lo:.2f}, ${hi:.2f})\n")
+
+    print(f"  {'link cost':>10}  {'decision':<18} {'waste $/Mbps':>12}")
+    for point in sweep_direct_costs(
+        blended_rate,
+        isp_unit_cost,
+        direct_unit_costs=np.linspace(1.0, 16.0, 16),
+        margin=margin,
+        accounting_overhead=overhead,
+    ):
+        print(
+            f"  {point.direct_unit_cost:>10.2f}  {point.outcome:<18}"
+            f" {point.efficiency_loss_per_mbps:>12.2f}"
+        )
+    print(
+        "\n  In the failure window the customer builds a link that costs"
+        " society more than the ISP's tiered price — the revenue pressure"
+        " that pushes ISPs toward tiered pricing."
+    )
+
+
+def main() -> None:
+    show_worked_example()
+    show_bypass_sweep()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Quickstart: how many pricing tiers does a transit ISP need?
+
+Loads a synthetic EU-ISP traffic matrix (calibrated to the paper's
+Table 1), calibrates the constant-elasticity demand model and the linear
+cost model against the current $20/Mbps blended rate, and asks the
+paper's central question: how much extra profit do 1..6 pricing tiers
+capture, per bundling strategy?
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    CEDDemand,
+    LinearDistanceCost,
+    Market,
+    load_dataset,
+    paper_strategies,
+)
+
+
+def main() -> None:
+    flows = load_dataset("eu_isp", n_flows=120, seed=7)
+    print(f"loaded {flows!r}")
+
+    market = Market(
+        flows,
+        demand_model=CEDDemand(alpha=1.1),
+        cost_model=LinearDistanceCost(theta=0.2),
+        blended_rate=20.0,
+    )
+    print(market.describe())
+    print(
+        f"profit today (blended): ${market.blended_profit():,.0f}/month; "
+        f"ceiling (per-flow pricing): ${market.max_profit():,.0f}/month\n"
+    )
+
+    bundle_counts = (1, 2, 3, 4, 5, 6)
+    header = "strategy".ljust(18) + "".join(f"{b:>8}" for b in bundle_counts)
+    print(header)
+    print("-" * len(header))
+    for strategy in paper_strategies():
+        captures = [
+            market.tiered_outcome(strategy, b).profit_capture
+            for b in bundle_counts
+        ]
+        row = strategy.name.ljust(18) + "".join(f"{c:8.3f}" for c in captures)
+        print(row)
+
+    print(
+        "\nThe paper's headline: with the right bundling, 3-4 tiers capture"
+        " 90-95% of the profit an infinite number of tiers would."
+    )
+    best = market.tiered_outcome(paper_strategies()[0], 3)
+    print("\nA concrete 3-tier design (optimal bundling):")
+    for i, tier in enumerate(best.tiers, start=1):
+        print(
+            f"  tier {i}: ${tier.price:6.2f}/Mbps  "
+            f"{tier.n_flows:4d} destinations  "
+            f"{tier.demand_mbps:10.1f} Mbps  "
+            f"(mean cost ${tier.mean_cost:.2f})"
+        )
+    print(f"  -> profit capture {best.profit_capture:.1%}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Tier-design study across networks, demand models, and cost models.
+
+Reproduces the texture of the paper's §4 evaluation interactively: for
+each of the three networks (EU ISP, CDN, Internet2), under both demand
+families and all four cost models, how many tiers does profit-weighted
+bundling need to capture 90% of the achievable profit?
+
+Run:  python examples/tier_design_study.py
+"""
+
+from repro import (
+    CEDDemand,
+    ClassAwareBundling,
+    LogitDemand,
+    Market,
+    ProfitWeightedBundling,
+    load_dataset,
+)
+from repro.core.cost import (
+    ConcaveDistanceCost,
+    DestinationTypeCost,
+    LinearDistanceCost,
+    RegionalCost,
+)
+
+NETWORKS = ("eu_isp", "cdn", "internet2")
+COST_MODELS = (
+    LinearDistanceCost(theta=0.2),
+    ConcaveDistanceCost(theta=0.2),
+    RegionalCost(theta=1.1),
+    DestinationTypeCost(theta=0.1),
+)
+TARGET_CAPTURE = 0.9
+MAX_TIERS = 12
+
+
+def tiers_needed(market: Market) -> int:
+    """Smallest tier count reaching the capture target (or MAX_TIERS)."""
+    strategy = ProfitWeightedBundling()
+    if market.classes is not None:
+        strategy = ClassAwareBundling(strategy)
+    for n_bundles in range(1, MAX_TIERS + 1):
+        outcome = market.tiered_outcome(strategy, n_bundles)
+        if outcome.profit_capture >= TARGET_CAPTURE:
+            return n_bundles
+    return MAX_TIERS
+
+
+def main() -> None:
+    print(
+        f"Tiers needed for {TARGET_CAPTURE:.0%} profit capture "
+        "(profit-weighted bundling)\n"
+    )
+    header = (
+        "network".ljust(11)
+        + "demand".ljust(8)
+        + "".join(cm.name.rjust(18) for cm in COST_MODELS)
+    )
+    print(header)
+    print("-" * len(header))
+    for network in NETWORKS:
+        flows = load_dataset(network, n_flows=120, seed=7)
+        for family, model in (
+            ("ced", CEDDemand(alpha=1.1)),
+            ("logit", LogitDemand(alpha=1.1, s0=0.2)),
+        ):
+            cells = []
+            for cost_model in COST_MODELS:
+                market = Market(flows, model, cost_model, blended_rate=20.0)
+                cells.append(str(tiers_needed(market)).rjust(18))
+            print(network.ljust(11) + family.ljust(8) + "".join(cells))
+
+    print(
+        "\nReading guide: a handful of well-chosen tiers suffices, as the"
+        " paper concludes. The destination-type model needs only two (two"
+        " cost classes); distance-based models mostly need three or four."
+        " Networks with extreme demand variability (Internet2, demand CV"
+        " 4.5) can need a few more - the paper's own observation that high"
+        " demand CV requires more bundles."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Beyond profit: welfare effects of tiering, and what billing style costs.
+
+Two follow-up questions the core reproduction raises:
+
+1. **Who gains from tiering?**  The paper's Figure 1 shows on two flows
+   that tiered pricing can raise ISP profit and customer surplus at once.
+   Here we ask the same question on a full calibrated market: is moving
+   from a blended rate to 2..5 tiers a Pareto improvement?
+
+2. **How much does the rating method matter?**  Transit is billed at the
+   95th percentile of 5-minute samples, not the mean.  Expanding the
+   matrix into a diurnal day of traffic shows the premium customers pay
+   for their peaks — independent of how the tiers are structured.
+
+Run:  python examples/welfare_and_billing.py
+"""
+
+from repro import CEDDemand, LinearDistanceCost, Market, OptimalBundling, load_dataset
+from repro.core.welfare import render_welfare_table, welfare_curve
+from repro.synth.workloads import expand_to_time_series
+
+
+def welfare_study() -> None:
+    flows = load_dataset("eu_isp", n_flows=120, seed=7)
+    market = Market(
+        flows, CEDDemand(alpha=1.1), LinearDistanceCost(theta=0.2), blended_rate=20.0
+    )
+    print("Part 1 - welfare decomposition, EU ISP, optimal bundling\n")
+    curve = welfare_curve(market, OptimalBundling(), bundle_counts=(1, 2, 3, 4, 5))
+    print(render_welfare_table(curve))
+    pareto = [c for c in curve if c.pareto_improvement]
+    print(
+        f"\n  {len(pareto)} of {len(curve)} tier counts are Pareto"
+        " improvements over the blended rate - the Figure 1 phenomenon"
+        " holds on the full market, not just the two-flow example."
+    )
+
+
+def billing_study() -> None:
+    flows = load_dataset("eu_isp", n_flows=60, seed=7)
+    print("\nPart 2 - 95th-percentile vs mean-rate billing\n")
+    print(f"  {'peak/trough':>12} {'mean Mbps':>12} {'p95 Mbps':>12} {'premium':>9}")
+    for peak in (1.5, 2.0, 3.0, 5.0):
+        series = expand_to_time_series(
+            flows, n_intervals=288, peak_to_trough=peak, noise_cv=0.1, seed=7
+        )
+        mean_total = float(series.rates_mbps.mean(axis=0).sum())
+        p95_total = sum(
+            series.percentile_rate(j, 95.0) for j in range(len(flows))
+        )
+        print(
+            f"  {peak:>12.1f} {mean_total:>12.0f} {p95_total:>12.0f}"
+            f" {p95_total / mean_total:>9.2f}"
+        )
+    print(
+        "\n  The burstier the traffic, the more the percentile convention"
+        " bills above the mean - a pricing lever orthogonal to tiering."
+    )
+
+
+def main() -> None:
+    welfare_study()
+    billing_study()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,135 @@
+"""repro — reproduction of "How Many Tiers? Pricing in the Internet
+Transit Market" (Valancius et al., SIGCOMM 2011).
+
+The library models a wholesale Internet transit market: it fits demand and
+cost models to observed traffic, then runs counterfactuals over tiered
+pricing structures to measure how much profit an ISP captures with a given
+number of pricing tiers and a given bundling strategy.
+
+Quickstart::
+
+    from repro import CEDDemand, LinearDistanceCost, Market, load_dataset
+    from repro import ProfitWeightedBundling
+
+    flows = load_dataset("eu_isp", seed=1)
+    market = Market(flows, CEDDemand(alpha=1.1),
+                    LinearDistanceCost(theta=0.2), blended_rate=20.0)
+    outcome = market.tiered_outcome(ProfitWeightedBundling(), n_bundles=3)
+    print(outcome.profit_capture)   # ~0.9 with three well-chosen tiers
+
+Subpackages:
+
+* :mod:`repro.core` — demand/cost models, bundling, the calibrated market.
+* :mod:`repro.netflow` — NetFlow-style records, sampling, aggregation.
+* :mod:`repro.geo` — coordinates, synthetic GeoIP, region classification.
+* :mod:`repro.topology` — PoP graphs, link routing, distances.
+* :mod:`repro.synth` — synthetic datasets calibrated to the paper's Table 1.
+* :mod:`repro.peering` — blended-vs-tiered worked example and the
+  direct-peering bypass model.
+* :mod:`repro.accounting` — BGP tier tagging, link- and flow-based
+  accounting, billing.
+* :mod:`repro.experiments` — drivers that regenerate every paper table
+  and figure.
+"""
+
+from repro.core import (
+    BundlingInputs,
+    BundlingStrategy,
+    CEDDemand,
+    ClassAwareBundling,
+    CommitContract,
+    CommitMarket,
+    CompetitionEquilibrium,
+    Firm,
+    LogitCompetition,
+    ConcaveDistanceCost,
+    CostDivisionBundling,
+    CostModel,
+    CostWeightedBundling,
+    DemandModel,
+    DemandWeightedBundling,
+    DestinationTypeCost,
+    Flow,
+    FlowSet,
+    IndexDivisionBundling,
+    LinearDistanceCost,
+    LogitDemand,
+    Market,
+    OptimalBundling,
+    ProfitWeightedBundling,
+    RegionalCost,
+    TieredOutcome,
+    TierSummary,
+    capture_table,
+    fit_concave_price_curve,
+    paper_strategies,
+    strategy_by_name,
+)
+from repro.errors import (
+    AccountingError,
+    BundlingError,
+    CalibrationError,
+    DataError,
+    ModelParameterError,
+    OptimizationError,
+    ReproError,
+    TopologyError,
+)
+from repro.io import (
+    load_design,
+    load_flowset,
+    save_design,
+    save_flowset,
+)
+from repro.synth import DATASET_NAMES, load_dataset
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AccountingError",
+    "BundlingError",
+    "BundlingInputs",
+    "BundlingStrategy",
+    "CEDDemand",
+    "CalibrationError",
+    "ClassAwareBundling",
+    "CommitContract",
+    "CommitMarket",
+    "CompetitionEquilibrium",
+    "Firm",
+    "LogitCompetition",
+    "ConcaveDistanceCost",
+    "CostDivisionBundling",
+    "CostModel",
+    "CostWeightedBundling",
+    "DATASET_NAMES",
+    "DataError",
+    "DemandModel",
+    "DemandWeightedBundling",
+    "DestinationTypeCost",
+    "Flow",
+    "FlowSet",
+    "IndexDivisionBundling",
+    "LinearDistanceCost",
+    "LogitDemand",
+    "Market",
+    "ModelParameterError",
+    "OptimalBundling",
+    "OptimizationError",
+    "ProfitWeightedBundling",
+    "RegionalCost",
+    "ReproError",
+    "TieredOutcome",
+    "TierSummary",
+    "TopologyError",
+    "capture_table",
+    "fit_concave_price_curve",
+    "load_dataset",
+    "load_design",
+    "load_flowset",
+    "save_design",
+    "save_flowset",
+    "paper_strategies",
+    "strategy_by_name",
+    "__version__",
+]

@@ -1,0 +1,62 @@
+"""Tiered-pricing accounting substrate (paper §5).
+
+* :mod:`repro.accounting.bgp` — tier tagging with BGP communities and a
+  longest-prefix-match RIB;
+* :mod:`repro.accounting.link_based` — one link + session per tier with
+  SNMP counter polling (Figure 17a);
+* :mod:`repro.accounting.flow_based` — single session, NetFlow + RIB join
+  (Figure 17b);
+* :mod:`repro.accounting.billing` — 95th-percentile and average rating,
+  invoices.
+"""
+
+from repro.accounting.bgp import (
+    Community,
+    Route,
+    RoutingTable,
+    TIER_COMMUNITY_NAMESPACE,
+    make_route,
+    tag_routes_with_tiers,
+)
+from repro.accounting.billing import (
+    Invoice,
+    LineItem,
+    average_mbps,
+    build_invoice,
+    percentile_mbps,
+)
+from repro.accounting.drift import DriftReport, evaluate_drift
+from repro.accounting.flow_based import FlowBasedAccounting, TierUsage
+from repro.accounting.link_based import (
+    CounterSample,
+    LinkBasedAccounting,
+    VirtualLink,
+)
+from repro.accounting.prefix_aggregation import (
+    aggregate_tier_prefixes,
+    compression_ratio,
+)
+from repro.accounting.tier_designer import TierDesign
+
+__all__ = [
+    "Community",
+    "CounterSample",
+    "DriftReport",
+    "FlowBasedAccounting",
+    "Invoice",
+    "LineItem",
+    "LinkBasedAccounting",
+    "Route",
+    "RoutingTable",
+    "TIER_COMMUNITY_NAMESPACE",
+    "TierDesign",
+    "TierUsage",
+    "VirtualLink",
+    "aggregate_tier_prefixes",
+    "average_mbps",
+    "compression_ratio",
+    "build_invoice",
+    "make_route",
+    "percentile_mbps",
+    "tag_routes_with_tiers",
+]

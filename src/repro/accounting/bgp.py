@@ -1,0 +1,171 @@
+"""BGP route tagging for tiered pricing (paper §5.1).
+
+The upstream ISP announces routes to its customer with a BGP extended
+community encoding the pricing tier the destination belongs to ("this
+route is trans-Atlantic, it bills at tier 3").  The community travels with
+the route, so the customer can build routing policy on it anywhere in its
+network — e.g. carry expensive-tier traffic on its own backbone instead of
+hot-potato offloading.
+
+This module provides the route/RIB machinery both accounting schemes use:
+routes with communities, tier tagging, and longest-prefix-match lookup.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import ipaddress
+from collections.abc import Callable, Iterable
+from typing import Optional
+
+from repro.errors import AccountingError, DataError
+
+#: Namespace used for tier communities, mirroring "ASN:value" notation.
+TIER_COMMUNITY_NAMESPACE = "tier"
+
+
+@dataclasses.dataclass(frozen=True)
+class Community:
+    """A BGP (extended) community, e.g. ``tier:64500:2``."""
+
+    namespace: str
+    asn: int
+    value: int
+
+    def __str__(self) -> str:
+        return f"{self.namespace}:{self.asn}:{self.value}"
+
+    @classmethod
+    def parse(cls, text: str) -> "Community":
+        parts = text.split(":")
+        if len(parts) != 3:
+            raise DataError(f"malformed community {text!r}")
+        namespace, asn, value = parts
+        try:
+            return cls(namespace=namespace, asn=int(asn), value=int(value))
+        except ValueError as exc:
+            raise DataError(f"malformed community {text!r}") from exc
+
+
+@dataclasses.dataclass(frozen=True)
+class Route:
+    """A BGP route announcement.
+
+    Attributes:
+        prefix: The announced destination prefix.
+        next_hop: Next-hop identifier (PoP code or address).
+        as_path: AS path as announced.
+        communities: Attached communities (tier tags live here).
+    """
+
+    prefix: ipaddress.IPv4Network
+    next_hop: str
+    as_path: tuple = ()
+    communities: tuple = ()
+
+    def with_community(self, community: Community) -> "Route":
+        """A copy with one more community attached (idempotent)."""
+        if community in self.communities:
+            return self
+        return dataclasses.replace(
+            self, communities=self.communities + (community,)
+        )
+
+    def tier(self, asn: Optional[int] = None) -> Optional[int]:
+        """The pricing tier tagged on this route, or ``None`` if untagged.
+
+        Args:
+            asn: Restrict to tags from one provider ASN (a customer of
+                several tiered providers sees multiple tags).
+        """
+        for community in self.communities:
+            if community.namespace != TIER_COMMUNITY_NAMESPACE:
+                continue
+            if asn is not None and community.asn != asn:
+                continue
+            return community.value
+        return None
+
+
+def make_route(prefix: str, next_hop: str, as_path: Iterable[int] = ()) -> Route:
+    """Build a route from a prefix string (validates the prefix)."""
+    try:
+        network = ipaddress.IPv4Network(prefix)
+    except (ipaddress.AddressValueError, ValueError) as exc:
+        raise DataError(f"invalid prefix {prefix!r}") from exc
+    return Route(prefix=network, next_hop=next_hop, as_path=tuple(as_path))
+
+
+def tag_routes_with_tiers(
+    routes: Iterable[Route],
+    tier_of: Callable[[Route], int],
+    provider_asn: int,
+) -> "list[Route]":
+    """Attach a tier community to every route, as the upstream ISP does.
+
+    Args:
+        routes: The provider's announcements to this customer.
+        tier_of: Policy mapping each route to its tier index (>= 1) —
+            in practice derived from the bundling of §4.
+        provider_asn: The tagging provider's AS number.
+    """
+    tagged = []
+    for route in routes:
+        tier = int(tier_of(route))
+        if tier < 1:
+            raise AccountingError(f"tier must be >= 1, got {tier} for {route.prefix}")
+        community = Community(
+            namespace=TIER_COMMUNITY_NAMESPACE, asn=provider_asn, value=tier
+        )
+        tagged.append(route.with_community(community))
+    return tagged
+
+
+class RoutingTable:
+    """A longest-prefix-match RIB."""
+
+    def __init__(self) -> None:
+        # prefix length -> {int network address -> Route}
+        self._by_length: dict = {}
+
+    def insert(self, route: Route) -> None:
+        """Install a route; a later insert for the same prefix wins."""
+        bucket = self._by_length.setdefault(route.prefix.prefixlen, {})
+        bucket[int(route.prefix.network_address)] = route
+
+    def insert_many(self, routes: Iterable[Route]) -> None:
+        for route in routes:
+            self.insert(route)
+
+    def __len__(self) -> int:
+        return sum(len(bucket) for bucket in self._by_length.values())
+
+    def lookup(self, address: str) -> Optional[Route]:
+        """Longest-prefix match, or ``None`` when no route covers it."""
+        try:
+            addr = int(ipaddress.IPv4Address(address))
+        except (ipaddress.AddressValueError, ValueError) as exc:
+            raise DataError(f"invalid IPv4 address {address!r}") from exc
+        for length in sorted(self._by_length, reverse=True):
+            mask = ((1 << length) - 1) << (32 - length) if length else 0
+            route = self._by_length[length].get(addr & mask)
+            if route is not None:
+                return route
+        return None
+
+    def tier_for(self, address: str, provider_asn: Optional[int] = None) -> int:
+        """The pricing tier of the best route to an address.
+
+        Raises:
+            AccountingError: No route, or the best route carries no tier
+                tag — both are billing faults the operator must see.
+        """
+        route = self.lookup(address)
+        if route is None:
+            raise AccountingError(f"no route for {address}")
+        tier = route.tier(provider_asn)
+        if tier is None:
+            raise AccountingError(
+                f"route {route.prefix} for {address} carries no tier tag"
+            )
+        return tier

@@ -1,0 +1,109 @@
+"""Billing primitives shared by both accounting schemes (paper §5.2).
+
+Transit is billed per tier in $/Mbps/month on a *billable rate* derived
+from usage samples.  Two industry-standard rating methods are provided:
+
+* **95th percentile** — usage is sampled per interval (5 minutes is the
+  norm), the top 5 % of samples are discarded, and the highest remaining
+  sample is the billable Mbps.
+* **average** — total bytes over the billing window divided by its length.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from collections.abc import Mapping, Sequence
+
+from repro.errors import AccountingError
+
+
+def percentile_mbps(samples: Sequence[float], percentile: float = 95.0) -> float:
+    """The billable rate at the given percentile of per-interval samples.
+
+    Uses the conventional "discard the top (100-p)%" rule: with ``n``
+    samples, the ``ceil(n * p / 100)``-th smallest is billed.
+    """
+    if not samples:
+        raise AccountingError("cannot bill on zero usage samples")
+    if not 0.0 < percentile <= 100.0:
+        raise AccountingError(f"percentile must be in (0, 100], got {percentile}")
+    ordered = sorted(float(s) for s in samples)
+    if any(s < 0 or not math.isfinite(s) for s in ordered):
+        raise AccountingError("usage samples must be finite and non-negative")
+    rank = max(1, math.ceil(len(ordered) * percentile / 100.0))
+    return ordered[rank - 1]
+
+
+def average_mbps(total_octets: int, window_seconds: float) -> float:
+    """Mean rate over the billing window in Mbit/s."""
+    if window_seconds <= 0:
+        raise AccountingError(f"window must be positive, got {window_seconds}")
+    if total_octets < 0:
+        raise AccountingError("octet volume must be non-negative")
+    return total_octets * 8.0 / window_seconds / 1e6
+
+
+@dataclasses.dataclass(frozen=True)
+class LineItem:
+    """One tier's line on the invoice."""
+
+    tier: int
+    billable_mbps: float
+    rate_per_mbps: float
+
+    @property
+    def amount(self) -> float:
+        return self.billable_mbps * self.rate_per_mbps
+
+
+@dataclasses.dataclass(frozen=True)
+class Invoice:
+    """A tiered transit invoice."""
+
+    customer: str
+    line_items: tuple
+
+    @property
+    def total(self) -> float:
+        return sum(item.amount for item in self.line_items)
+
+    def item_for(self, tier: int) -> LineItem:
+        for item in self.line_items:
+            if item.tier == tier:
+                return item
+        raise AccountingError(f"invoice has no line item for tier {tier}")
+
+    def render(self) -> str:
+        """Human-readable invoice text."""
+        lines = [f"Invoice for {self.customer}"]
+        for item in sorted(self.line_items, key=lambda li: li.tier):
+            lines.append(
+                f"  tier {item.tier}: {item.billable_mbps:10.2f} Mbps "
+                f"x ${item.rate_per_mbps:.2f}/Mbps = ${item.amount:,.2f}"
+            )
+        lines.append(f"  total: ${self.total:,.2f}")
+        return "\n".join(lines)
+
+
+def build_invoice(
+    customer: str,
+    billable_by_tier: Mapping[int, float],
+    rates_by_tier: Mapping[int, float],
+) -> Invoice:
+    """Assemble an invoice, validating that every tier has a rate."""
+    items = []
+    for tier in sorted(billable_by_tier):
+        if tier not in rates_by_tier:
+            raise AccountingError(f"no rate configured for tier {tier}")
+        rate = float(rates_by_tier[tier])
+        if rate < 0:
+            raise AccountingError(f"rate for tier {tier} is negative")
+        items.append(
+            LineItem(
+                tier=int(tier),
+                billable_mbps=float(billable_by_tier[tier]),
+                rate_per_mbps=rate,
+            )
+        )
+    return Invoice(customer=customer, line_items=tuple(items))

@@ -1,0 +1,127 @@
+"""Tier-design drift: when should an ISP re-derive its tiers?
+
+A tier design is computed from one traffic snapshot, but traffic drifts —
+destinations grow, shrink, appear.  This module quantifies how much
+profit a *stale* design leaves on the table against fresh measurements
+and recommends re-tiering when the gap crosses a threshold.
+
+The comparison holds the market model fixed (same demand family, cost
+model, blended reference) and re-calibrates it on the **new** flows; the
+stale design is then replayed as a price vector on the new market:
+
+* destinations still in the design keep their tier's price;
+* new destinations — which the stale design has no tier for — are
+  assumed to be quoted the blended rate (the operator's safe default).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.accounting.tier_designer import TierDesign
+from repro.core.bundling import BundlingStrategy, ProfitWeightedBundling
+from repro.core.cost import CostModel
+from repro.core.demand import DemandModel
+from repro.core.flow import FlowSet
+from repro.core.market import Market
+from repro.errors import AccountingError
+
+
+@dataclasses.dataclass(frozen=True)
+class DriftReport:
+    """How a stale design performs on fresh traffic.
+
+    Attributes:
+        stale_profit: Profit of replaying the old prices on new traffic.
+        refreshed_profit: Profit of re-deriving the tiers on new traffic.
+        blended_profit: The blended-rate floor on the new market.
+        max_profit: The per-flow ceiling on the new market.
+        stale_capture / refreshed_capture: The two designs' capture of
+            the new market's blended-to-max gap.
+        unknown_destinations: New destinations absent from the design.
+        missing_destinations: Designed destinations absent from the new
+            traffic (churned away).
+    """
+
+    stale_profit: float
+    refreshed_profit: float
+    blended_profit: float
+    max_profit: float
+    stale_capture: float
+    refreshed_capture: float
+    unknown_destinations: int
+    missing_destinations: int
+
+    @property
+    def regret(self) -> float:
+        """Profit given up by keeping the stale design, $/month."""
+        return self.refreshed_profit - self.stale_profit
+
+    @property
+    def capture_drop(self) -> float:
+        return self.refreshed_capture - self.stale_capture
+
+    def should_retier(self, capture_drop_threshold: float = 0.1) -> bool:
+        """Recommend re-tiering when the capture gap crosses a threshold."""
+        return self.capture_drop > capture_drop_threshold
+
+
+def evaluate_drift(
+    design: TierDesign,
+    new_flows: FlowSet,
+    demand_model: DemandModel,
+    cost_model: CostModel,
+    blended_rate: float,
+    strategy: "BundlingStrategy | None" = None,
+) -> DriftReport:
+    """Score a stale design against fresh traffic.
+
+    Args:
+        design: The design in production (rates + destination tiers).
+        new_flows: The fresh traffic matrix; must carry destination
+            addresses (``dsts``) to join against the design.
+        demand_model / cost_model / blended_rate: The market model to
+            recalibrate on the new flows (use the same settings the
+            design was derived with).
+        strategy: Bundling used for the refreshed design (defaults to
+            profit-weighted at the stale design's tier count).
+    """
+    if new_flows.dsts is None:
+        raise AccountingError(
+            "new flows carry no destination addresses; cannot join them "
+            "against the design"
+        )
+    market = Market(new_flows, demand_model, cost_model, blended_rate)
+    if market.flows.dsts is None:
+        raise AccountingError(
+            "the cost model dropped destination addresses; drift evaluation "
+            "needs a non-splitting cost model"
+        )
+
+    stale_prices = np.full(market.n_flows, float(blended_rate))
+    unknown = 0
+    seen = set()
+    for i, dst in enumerate(market.flows.dsts):
+        tier = design.tier_of_destination.get(dst)
+        if tier is None:
+            unknown += 1
+        else:
+            stale_prices[i] = design.rates[tier]
+            seen.add(dst)
+    missing = len(set(design.tier_of_destination) - seen)
+
+    stale_profit = market.profit_at(stale_prices)
+    strategy = strategy or ProfitWeightedBundling()
+    refreshed = market.tiered_outcome(strategy, max(1, design.n_tiers))
+    return DriftReport(
+        stale_profit=stale_profit,
+        refreshed_profit=refreshed.profit,
+        blended_profit=market.blended_profit(),
+        max_profit=market.max_profit(),
+        stale_capture=market.profit_capture(stale_profit),
+        refreshed_capture=refreshed.profit_capture,
+        unknown_destinations=unknown,
+        missing_destinations=missing,
+    )

@@ -1,0 +1,97 @@
+"""Flow-based accounting (paper §5.2, Figure 17b).
+
+A single link and routing session carry all traffic; the provider's flow
+collector joins sampled NetFlow records with the routing table to assign
+each flow to a pricing tier *after the fact*.  This is exactly how the
+paper's own evaluation maps flows to tiers, and it lets the provider
+re-bundle (e.g. move to profit-weighted tiers) without touching the
+network — only the accounting policy changes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Iterable, Mapping
+from typing import Optional
+
+from repro.accounting.bgp import RoutingTable
+from repro.accounting.billing import Invoice, average_mbps, build_invoice
+from repro.errors import AccountingError
+from repro.netflow.collector import FlowCollector
+from repro.netflow.records import NetFlowRecord
+
+
+@dataclasses.dataclass(frozen=True)
+class TierUsage:
+    """Aggregated usage of one tier over the billing window."""
+
+    tier: int
+    octets: int
+    n_flows: int
+
+    def mean_mbps(self, window_seconds: float) -> float:
+        return average_mbps(self.octets, window_seconds)
+
+
+class FlowBasedAccounting:
+    """NetFlow + RIB join producing per-tier usage and invoices.
+
+    Args:
+        rib: Tier-tagged routing table (see :mod:`repro.accounting.bgp`).
+        window_seconds: Billing window covered by the ingested records.
+        provider_asn: Restrict tier tags to this provider's communities.
+        deduplicate: Suppress multi-router duplicates through a
+            :class:`~repro.netflow.collector.FlowCollector` (on by
+            default; switch off when records come from a single export
+            point).
+    """
+
+    def __init__(
+        self,
+        rib: RoutingTable,
+        window_seconds: float,
+        provider_asn: Optional[int] = None,
+        deduplicate: bool = True,
+    ) -> None:
+        if window_seconds <= 0:
+            raise AccountingError("window_seconds must be positive")
+        self._rib = rib
+        self._window_seconds = float(window_seconds)
+        self._provider_asn = provider_asn
+        self._deduplicate = deduplicate
+        self._collector = FlowCollector()
+
+    @property
+    def window_seconds(self) -> float:
+        return self._window_seconds
+
+    def ingest(self, record: NetFlowRecord) -> None:
+        self._collector.ingest(record)
+
+    def ingest_many(self, records: Iterable[NetFlowRecord]) -> None:
+        self._collector.ingest_many(records)
+
+    def usage_by_tier(self) -> "dict[int, TierUsage]":
+        """Join flows with the RIB and aggregate volumes per tier."""
+        if self._deduplicate:
+            volumes = self._collector.deduplicated_octets()
+        else:
+            volumes = self._collector.total_octets()
+        octets: dict = {}
+        counts: dict = {}
+        for key, volume in volumes.items():
+            tier = self._rib.tier_for(key.dst_addr, self._provider_asn)
+            octets[tier] = octets.get(tier, 0) + volume
+            counts[tier] = counts.get(tier, 0) + 1
+        return {
+            tier: TierUsage(tier=tier, octets=octets[tier], n_flows=counts[tier])
+            for tier in octets
+        }
+
+    def invoice(self, customer: str, rates_by_tier: Mapping[int, float]) -> Invoice:
+        """Bill each tier's mean rate over the window at its price."""
+        usage = self.usage_by_tier()
+        billable = {
+            tier: u.mean_mbps(self._window_seconds) for tier, u in usage.items()
+        }
+        return build_invoice(customer, billable, rates_by_tier)

@@ -1,0 +1,129 @@
+"""Link-based (SNMP) accounting (paper §5.2, Figure 17a).
+
+The provider terminates one physical or virtual link — and one BGP
+session — **per pricing tier**.  Each session only announces the routes of
+its tier, so traffic self-sorts onto the right link, and billing reduces
+to polling each link's octet counter over SNMP and rating the usage at the
+tier's price.  Simple and unambiguous, but the provisioning overhead grows
+with the number of tiers, which is exactly why the paper cares that a few
+tiers suffice.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Mapping
+from typing import Optional
+
+from repro.accounting.bgp import RoutingTable
+from repro.accounting.billing import Invoice, build_invoice, percentile_mbps
+from repro.errors import AccountingError
+
+
+@dataclasses.dataclass
+class VirtualLink:
+    """One per-tier link with a monotonically increasing octet counter."""
+
+    tier: int
+    octets: int = 0
+
+    def carry(self, octets: int) -> None:
+        if octets < 0:
+            raise AccountingError("cannot carry a negative volume")
+        self.octets += octets
+
+
+@dataclasses.dataclass(frozen=True)
+class CounterSample:
+    """One SNMP poll of one link's octet counter."""
+
+    time_s: float
+    tier: int
+    octets: int
+
+
+class LinkBasedAccounting:
+    """Per-tier links, an SNMP poller, and percentile billing.
+
+    Args:
+        tiers: The tier indices sold to this customer (one link each).
+        rib: The customer-facing RIB with tier-tagged routes; traffic is
+            steered onto the link of its destination's tier, exactly as
+            per-session announcements would make it.
+        provider_asn: Restrict tier tags to this provider's communities.
+    """
+
+    def __init__(
+        self,
+        tiers: "list[int]",
+        rib: RoutingTable,
+        provider_asn: Optional[int] = None,
+    ) -> None:
+        if not tiers:
+            raise AccountingError("need at least one tier/link")
+        if len(set(tiers)) != len(tiers):
+            raise AccountingError("tier indices must be unique")
+        self._links = {tier: VirtualLink(tier=tier) for tier in tiers}
+        self._rib = rib
+        self._provider_asn = provider_asn
+        self._samples: list = []
+        self._last_poll_s: Optional[float] = None
+
+    @property
+    def links(self) -> "dict[int, VirtualLink]":
+        return dict(self._links)
+
+    def send(self, dst_address: str, octets: int) -> int:
+        """Route traffic onto its tier's link; returns the tier used."""
+        tier = self._rib.tier_for(dst_address, self._provider_asn)
+        if tier not in self._links:
+            raise AccountingError(
+                f"destination {dst_address} maps to tier {tier}, but no link "
+                f"is provisioned for it (links: {sorted(self._links)})"
+            )
+        self._links[tier].carry(octets)
+        return tier
+
+    def poll(self, time_s: float) -> "list[CounterSample]":
+        """One SNMP poll: snapshot every link's counter."""
+        if self._last_poll_s is not None and time_s <= self._last_poll_s:
+            raise AccountingError(
+                f"polls must move forward in time ({time_s} <= {self._last_poll_s})"
+            )
+        self._last_poll_s = time_s
+        samples = [
+            CounterSample(time_s=time_s, tier=tier, octets=link.octets)
+            for tier, link in sorted(self._links.items())
+        ]
+        self._samples.extend(samples)
+        return samples
+
+    def usage_samples_mbps(self) -> "dict[int, list[float]]":
+        """Per-tier Mbps per polling interval, from counter deltas."""
+        by_tier: dict = {tier: [] for tier in self._links}
+        previous: dict = {}
+        for sample in self._samples:
+            if sample.tier in previous:
+                prev = previous[sample.tier]
+                dt = sample.time_s - prev.time_s
+                if dt > 0:
+                    delta = sample.octets - prev.octets
+                    by_tier[sample.tier].append(delta * 8.0 / dt / 1e6)
+            previous[sample.tier] = sample
+        return by_tier
+
+    def invoice(
+        self,
+        customer: str,
+        rates_by_tier: Mapping[int, float],
+        percentile: float = 95.0,
+    ) -> Invoice:
+        """Rate each link's polled usage at its tier price."""
+        usage = self.usage_samples_mbps()
+        billable = {}
+        for tier, samples in usage.items():
+            if not samples:
+                billable[tier] = 0.0
+                continue
+            billable[tier] = percentile_mbps(samples, percentile)
+        return build_invoice(customer, billable, rates_by_tier)

@@ -1,0 +1,116 @@
+"""Tier-preserving prefix aggregation.
+
+A tier design naively announces one host route per destination; real BGP
+configurations summarize.  :func:`aggregate_tier_prefixes` collapses a
+host-to-tier mapping into covering prefixes such that a longest-prefix
+match still resolves **every original destination to its original tier**.
+
+Two modes:
+
+* ``strict=True`` (default) — a prefix is emitted only where both halves
+  of the address sub-tree contain assigned destinations of the same tier
+  (or at a host route).  Aggregates never swallow address space outside
+  the "gaps" between same-tier destinations.
+* ``strict=False`` — maximal aggregation: any sub-tree whose assigned
+  destinations all share one tier becomes a single prefix, even if most
+  of the covered space is unassigned (e.g. a design where *everything* is
+  tier 2 collapses to ``0.0.0.0/0``).  Correct for the assigned
+  destinations, generous for everything else — the usual trade-off of a
+  catch-all route.
+"""
+
+from __future__ import annotations
+
+import ipaddress
+from collections.abc import Mapping
+
+from repro.errors import AccountingError
+
+
+def aggregate_tier_prefixes(
+    tier_of_destination: Mapping[str, int],
+    strict: bool = True,
+) -> "dict[ipaddress.IPv4Network, int]":
+    """Collapse host->tier assignments into covering prefix->tier routes.
+
+    Args:
+        tier_of_destination: IPv4 host address -> tier index.
+        strict: See module docstring.
+
+    Returns:
+        Mapping of networks to tiers.  Longest-prefix match over these
+        networks reproduces the input assignment exactly (asserted by the
+        test suite).
+    """
+    if not tier_of_destination:
+        raise AccountingError("cannot aggregate an empty assignment")
+    entries = []
+    for address, tier in tier_of_destination.items():
+        try:
+            entries.append((int(ipaddress.IPv4Address(address)), int(tier)))
+        except (ipaddress.AddressValueError, ValueError) as exc:
+            raise AccountingError(f"invalid IPv4 address {address!r}") from exc
+    entries.sort()
+    for (addr_a, tier_a), (addr_b, tier_b) in zip(entries, entries[1:]):
+        if addr_a == addr_b and tier_a != tier_b:
+            raise AccountingError(
+                f"{ipaddress.IPv4Address(addr_a)} assigned to tiers "
+                f"{tier_a} and {tier_b}"
+            )
+
+    prefixes: dict = {}
+
+    def emit(start: int, prefix_len: int, tier: int) -> None:
+        network = ipaddress.IPv4Network((start, prefix_len))
+        prefixes[network] = tier
+
+    def walk(lo: int, hi: int, start: int, prefix_len: int) -> None:
+        """Aggregate entries[lo:hi], all inside (start, prefix_len)."""
+        if lo >= hi:
+            return
+        tiers = {tier for _, tier in entries[lo:hi]}
+        if len(tiers) == 1:
+            tier = tiers.pop()
+            if not strict or prefix_len == 32:
+                emit(start, prefix_len, tier)
+                return
+            # Strict: only cover this subtree if both halves are occupied
+            # (recursively); otherwise descend into the occupied side.
+            mid_addr = start + (1 << (32 - prefix_len - 1))
+            split = _bisect(entries, lo, hi, mid_addr)
+            if split > lo and split < hi:
+                emit(start, prefix_len, tier)
+                return
+            if split > lo:
+                walk(lo, split, start, prefix_len + 1)
+            else:
+                walk(split, hi, mid_addr, prefix_len + 1)
+            return
+        mid_addr = start + (1 << (32 - prefix_len - 1))
+        split = _bisect(entries, lo, hi, mid_addr)
+        walk(lo, split, start, prefix_len + 1)
+        walk(split, hi, mid_addr, prefix_len + 1)
+
+    walk(0, len(entries), 0, 0)
+    return prefixes
+
+
+def _bisect(entries: list, lo: int, hi: int, threshold: int) -> int:
+    """First index in [lo, hi) whose address is >= threshold."""
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if entries[mid][0] < threshold:
+            lo = mid + 1
+        else:
+            hi = mid
+    return lo
+
+
+def compression_ratio(
+    tier_of_destination: Mapping[str, int],
+    prefixes: Mapping[ipaddress.IPv4Network, int],
+) -> float:
+    """Host routes per aggregated route (higher is better)."""
+    if not prefixes:
+        raise AccountingError("no prefixes to compare")
+    return len(tier_of_destination) / len(prefixes)

@@ -1,0 +1,303 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``table1`` — regenerate the paper's Table 1 (paper vs synthetic).
+* ``figure N`` — regenerate Figure N's series as a text table
+  (N in 1-6, 8-16; Figures 7 and 17 are architecture diagrams).
+* ``datasets`` — list the synthetic datasets and their targets.
+* ``design`` — design pricing tiers for a dataset and print the tier
+  card (prices, destinations, demand) plus profit capture.
+
+Everything honors ``--flows`` and ``--seed`` so results are reproducible
+and fast to experiment with.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import sys
+from collections.abc import Sequence
+
+from repro.core.bundling import strategy_by_name
+from repro.experiments import figures, render, sweeps, tables
+from repro.experiments.config import DEFAULT_CONFIG
+from repro.experiments.runner import build_market
+from repro.synth.datasets import DATASET_NAMES, DATASETS
+
+#: Figure number -> (driver factory, renderer) wiring.
+_FIGURES = {
+    1: (lambda cfg: figures.figure1_data(), render.render_figure1),
+    2: (lambda cfg: figures.figure2_data(), render.render_figure2),
+    3: (lambda cfg: figures.figure3_data(), render.render_figure3),
+    4: (lambda cfg: figures.figure4_data(), render.render_figure4),
+    5: (lambda cfg: figures.figure5_data(), render.render_figure5),
+    6: (lambda cfg: figures.figure6_data(), render.render_figure6),
+    8: (lambda cfg: figures.figure8_data(cfg), render.render_figure8),
+    9: (lambda cfg: figures.figure9_data(cfg), render.render_figure9),
+    10: (
+        lambda cfg: sweeps.figure10_data(cfg),
+        lambda data: render.render_theta_sweep(data, "Figure 10"),
+    ),
+    11: (
+        lambda cfg: sweeps.figure11_data(cfg),
+        lambda data: render.render_theta_sweep(data, "Figure 11"),
+    ),
+    12: (
+        lambda cfg: sweeps.figure12_data(cfg),
+        lambda data: render.render_theta_sweep(data, "Figure 12"),
+    ),
+    13: (
+        lambda cfg: sweeps.figure13_data(cfg),
+        lambda data: render.render_theta_sweep(data, "Figure 13"),
+    ),
+    14: (
+        lambda cfg: sweeps.figure14_data(config=cfg),
+        lambda data: render.render_envelope(
+            data, "Figure 14", f"alpha in {data['alphas']}"
+        ),
+    ),
+    15: (
+        lambda cfg: sweeps.figure15_data(config=cfg),
+        lambda data: render.render_envelope(
+            data, "Figure 15", f"P0 in {data['blended_rates']}"
+        ),
+    ),
+    16: (
+        lambda cfg: sweeps.figure16_data(config=cfg),
+        lambda data: render.render_envelope(
+            data, "Figure 16", f"s0 in {data['s0_values']}"
+        ),
+    ),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description=(
+            "Reproduction of 'How Many Tiers? Pricing in the Internet "
+            "Transit Market' (SIGCOMM 2011)"
+        ),
+    )
+    parser.add_argument(
+        "--flows",
+        type=int,
+        default=DEFAULT_CONFIG.n_flows,
+        help="synthetic flows per dataset",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=DEFAULT_CONFIG.seed, help="dataset RNG seed"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("table1", help="regenerate Table 1")
+
+    fig = sub.add_parser("figure", help="regenerate one figure")
+    fig.add_argument("number", type=int, choices=sorted(_FIGURES))
+
+    sub.add_parser("datasets", help="list synthetic datasets")
+
+    design = sub.add_parser("design", help="design pricing tiers")
+    design.add_argument(
+        "dataset", choices=DATASET_NAMES, help="which network to design for"
+    )
+    design.add_argument("--tiers", type=int, default=3)
+    design.add_argument(
+        "--demand", choices=("ced", "logit"), default="ced"
+    )
+    design.add_argument(
+        "--strategy",
+        default="profit-weighted",
+        help="bundling strategy (figure-legend name)",
+    )
+
+    report = sub.add_parser(
+        "report", help="run every table/figure and emit a markdown report"
+    )
+    report.add_argument(
+        "--output", default="-", help="file to write ('-' for stdout)"
+    )
+
+    export = sub.add_parser(
+        "export", help="write a synthetic dataset as a flow CSV"
+    )
+    export.add_argument("dataset", choices=DATASET_NAMES)
+    export.add_argument("output", help="CSV path to write")
+
+    offerings = sub.add_parser(
+        "offerings",
+        help="price the §2.1 product taxonomy on one dataset",
+    )
+    offerings.add_argument("dataset", choices=DATASET_NAMES)
+    offerings.add_argument(
+        "--cost",
+        choices=("linear", "regional", "destination-type"),
+        default="linear",
+    )
+
+    drift = sub.add_parser(
+        "drift",
+        help="score a saved tier design against a flow CSV",
+    )
+    drift.add_argument("design", help="tier-design JSON (from save_design)")
+    drift.add_argument("matrix", help="flow CSV with dst addresses")
+    drift.add_argument("--rate", type=float, default=20.0, help="blended P0")
+    return parser
+
+
+def _config(args: argparse.Namespace):
+    return dataclasses.replace(
+        DEFAULT_CONFIG, n_flows=args.flows, seed=args.seed
+    )
+
+
+def cmd_table1(args: argparse.Namespace) -> str:
+    return tables.render_table1(tables.table1_data(config=_config(args)))
+
+
+def cmd_figure(args: argparse.Namespace) -> str:
+    driver, renderer = _FIGURES[args.number]
+    return renderer(driver(_config(args)))
+
+
+def cmd_datasets(args: argparse.Namespace) -> str:
+    del args
+    lines = ["synthetic datasets (targets from the paper's Table 1):"]
+    for name in DATASET_NAMES:
+        spec = DATASETS[name]
+        lines.append(
+            f"  {name:<10} {spec.capture_date}  "
+            f"w-avg {spec.w_avg_distance_miles:>6.0f} mi (CV {spec.distance_cv})  "
+            f"{spec.aggregate_gbps:>5.0f} Gbps (demand CV {spec.demand_cv})"
+        )
+    return "\n".join(lines)
+
+
+def cmd_design(args: argparse.Namespace) -> str:
+    market = build_market(
+        args.dataset, family=args.demand, config=_config(args)
+    )
+    strategy = strategy_by_name(args.strategy)
+    outcome = market.tiered_outcome(strategy, args.tiers)
+    lines = [
+        market.describe(),
+        f"strategy: {strategy.name}, tiers requested: {args.tiers}",
+        f"profit capture: {outcome.profit_capture:.1%} "
+        f"(blended ${market.blended_profit():,.0f} -> "
+        f"${outcome.profit:,.0f} -> ceiling ${market.max_profit():,.0f})",
+        "",
+        f"{'tier':>4} {'price $/Mbps':>13} {'flows':>7} {'demand Mbps':>13} "
+        f"{'mean cost':>10}",
+    ]
+    for i, tier in enumerate(outcome.tiers, start=1):
+        lines.append(
+            f"{i:>4} {tier.price:>13.2f} {tier.n_flows:>7} "
+            f"{tier.demand_mbps:>13.1f} {tier.mean_cost:>10.2f}"
+        )
+    return "\n".join(lines)
+
+
+def cmd_report(args: argparse.Namespace) -> str:
+    from repro.experiments.report import generate_report
+
+    text = generate_report(_config(args))
+    if args.output != "-":
+        import pathlib
+
+        pathlib.Path(args.output).write_text(text)
+        return f"wrote {args.output} ({len(text.splitlines())} lines)"
+    return text
+
+
+def cmd_export(args: argparse.Namespace) -> str:
+    from repro.io import save_flowset
+    from repro.synth.datasets import load_dataset
+
+    flows = load_dataset(args.dataset, n_flows=args.flows, seed=args.seed)
+    path = save_flowset(flows, args.output)
+    return f"wrote {path} ({len(flows)} flows, {flows.aggregate_gbps():.1f} Gbps)"
+
+
+def cmd_offerings(args: argparse.Namespace) -> str:
+    from repro.core.cost import (
+        DestinationTypeCost,
+        LinearDistanceCost,
+        RegionalCost,
+    )
+    from repro.peering.offerings import compare_offerings, render_offerings
+
+    cost_model = {
+        "linear": lambda: LinearDistanceCost(theta=DEFAULT_CONFIG.theta),
+        "regional": lambda: RegionalCost(theta=1.1),
+        "destination-type": lambda: DestinationTypeCost(theta=0.2),
+    }[args.cost]()
+    market = build_market(
+        args.dataset, family="ced", cost_model=cost_model, config=_config(args)
+    )
+    return (
+        market.describe()
+        + "\n"
+        + render_offerings(compare_offerings(market))
+    )
+
+
+def cmd_drift(args: argparse.Namespace) -> str:
+    from repro.accounting.drift import evaluate_drift
+    from repro.core.ced import CEDDemand
+    from repro.core.cost import LinearDistanceCost
+    from repro.io import load_design, load_flowset
+
+    design = load_design(args.design)
+    flows = load_flowset(args.matrix)
+    report = evaluate_drift(
+        design,
+        flows,
+        CEDDemand(alpha=DEFAULT_CONFIG.alpha),
+        LinearDistanceCost(theta=DEFAULT_CONFIG.theta),
+        blended_rate=args.rate,
+    )
+    verdict = "RE-TIER" if report.should_retier() else "keep current tiers"
+    return "\n".join(
+        [
+            f"design: {design.n_tiers} tiers over "
+            f"{len(design.tier_of_destination)} destinations",
+            f"new matrix: {len(flows)} flows, "
+            f"{report.unknown_destinations} unknown / "
+            f"{report.missing_destinations} churned destinations",
+            f"stale design:     profit ${report.stale_profit:,.0f} "
+            f"(capture {report.stale_capture:.3f})",
+            f"refreshed design: profit ${report.refreshed_profit:,.0f} "
+            f"(capture {report.refreshed_capture:.3f})",
+            f"monthly regret:   ${report.regret:,.0f}",
+            f"recommendation:   {verdict}",
+        ]
+    )
+
+
+_COMMANDS = {
+    "table1": cmd_table1,
+    "figure": cmd_figure,
+    "datasets": cmd_datasets,
+    "design": cmd_design,
+    "report": cmd_report,
+    "export": cmd_export,
+    "offerings": cmd_offerings,
+    "drift": cmd_drift,
+}
+
+
+def main(argv: "Sequence[str] | None" = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        print(_COMMANDS[args.command](args))
+    except BrokenPipeError:
+        # Output was piped into a pager/head that closed early; not an error.
+        sys.stderr.close()
+        return 0
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

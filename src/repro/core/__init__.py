@@ -1,0 +1,135 @@
+"""Core economic model: demand, cost, bundling, and the calibrated market.
+
+This subpackage is the paper's primary contribution — everything needed to
+ask "how many tiers, and how should they be structured?" of a traffic
+matrix.  See :class:`repro.core.market.Market` for the entry point.
+"""
+
+from repro.core.bundling import (
+    BundlingInputs,
+    BundlingStrategy,
+    ClassAwareBundling,
+    CostDivisionBundling,
+    CostWeightedBundling,
+    DemandWeightedBundling,
+    IndexDivisionBundling,
+    OptimalBundling,
+    ProfitWeightedBundling,
+    evaluate_partition,
+    paper_strategies,
+    strategy_by_name,
+)
+from repro.core.ced import CEDDemand
+from repro.core.commitments import CommitContract, CommitMarket, ContractChoice
+from repro.core.competition import (
+    CompetitionEquilibrium,
+    Firm,
+    LogitCompetition,
+)
+from repro.core.cost import (
+    CallableCost,
+    ConcaveDistanceCost,
+    ConcaveFit,
+    CostedFlows,
+    CostModel,
+    DestinationTypeCost,
+    LinearDistanceCost,
+    OFF_NET,
+    ON_NET,
+    RegionalCost,
+    StepDistanceCost,
+    default_cost_models,
+    fit_concave_price_curve,
+)
+from repro.core.demand import DemandModel
+from repro.core.estimation import (
+    ElasticityEstimate,
+    PriceSnapshot,
+    estimate_ced_alpha,
+    estimate_logit_alpha,
+    implied_outside_share,
+    predicted_demand_change,
+)
+from repro.core.flow import (
+    Flow,
+    FlowSet,
+    INTERNATIONAL,
+    METRO,
+    NATIONAL,
+)
+from repro.core.linear import LinearDemand
+from repro.core.logit import LogitDemand
+from repro.core.market import Market, TieredOutcome, TierSummary, capture_table
+from repro.core.trajectory import (
+    YearOutcome,
+    render_trajectory,
+    simulate_price_decline,
+)
+from repro.core.welfare import (
+    WelfareBreakdown,
+    WelfareComparison,
+    render_welfare_table,
+    welfare_comparison,
+    welfare_curve,
+)
+
+__all__ = [
+    "BundlingInputs",
+    "BundlingStrategy",
+    "CEDDemand",
+    "CallableCost",
+    "ClassAwareBundling",
+    "CommitContract",
+    "CommitMarket",
+    "CompetitionEquilibrium",
+    "ContractChoice",
+    "Firm",
+    "LogitCompetition",
+    "ConcaveDistanceCost",
+    "ConcaveFit",
+    "CostDivisionBundling",
+    "CostModel",
+    "CostWeightedBundling",
+    "CostedFlows",
+    "DemandModel",
+    "DemandWeightedBundling",
+    "ElasticityEstimate",
+    "PriceSnapshot",
+    "DestinationTypeCost",
+    "Flow",
+    "FlowSet",
+    "INTERNATIONAL",
+    "IndexDivisionBundling",
+    "LinearDemand",
+    "LinearDistanceCost",
+    "LogitDemand",
+    "METRO",
+    "Market",
+    "NATIONAL",
+    "OFF_NET",
+    "ON_NET",
+    "OptimalBundling",
+    "ProfitWeightedBundling",
+    "RegionalCost",
+    "StepDistanceCost",
+    "TierSummary",
+    "TieredOutcome",
+    "WelfareBreakdown",
+    "WelfareComparison",
+    "YearOutcome",
+    "capture_table",
+    "default_cost_models",
+    "estimate_ced_alpha",
+    "estimate_logit_alpha",
+    "evaluate_partition",
+    "implied_outside_share",
+    "fit_concave_price_curve",
+    "paper_strategies",
+    "predicted_demand_change",
+    "render_trajectory",
+    "render_welfare_table",
+    "simulate_price_decline",
+    "strategy_by_name",
+    "welfare_comparison",
+    "welfare_curve",
+]

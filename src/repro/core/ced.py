@@ -1,0 +1,217 @@
+"""Constant-elasticity demand (paper §3.2.1).
+
+The constant-elasticity demand (CED) model derives from the alpha-fair
+utility family.  Demand for flow ``i`` at unit price ``p_i`` is
+
+.. math::  Q_i(p_i) = (v_i / p_i)^{\\alpha}            \\qquad (Eq. 2)
+
+with price sensitivity ``alpha > 1`` and valuation coefficient ``v_i > 0``.
+Demands are *separable*: each flow's quantity depends only on its own price,
+which models customers with no substitute for the destination.
+
+Closed forms implemented here (with the paper's equation numbers):
+
+* per-flow profit-maximizing price ``p* = alpha * c / (alpha - 1)`` (Eq. 4);
+* profit-maximizing price of a bundle priced uniformly (Eq. 5);
+* per-flow *potential profit*, the profit-weighted bundling weight (Eq. 12);
+* valuation fit ``v_i = P0 * q_i^(1/alpha)`` (§4.1.2 — the paper's printed
+  formula divides by ``P0``; inverting Eq. 2 at price ``P0`` multiplies.
+  See DESIGN.md §5);
+* cost-scale fit ``gamma`` such that ``P0`` is the optimal blended rate
+  (§4.1.3), which simplifies to
+  ``gamma = P0 * (alpha-1)/alpha * sum(q) / sum(f * q)``;
+* consumer surplus ``CS_i = p_i * q_i / (alpha - 1)``, obtained by
+  integrating the inverse demand curve above the price (used to reproduce
+  the surplus numbers in the paper's Figure 1).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.demand import (
+    BundleObjective,
+    DemandModel,
+    validate_arrays,
+    validate_positive,
+)
+from repro.errors import CalibrationError, ModelParameterError
+
+
+class CEDDemand(DemandModel):
+    """Constant-elasticity demand with sensitivity ``alpha > 1``.
+
+    Args:
+        alpha: Price sensitivity.  Values just above 1 model inelastic
+            customers; large values model customers with cheap substitutes.
+            Must exceed 1, otherwise the monopoly price (Eq. 4) is unbounded.
+    """
+
+    name = "ced"
+
+    def __init__(self, alpha: float) -> None:
+        alpha = float(alpha)
+        if not np.isfinite(alpha) or alpha <= 1.0:
+            raise ModelParameterError(
+                f"CED requires alpha > 1 (finite monopoly price), got {alpha}"
+            )
+        self.alpha = alpha
+
+    # ------------------------------------------------------------------
+    # Fitting (§4.1.2, §4.1.3)
+    # ------------------------------------------------------------------
+
+    def fit_valuations(self, demands: np.ndarray, blended_rate: float) -> np.ndarray:
+        """Invert Eq. 2 at the blended rate: ``v_i = P0 * q_i^(1/alpha)``."""
+        p0 = validate_positive(blended_rate, "blended_rate")
+        q = np.asarray(demands, dtype=float)
+        if np.any(q <= 0) or not np.all(np.isfinite(q)):
+            raise CalibrationError("demands must be finite and positive")
+        return p0 * q ** (1.0 / self.alpha)
+
+    def fit_gamma(
+        self,
+        valuations: np.ndarray,
+        relative_costs: np.ndarray,
+        blended_rate: float,
+    ) -> float:
+        """Solve Eq. 5 for ``gamma`` with ``c_i = gamma * f_i`` and ``P* = P0``.
+
+        Substituting ``v_i^alpha = P0^alpha * q_i`` shows the fit reduces to
+        ``gamma = P0 (alpha-1)/alpha * sum(v^a) / sum(f v^a)``.
+        """
+        validate_arrays(valuations, relative_costs)
+        p0 = validate_positive(blended_rate, "blended_rate")
+        v = np.asarray(valuations, dtype=float)
+        f = np.asarray(relative_costs, dtype=float)
+        if np.any(f <= 0):
+            raise CalibrationError("relative costs must be positive to fit gamma")
+        # Work with normalized v to avoid overflow of v**alpha at large alpha.
+        w = (v / v.max()) ** self.alpha
+        denom = float(np.sum(f * w))
+        if denom <= 0:
+            raise CalibrationError("degenerate relative costs: sum(f * v^a) <= 0")
+        gamma = p0 * (self.alpha - 1.0) / self.alpha * float(np.sum(w)) / denom
+        if gamma <= 0 or not np.isfinite(gamma):
+            raise CalibrationError(f"fitted gamma is not positive: {gamma}")
+        return gamma
+
+    # ------------------------------------------------------------------
+    # Demand / profit / surplus
+    # ------------------------------------------------------------------
+
+    def quantities(self, valuations: np.ndarray, prices: np.ndarray) -> np.ndarray:
+        """Eq. 2: ``Q_i = (v_i / p_i)^alpha``."""
+        validate_arrays(valuations, prices=prices)
+        v = np.asarray(valuations, dtype=float)
+        p = np.asarray(prices, dtype=float)
+        if np.any(p <= 0):
+            raise ModelParameterError("prices must be positive")
+        return (v / p) ** self.alpha
+
+    def profit(
+        self,
+        valuations: np.ndarray,
+        costs: np.ndarray,
+        prices: np.ndarray,
+    ) -> float:
+        """Eq. 3: ``sum_i (v_i/p_i)^alpha * (p_i - c_i)``."""
+        q = self.quantities(valuations, prices)
+        return float(np.sum(q * (np.asarray(prices) - np.asarray(costs))))
+
+    def consumer_surplus(self, valuations: np.ndarray, prices: np.ndarray) -> float:
+        """Area under the inverse demand curve above price.
+
+        For ``Q = (v/p)^alpha`` the inverse demand is ``p(q) = v q^{-1/alpha}``
+        and the integral evaluates to ``CS_i = p_i q_i / (alpha - 1)``.
+        """
+        q = self.quantities(valuations, prices)
+        return float(np.sum(np.asarray(prices) * q)) / (self.alpha - 1.0)
+
+    # ------------------------------------------------------------------
+    # Pricing
+    # ------------------------------------------------------------------
+
+    def optimal_prices(self, valuations: np.ndarray, costs: np.ndarray) -> np.ndarray:
+        """Eq. 4: constant markup over cost, ``p* = alpha c / (alpha - 1)``."""
+        validate_arrays(valuations, costs)
+        c = np.asarray(costs, dtype=float)
+        if np.any(c <= 0):
+            raise ModelParameterError("costs must be positive")
+        return self.alpha * c / (self.alpha - 1.0)
+
+    def uniform_price(self, valuations: np.ndarray, costs: np.ndarray) -> float:
+        """Eq. 5: optimal single price for a bundle of flows.
+
+        ``P* = alpha * sum(c v^a) / ((alpha-1) * sum(v^a))`` — the Eq. 4
+        markup applied to a v^alpha-weighted average cost.
+        """
+        validate_arrays(valuations, costs)
+        v = np.asarray(valuations, dtype=float)
+        c = np.asarray(costs, dtype=float)
+        w = (v / v.max()) ** self.alpha
+        return self.alpha / (self.alpha - 1.0) * float(np.sum(c * w) / np.sum(w))
+
+    def potential_profits(
+        self, valuations: np.ndarray, costs: np.ndarray
+    ) -> np.ndarray:
+        """Eq. 12: profit of flow ``i`` priced alone at its optimum.
+
+        ``pi_i = v_i^alpha / alpha * (alpha c_i / (alpha-1))^(1-alpha)``.
+        """
+        validate_arrays(valuations, costs)
+        v = np.asarray(valuations, dtype=float)
+        c = np.asarray(costs, dtype=float)
+        p_star = self.optimal_prices(valuations, costs)
+        return (v / p_star) ** self.alpha * (p_star - c)
+
+    # ------------------------------------------------------------------
+    # Optimal-bundling DP objective
+    # ------------------------------------------------------------------
+
+    def bundle_objective(
+        self, valuations: np.ndarray, costs: np.ndarray
+    ) -> "CEDBundleObjective":
+        return CEDBundleObjective(self.alpha, valuations, costs)
+
+    def describe(self) -> str:
+        return f"constant-elasticity demand (alpha={self.alpha})"
+
+    def __repr__(self) -> str:
+        return f"CEDDemand(alpha={self.alpha})"
+
+
+class CEDBundleObjective(BundleObjective):
+    """O(1) bundle-profit evaluation over a fixed flow order.
+
+    Under CED, total profit is the sum over bundles of each bundle's own
+    profit, and a bundle's optimally-priced profit depends on its members
+    only through ``sum(v^a)`` and ``sum(c v^a)``.  Prefix sums of those two
+    series make any contiguous slice's profit O(1).
+    """
+
+    def __init__(self, alpha: float, valuations: np.ndarray, costs: np.ndarray) -> None:
+        self.alpha = alpha
+        v = np.asarray(valuations, dtype=float)
+        c = np.asarray(costs, dtype=float)
+        # Normalize to tame v**alpha for large alpha; the normalization is a
+        # global scale on the objective and does not change the argmax.
+        w = (v / v.max()) ** alpha
+        self._w_prefix = np.concatenate(([0.0], np.cumsum(w)))
+        self._cw_prefix = np.concatenate(([0.0], np.cumsum(c * w)))
+        self._scale = float(v.max())
+
+    def slice_score(self, i: int, j: int) -> float:
+        """Optimally-priced profit of a bundle of flows ``i..j-1``.
+
+        With ``W = sum(v^a)`` and ``CW = sum(c v^a)``, the Eq. 5 price is
+        ``P = a/(a-1) * CW/W`` and the bundle's profit simplifies to
+        ``W * P^-a * (P - CW/W) = W * P^(1-a) / a``.
+        """
+        w_sum = self._w_prefix[j] - self._w_prefix[i]
+        cw_sum = self._cw_prefix[j] - self._cw_prefix[i]
+        if w_sum <= 0:
+            return 0.0
+        avg_cost = cw_sum / w_sum
+        price = self.alpha / (self.alpha - 1.0) * avg_cost
+        return w_sum * self._scale**self.alpha * price**-self.alpha * (price - avg_cost)

@@ -1,0 +1,205 @@
+"""Abstract interface shared by the paper's two demand families.
+
+The paper (§3.2) evaluates every pricing question under two demand models:
+
+* **constant-elasticity demand** (:class:`repro.core.ced.CEDDemand`), in
+  which flow demands are separable — Eq. 2; and
+* **logit demand** (:class:`repro.core.logit.LogitDemand`), in which flows
+  compete for a fixed population of consumers — Eq. 6/7.
+
+Both expose the same operations, so calibration, bundling, and the
+counterfactual engine (:mod:`repro.core.market`) are written once against
+this interface.
+
+Conventions
+-----------
+
+* ``valuations``, ``costs``, ``prices`` are 1-D numpy arrays indexed by flow.
+* Prices and costs are in $/Mbps/month; demands in Mbps.
+* For the logit model every quantity is **per consumer** (population
+  ``K = 1``); the caller scales by the fitted population.  Profit *capture*
+  — the paper's headline metric — is a ratio, so the scale cancels there.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional
+
+import numpy as np
+
+
+class BundleObjective(abc.ABC):
+    """Separable per-bundle score used by the optimal-bundling DP.
+
+    A partition's total score is the sum of its bundles' scores, and total
+    ISP profit is monotonically increasing in that total.  For CED the score
+    *is* the bundle's profit; for logit it is the bundle's attractiveness
+    ``exp(alpha * (v_bundle - c_bundle))`` (see :mod:`repro.core.logit`).
+
+    Implementations precompute prefix sums over a fixed flow order so that
+    ``slice_score`` is O(1), making the DP O(n^2 * B).
+    """
+
+    @abc.abstractmethod
+    def slice_score(self, i: int, j: int) -> float:
+        """Score of a bundle containing flows ``i..j-1`` of the fixed order."""
+
+
+class DemandModel(abc.ABC):
+    """Interface for a calibratable demand family."""
+
+    #: Short machine-readable name (``"ced"`` or ``"logit"``).
+    name: str = ""
+
+    # -- fitting (paper §4.1.2, §4.1.3) --------------------------------
+
+    @abc.abstractmethod
+    def fit_valuations(self, demands: np.ndarray, blended_rate: float) -> np.ndarray:
+        """Recover per-flow valuations from demand observed at ``blended_rate``.
+
+        Assumes the ISP currently charges the single blended rate ``P0``
+        for every flow and that the observed demands are the equilibrium
+        response to it.
+        """
+
+    @abc.abstractmethod
+    def fit_gamma(
+        self,
+        valuations: np.ndarray,
+        relative_costs: np.ndarray,
+        blended_rate: float,
+    ) -> float:
+        """Recover the cost scale ``gamma`` mapping relative costs to dollars.
+
+        Assumes the ISP is profit-maximizing: the blended rate ``P0`` is
+        the optimal *uniform* price given costs ``gamma * relative_costs``.
+        Raises :class:`repro.errors.CalibrationError` when no positive
+        ``gamma`` is consistent with that assumption.
+        """
+
+    # -- demand / profit / surplus --------------------------------------
+
+    @abc.abstractmethod
+    def quantities(self, valuations: np.ndarray, prices: np.ndarray) -> np.ndarray:
+        """Per-flow demand at the given prices."""
+
+    @abc.abstractmethod
+    def profit(
+        self,
+        valuations: np.ndarray,
+        costs: np.ndarray,
+        prices: np.ndarray,
+    ) -> float:
+        """ISP profit (Eq. 1): sum of (price - cost) * quantity."""
+
+    @abc.abstractmethod
+    def consumer_surplus(
+        self, valuations: np.ndarray, prices: np.ndarray
+    ) -> float:
+        """Aggregate consumer surplus at the given prices."""
+
+    # -- pricing ---------------------------------------------------------
+
+    @abc.abstractmethod
+    def optimal_prices(
+        self, valuations: np.ndarray, costs: np.ndarray
+    ) -> np.ndarray:
+        """Profit-maximizing per-flow prices (infinitely many tiers)."""
+
+    @abc.abstractmethod
+    def uniform_price(self, valuations: np.ndarray, costs: np.ndarray) -> float:
+        """Profit-maximizing single (blended) price for all flows."""
+
+    def bundle_prices(
+        self,
+        valuations: np.ndarray,
+        costs: np.ndarray,
+        bundles: list,
+    ) -> np.ndarray:
+        """Profit-maximizing per-flow prices under a bundling constraint.
+
+        ``bundles`` is a partition of flow indices; every flow in a bundle
+        must carry the same price.  The default implementation prices each
+        bundle with :meth:`uniform_price` on its members, which is exact
+        for separable demand (CED).  Non-separable models override it.
+        """
+        prices = np.empty_like(valuations)
+        for members in bundles:
+            idx = np.asarray(members, dtype=int)
+            prices[idx] = self.uniform_price(valuations[idx], costs[idx])
+        return prices
+
+    @abc.abstractmethod
+    def potential_profits(
+        self, valuations: np.ndarray, costs: np.ndarray
+    ) -> np.ndarray:
+        """Per-flow profit if each flow were priced alone at its optimum.
+
+        These are the weights of the paper's profit-weighted bundling
+        strategy (Eq. 12 for CED, Eq. 13 for logit).
+        """
+
+    # -- optimal-bundling support ---------------------------------------
+
+    @abc.abstractmethod
+    def bundle_objective(
+        self, valuations: np.ndarray, costs: np.ndarray
+    ) -> BundleObjective:
+        """Build the separable DP objective over flows in the given order."""
+
+    # -- misc ------------------------------------------------------------
+
+    def population(self, demands: np.ndarray) -> float:
+        """Scale factor from per-model units to absolute Mbps.
+
+        CED already works in absolute quantities (returns 1.0); the logit
+        model works per consumer and overrides this with the fitted
+        population ``K``.
+        """
+        del demands  # unused by scale-free models
+        return 1.0
+
+    def describe(self) -> str:
+        """Human-readable one-line description of the configured model."""
+        return self.name
+
+
+def as_price_vector(price: float, n: int) -> np.ndarray:
+    """Broadcast a scalar blended rate to a per-flow price vector."""
+    return np.full(n, float(price))
+
+
+def validate_positive(value: float, name: str) -> float:
+    """Validate that a scalar model parameter is finite and positive."""
+    value = float(value)
+    if not np.isfinite(value) or value <= 0:
+        from repro.errors import ModelParameterError
+
+        raise ModelParameterError(f"{name} must be finite and positive, got {value}")
+    return value
+
+
+def validate_arrays(
+    valuations: np.ndarray,
+    costs: Optional[np.ndarray] = None,
+    prices: Optional[np.ndarray] = None,
+) -> None:
+    """Shape/positivity checks shared by both demand models."""
+    from repro.errors import ModelParameterError
+
+    v = np.asarray(valuations, dtype=float)
+    if v.ndim != 1 or v.size == 0:
+        raise ModelParameterError("valuations must be a non-empty 1-D array")
+    if not np.all(np.isfinite(v)):
+        raise ModelParameterError("valuations must be finite")
+    for arr, name in ((costs, "costs"), (prices, "prices")):
+        if arr is None:
+            continue
+        a = np.asarray(arr, dtype=float)
+        if a.shape != v.shape:
+            raise ModelParameterError(
+                f"{name} shape {a.shape} does not match valuations {v.shape}"
+            )
+        if not np.all(np.isfinite(a)):
+            raise ModelParameterError(f"{name} must be finite")

@@ -1,0 +1,287 @@
+"""Traffic-flow containers.
+
+The paper's unit of analysis is the *flow*: an aggregate of traffic from the
+ISP's customers toward one destination (or destination group), characterized
+by the demand observed at the current blended rate and by the distance the
+traffic travels inside the ISP (which proxies for delivery cost, §4.1.1).
+
+:class:`Flow` is a single record; :class:`FlowSet` is the vectorized
+container the demand/cost/bundling machinery operates on.  A ``FlowSet``
+also carries optional labels used by the region- and destination-type cost
+models:
+
+* ``regions`` — ``"metro"`` / ``"national"`` / ``"international"``;
+* ``classes`` — free-form cost-class labels (e.g. ``"on-net"``/``"off-net"``)
+  that class-aware bundling must not mix.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from collections.abc import Iterable, Iterator, Sequence
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import DataError
+
+#: Region label for traffic that stays within one metropolitan area.
+METRO = "metro"
+#: Region label for traffic that stays within one country.
+NATIONAL = "national"
+#: Region label for traffic that crosses a national boundary.
+INTERNATIONAL = "international"
+
+VALID_REGIONS = (METRO, NATIONAL, INTERNATIONAL)
+
+
+@dataclasses.dataclass(frozen=True)
+class Flow:
+    """One traffic aggregate toward a destination.
+
+    Attributes:
+        demand_mbps: Traffic volume observed at the blended rate, in Mbit/s.
+        distance_miles: Distance the traffic travels (cost proxy).  The
+            paper computes it per network: entry-to-exit geographic distance
+            (EU ISP), GeoIP source-destination distance (CDN), or the sum of
+            traversed link lengths (Internet2).
+        region: Optional region label (``metro``/``national``/``international``).
+        cost_class: Optional cost-class label (e.g. ``on-net``/``off-net``).
+        src: Optional source endpoint identifier (IP, PoP code, ...).
+        dst: Optional destination endpoint identifier.
+    """
+
+    demand_mbps: float
+    distance_miles: float
+    region: Optional[str] = None
+    cost_class: Optional[str] = None
+    src: Optional[str] = None
+    dst: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if not math.isfinite(self.demand_mbps) or self.demand_mbps <= 0:
+            raise DataError(f"flow demand must be positive, got {self.demand_mbps!r}")
+        if not math.isfinite(self.distance_miles) or self.distance_miles < 0:
+            raise DataError(
+                f"flow distance must be non-negative, got {self.distance_miles!r}"
+            )
+        if self.region is not None and self.region not in VALID_REGIONS:
+            raise DataError(
+                f"unknown region {self.region!r}; expected one of {VALID_REGIONS}"
+            )
+
+
+class FlowSet:
+    """An immutable, vectorized collection of :class:`Flow` records.
+
+    The numeric columns are exposed as read-only numpy arrays so the
+    demand-model and bundling code can stay allocation-light.
+    """
+
+    def __init__(
+        self,
+        demands_mbps: Sequence[float],
+        distances_miles: Sequence[float],
+        regions: Optional[Sequence[Optional[str]]] = None,
+        classes: Optional[Sequence[Optional[str]]] = None,
+        srcs: Optional[Sequence[Optional[str]]] = None,
+        dsts: Optional[Sequence[Optional[str]]] = None,
+    ) -> None:
+        demands = np.asarray(demands_mbps, dtype=float)
+        distances = np.asarray(distances_miles, dtype=float)
+        if demands.ndim != 1 or distances.ndim != 1:
+            raise DataError("demands and distances must be one-dimensional")
+        if demands.shape != distances.shape:
+            raise DataError(
+                f"demands ({demands.shape}) and distances ({distances.shape}) "
+                "must have the same length"
+            )
+        if demands.size == 0:
+            raise DataError("a FlowSet must contain at least one flow")
+        if not np.all(np.isfinite(demands)) or np.any(demands <= 0):
+            raise DataError("all demands must be finite and positive")
+        if not np.all(np.isfinite(distances)) or np.any(distances < 0):
+            raise DataError("all distances must be finite and non-negative")
+
+        self._demands = demands
+        self._distances = distances
+        self._demands.setflags(write=False)
+        self._distances.setflags(write=False)
+
+        n = demands.size
+        self._regions = _as_label_tuple(regions, n, "regions")
+        if self._regions is not None:
+            bad = sorted(
+                {r for r in self._regions if r is not None and r not in VALID_REGIONS}
+            )
+            if bad:
+                raise DataError(f"unknown region labels: {bad}")
+        self._classes = _as_label_tuple(classes, n, "classes")
+        self._srcs = _as_label_tuple(srcs, n, "srcs")
+        self._dsts = _as_label_tuple(dsts, n, "dsts")
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_flows(cls, flows: Iterable[Flow]) -> "FlowSet":
+        """Build a :class:`FlowSet` from an iterable of :class:`Flow`."""
+        flows = list(flows)
+        if not flows:
+            raise DataError("cannot build a FlowSet from zero flows")
+        return cls(
+            demands_mbps=[f.demand_mbps for f in flows],
+            distances_miles=[f.distance_miles for f in flows],
+            regions=[f.region for f in flows],
+            classes=[f.cost_class for f in flows],
+            srcs=[f.src for f in flows],
+            dsts=[f.dst for f in flows],
+        )
+
+    def replace(
+        self,
+        demands_mbps: Optional[Sequence[float]] = None,
+        distances_miles: Optional[Sequence[float]] = None,
+        regions: Optional[Sequence[Optional[str]]] = None,
+        classes: Optional[Sequence[Optional[str]]] = None,
+    ) -> "FlowSet":
+        """Return a copy with some columns replaced."""
+        return FlowSet(
+            demands_mbps=self._demands if demands_mbps is None else demands_mbps,
+            distances_miles=(
+                self._distances if distances_miles is None else distances_miles
+            ),
+            regions=self._regions if regions is None else regions,
+            classes=self._classes if classes is None else classes,
+            srcs=self._srcs,
+            dsts=self._dsts,
+        )
+
+    def subset(self, indices: Sequence[int]) -> "FlowSet":
+        """Return the flows at ``indices`` (in that order) as a new set."""
+        idx = np.asarray(indices, dtype=int)
+        if idx.size == 0:
+            raise DataError("cannot build an empty FlowSet subset")
+
+        def pick(labels: Optional[tuple]) -> Optional[list]:
+            if labels is None:
+                return None
+            return [labels[i] for i in idx]
+
+        return FlowSet(
+            demands_mbps=self._demands[idx],
+            distances_miles=self._distances[idx],
+            regions=pick(self._regions),
+            classes=pick(self._classes),
+            srcs=pick(self._srcs),
+            dsts=pick(self._dsts),
+        )
+
+    # ------------------------------------------------------------------
+    # Column access
+    # ------------------------------------------------------------------
+
+    @property
+    def demands(self) -> np.ndarray:
+        """Per-flow demand in Mbit/s (read-only array)."""
+        return self._demands
+
+    @property
+    def distances(self) -> np.ndarray:
+        """Per-flow distance in miles (read-only array)."""
+        return self._distances
+
+    @property
+    def regions(self) -> Optional[tuple]:
+        """Per-flow region labels, or ``None`` if not set."""
+        return self._regions
+
+    @property
+    def classes(self) -> Optional[tuple]:
+        """Per-flow cost-class labels, or ``None`` if not set."""
+        return self._classes
+
+    @property
+    def srcs(self) -> Optional[tuple]:
+        return self._srcs
+
+    @property
+    def dsts(self) -> Optional[tuple]:
+        return self._dsts
+
+    def __len__(self) -> int:
+        return int(self._demands.size)
+
+    def __iter__(self) -> Iterator[Flow]:
+        for i in range(len(self)):
+            yield self[i]
+
+    def __getitem__(self, i: int) -> Flow:
+        return Flow(
+            demand_mbps=float(self._demands[i]),
+            distance_miles=float(self._distances[i]),
+            region=None if self._regions is None else self._regions[i],
+            cost_class=None if self._classes is None else self._classes[i],
+            src=None if self._srcs is None else self._srcs[i],
+            dst=None if self._dsts is None else self._dsts[i],
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"FlowSet(n={len(self)}, aggregate={self.aggregate_gbps():.3f} Gbps, "
+            f"w_avg_distance={self.weighted_average_distance():.1f} mi)"
+        )
+
+    # ------------------------------------------------------------------
+    # Summary statistics (the columns of the paper's Table 1)
+    # ------------------------------------------------------------------
+
+    def aggregate_gbps(self) -> float:
+        """Total traffic across all flows in Gbit/s."""
+        return float(self._demands.sum()) / 1000.0
+
+    def weighted_average_distance(self) -> float:
+        """Demand-weighted average flow distance in miles."""
+        return float(np.average(self._distances, weights=self._demands))
+
+    def distance_cv(self) -> float:
+        """Demand-weighted coefficient of variation of flow distance."""
+        mean = self.weighted_average_distance()
+        if mean == 0:
+            return 0.0
+        var = float(
+            np.average((self._distances - mean) ** 2, weights=self._demands)
+        )
+        return math.sqrt(var) / mean
+
+    def demand_cv(self) -> float:
+        """Coefficient of variation of per-flow demand."""
+        mean = float(self._demands.mean())
+        return float(self._demands.std()) / mean
+
+    def table1_row(self) -> dict:
+        """The statistics reported for one dataset in the paper's Table 1."""
+        return {
+            "w_avg_distance_miles": self.weighted_average_distance(),
+            "distance_cv": self.distance_cv(),
+            "aggregate_gbps": self.aggregate_gbps(),
+            "demand_cv": self.demand_cv(),
+        }
+
+
+def _as_label_tuple(
+    labels: Optional[Sequence[Optional[str]]], n: int, name: str
+) -> Optional[tuple]:
+    """Normalize an optional label column to a tuple of length ``n``."""
+    if labels is None:
+        return None
+    labels = tuple(labels)
+    if all(label is None for label in labels) and len(labels) == 0:
+        return None
+    if len(labels) != n:
+        raise DataError(f"{name} has length {len(labels)}, expected {n}")
+    if all(label is None for label in labels):
+        return None
+    return labels

@@ -1,0 +1,247 @@
+"""Linear demand (extension — the shape Figure 1 draws).
+
+The paper evaluates under CED and logit demand, but its Figure 1 sketches
+the classic straight downward-sloping demand lines.  This module adds
+that family behind the same :class:`~repro.core.demand.DemandModel`
+interface, as a third robustness check and as the reference example for
+plugging custom demand models into the market machinery.
+
+Per flow, ``Q_i(p) = max(0, a_i - b_i p)`` with ``a_i, b_i > 0``.  A
+single demand observation cannot identify both coefficients, so the model
+carries a **choke multiplier** ``kappa``: every flow's demand is assumed
+to reach zero at ``kappa * P0``.  Fitting at the blended rate then gives
+
+    b_i = q_i / ((kappa - 1) P0),      a_i = kappa q_i / (kappa - 1),
+
+and the model stores ``a_i`` as the "valuation" vector (with ``b_i``
+recoverable because ``a_i / b_i = kappa P0`` is common to all flows).
+
+Closed forms (interior optimum, ``c < a/b``):
+
+* per-flow price  ``p* = (a/b + c) / 2``  (halfway to the choke price);
+* bundle price    ``P* = (sum a + sum b c) / (2 sum b)``;
+* per-flow max profit  ``pi* = (a - b c)^2 / (4 b)``;
+* consumer surplus  ``CS = q^2 / (2 b)`` (the classic triangle).
+
+Profit-maximization consistency at the blended rate requires
+``kappa < 2``: with all demand lines vanishing at ``kappa P0``, the
+blended optimum ``P* = (kappa P0 + mean cost)/2`` can only equal ``P0``
+for positive costs when ``kappa < 2``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.demand import (
+    BundleObjective,
+    DemandModel,
+    validate_arrays,
+    validate_positive,
+)
+from repro.errors import CalibrationError, ModelParameterError
+
+
+class LinearDemand(DemandModel):
+    """Linear demand with a common choke-price multiplier.
+
+    Args:
+        kappa: Demand reaches zero at ``kappa * P0``; must lie in
+            ``(1, 2)`` — above 1 so the observed demand is positive at
+            ``P0``, below 2 so a positive cost scale can rationalize the
+            blended rate (see module docstring).
+        blended_rate_hint: The ``P0`` the valuations were fitted at; set
+            by :meth:`fit_valuations` and needed to recover ``b_i``.
+    """
+
+    name = "linear"
+
+    def __init__(self, kappa: float = 1.5) -> None:
+        kappa = float(kappa)
+        if not 1.0 < kappa < 2.0:
+            raise ModelParameterError(
+                f"kappa must lie in (1, 2) for a calibratable linear market, "
+                f"got {kappa}"
+            )
+        self.kappa = kappa
+        self._choke_price: "float | None" = None
+
+    # ------------------------------------------------------------------
+    # Coefficients
+    # ------------------------------------------------------------------
+
+    @property
+    def choke_price(self) -> float:
+        if self._choke_price is None:
+            raise CalibrationError(
+                "linear demand must be fitted before use "
+                "(call fit_valuations first)"
+            )
+        return self._choke_price
+
+    def slopes(self, valuations: np.ndarray) -> np.ndarray:
+        """``b_i = a_i / choke_price``."""
+        return np.asarray(valuations, dtype=float) / self.choke_price
+
+    # ------------------------------------------------------------------
+    # Fitting
+    # ------------------------------------------------------------------
+
+    def fit_valuations(self, demands: np.ndarray, blended_rate: float) -> np.ndarray:
+        """Intercepts ``a_i`` such that ``Q_i(P0) = q_i`` and ``Q_i`` hits
+        zero at ``kappa * P0``."""
+        p0 = validate_positive(blended_rate, "blended_rate")
+        q = np.asarray(demands, dtype=float)
+        if q.ndim != 1 or q.size == 0 or np.any(q <= 0) or not np.all(np.isfinite(q)):
+            raise CalibrationError("demands must be finite, positive, 1-D")
+        self._choke_price = self.kappa * p0
+        return self.kappa * q / (self.kappa - 1.0)
+
+    def fit_gamma(
+        self,
+        valuations: np.ndarray,
+        relative_costs: np.ndarray,
+        blended_rate: float,
+    ) -> float:
+        """Solve ``P*(gamma) = P0`` for the cost scale.
+
+        ``P* = (sum a + gamma sum b f) / (2 sum b) = P0`` with
+        ``a_i = b_i kappa P0`` gives
+        ``gamma = (2 - kappa) P0 sum b / sum (b f)``; positive iff
+        ``kappa < 2`` (enforced at construction).
+        """
+        validate_arrays(valuations, relative_costs)
+        p0 = validate_positive(blended_rate, "blended_rate")
+        if abs(self.choke_price - self.kappa * p0) > 1e-9 * self.choke_price:
+            raise CalibrationError(
+                "fit_gamma must use the same blended rate as fit_valuations"
+            )
+        f = np.asarray(relative_costs, dtype=float)
+        if np.any(f <= 0):
+            raise CalibrationError("relative costs must be positive")
+        b = self.slopes(valuations)
+        gamma = (2.0 - self.kappa) * p0 * float(b.sum()) / float(np.sum(b * f))
+        if gamma <= 0 or not np.isfinite(gamma):
+            raise CalibrationError(f"fitted gamma is not positive: {gamma}")
+        return gamma
+
+    # ------------------------------------------------------------------
+    # Demand / profit / surplus
+    # ------------------------------------------------------------------
+
+    def quantities(self, valuations: np.ndarray, prices: np.ndarray) -> np.ndarray:
+        validate_arrays(valuations, prices=prices)
+        a = np.asarray(valuations, dtype=float)
+        p = np.asarray(prices, dtype=float)
+        if np.any(p < 0):
+            raise ModelParameterError("prices must be non-negative")
+        return np.maximum(0.0, a - self.slopes(valuations) * p)
+
+    def profit(
+        self,
+        valuations: np.ndarray,
+        costs: np.ndarray,
+        prices: np.ndarray,
+    ) -> float:
+        q = self.quantities(valuations, prices)
+        return float(np.sum(q * (np.asarray(prices) - np.asarray(costs))))
+
+    def consumer_surplus(self, valuations: np.ndarray, prices: np.ndarray) -> float:
+        """Triangle area under each line above the price: ``q^2 / (2b)``."""
+        q = self.quantities(valuations, prices)
+        b = self.slopes(valuations)
+        return float(np.sum(q * q / (2.0 * b)))
+
+    # ------------------------------------------------------------------
+    # Pricing
+    # ------------------------------------------------------------------
+
+    def optimal_prices(self, valuations: np.ndarray, costs: np.ndarray) -> np.ndarray:
+        """``p* = (choke + c)/2`` (since ``a/b`` is the common choke).
+
+        A flow whose cost meets or exceeds the choke price cannot be
+        served profitably; the formula then prices it at or above the
+        choke, its quantity clamps to zero, and it contributes zero
+        profit — the economically correct "don't serve" outcome.
+        """
+        validate_arrays(valuations, costs)
+        c = np.asarray(costs, dtype=float)
+        if np.any(c <= 0):
+            raise ModelParameterError("costs must be positive")
+        return (self.choke_price + c) / 2.0
+
+    def uniform_price(self, valuations: np.ndarray, costs: np.ndarray) -> float:
+        """``P* = (sum a + sum b c) / (2 sum b)``."""
+        validate_arrays(valuations, costs)
+        b = self.slopes(valuations)
+        a = np.asarray(valuations, dtype=float)
+        c = np.asarray(costs, dtype=float)
+        return float((a.sum() + np.sum(b * c)) / (2.0 * b.sum()))
+
+    def potential_profits(
+        self, valuations: np.ndarray, costs: np.ndarray
+    ) -> np.ndarray:
+        """``pi* = (a - b c)^2 / (4 b)`` per flow."""
+        validate_arrays(valuations, costs)
+        a = np.asarray(valuations, dtype=float)
+        b = self.slopes(valuations)
+        c = np.asarray(costs, dtype=float)
+        margin = np.maximum(0.0, a - b * c)
+        profits = margin * margin / (4.0 * b)
+        return np.maximum(profits, np.finfo(float).tiny)
+
+    # ------------------------------------------------------------------
+    # Optimal-bundling DP objective
+    # ------------------------------------------------------------------
+
+    def bundle_objective(
+        self, valuations: np.ndarray, costs: np.ndarray
+    ) -> "LinearBundleObjective":
+        return LinearBundleObjective(self, valuations, costs)
+
+    def describe(self) -> str:
+        return f"linear demand (kappa={self.kappa})"
+
+    def __repr__(self) -> str:
+        return f"LinearDemand(kappa={self.kappa})"
+
+
+class LinearBundleObjective(BundleObjective):
+    """O(1) bundle-profit evaluation over a fixed flow order.
+
+    A bundle's optimally-priced profit is
+    ``(A + BC)^2 / (4B) - sum(a c)`` with ``A = sum a``, ``B = sum b``,
+    ``BC = sum b c`` — all prefix-summable.  Total linear-market profit is
+    the sum of bundle profits (separable demand), so the DP applies.
+
+    Because every flow shares one choke price, all quantities are
+    positive below it and zero above: a bundle whose unconstrained
+    optimum lands at or past the choke (its weighted cost meets the
+    choke) is unservable and scores zero.
+    """
+
+    def __init__(
+        self, model: LinearDemand, valuations: np.ndarray, costs: np.ndarray
+    ) -> None:
+        a = np.asarray(valuations, dtype=float)
+        b = model.slopes(valuations)
+        c = np.asarray(costs, dtype=float)
+        self._choke = model.choke_price
+        self._a_prefix = np.concatenate(([0.0], np.cumsum(a)))
+        self._b_prefix = np.concatenate(([0.0], np.cumsum(b)))
+        self._bc_prefix = np.concatenate(([0.0], np.cumsum(b * c)))
+        self._ac_prefix = np.concatenate(([0.0], np.cumsum(a * c)))
+
+    def slice_score(self, i: int, j: int) -> float:
+        a_sum = self._a_prefix[j] - self._a_prefix[i]
+        b_sum = self._b_prefix[j] - self._b_prefix[i]
+        bc_sum = self._bc_prefix[j] - self._bc_prefix[i]
+        ac_sum = self._ac_prefix[j] - self._ac_prefix[i]
+        if b_sum <= 0:
+            return 0.0
+        optimum = (a_sum + bc_sum) / (2.0 * b_sum)
+        if optimum >= self._choke:
+            # Concave profit on [0, choke] is maximized at the boundary,
+            # where every quantity (hence the profit) is zero.
+            return 0.0
+        return (a_sum + bc_sum) ** 2 / (4.0 * b_sum) - ac_sum

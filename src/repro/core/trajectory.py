@@ -1,0 +1,150 @@
+"""Multi-year transit-market trajectories (the paper's opening context).
+
+The paper opens with the market fact that drives everything else: transit
+prices "are falling by about 30 % per year" while demand keeps growing.
+This module simulates that trajectory for a tiered ISP: each year the
+blended reference rate declines, demand responds (CED elasticity) and
+grows exogenously, the market is *re-calibrated*, and the tier design is
+re-derived — exactly the annual re-pricing loop an operator would run
+with this library.
+
+Outputs per year: the blended rate, total demand, blended and tiered
+profit, the tier prices, and profit capture — showing how the value of
+tiering evolves as the market commoditizes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.core.bundling import BundlingStrategy, ProfitWeightedBundling
+from repro.core.ced import CEDDemand
+from repro.core.cost import CostModel, LinearDistanceCost
+from repro.core.flow import FlowSet
+from repro.core.market import Market
+from repro.errors import ModelParameterError
+
+
+@dataclasses.dataclass(frozen=True)
+class YearOutcome:
+    """One simulated year."""
+
+    year: int
+    blended_rate: float
+    total_demand_mbps: float
+    blended_profit: float
+    tiered_profit: float
+    profit_capture: float
+    tier_prices: tuple
+
+    @property
+    def tiering_premium(self) -> float:
+        """Fractional profit gain of tiering over the blended rate."""
+        if self.blended_profit <= 0:
+            return 0.0
+        return self.tiered_profit / self.blended_profit - 1.0
+
+
+def simulate_price_decline(
+    flows: FlowSet,
+    years: int = 5,
+    initial_rate: float = 20.0,
+    annual_price_decline: float = 0.30,
+    annual_demand_growth: float = 0.25,
+    alpha: float = 1.1,
+    n_bundles: int = 3,
+    cost_model: "CostModel | None" = None,
+    strategy: "BundlingStrategy | None" = None,
+    cost_decline: float = 0.0,
+) -> "list[YearOutcome]":
+    """Simulate annual repricing under commoditization.
+
+    Each year ``t``:
+
+    1. the blended rate falls to ``P_t = P_0 (1 - decline)^t``;
+    2. demand responds with CED elasticity, ``q * (P_{t-1}/P_t)^alpha``,
+       and grows exogenously by ``annual_demand_growth``;
+    3. the market is recalibrated at ``P_t`` (relative costs optionally
+       decline too — fiber gets cheaper) and ``n_bundles`` tiers are
+       re-derived with ``strategy``.
+
+    Args:
+        flows: Year-0 traffic at ``initial_rate``.
+        years: Number of simulated years (>= 1), year 0 included.
+        annual_price_decline: Fractional blended-rate decline per year
+            (the paper's market observation is ~0.30).
+        annual_demand_growth: Exogenous demand growth per year, applied
+            on top of the elastic response.
+        cost_decline: Optional fractional decline of the *distance
+            contribution* to relative cost (set > 0 to model cheaper
+            long-haul capacity compressing the cost spread over time).
+
+    Returns:
+        One :class:`YearOutcome` per year, year 0 first.
+    """
+    if years < 1:
+        raise ModelParameterError(f"years must be >= 1, got {years}")
+    if not 0.0 <= annual_price_decline < 1.0:
+        raise ModelParameterError("annual_price_decline must be in [0, 1)")
+    if annual_demand_growth < 0.0:
+        raise ModelParameterError("annual_demand_growth must be >= 0")
+    if not 0.0 <= cost_decline < 1.0:
+        raise ModelParameterError("cost_decline must be in [0, 1)")
+    strategy = strategy or ProfitWeightedBundling()
+    model = CEDDemand(alpha=alpha)
+
+    outcomes = []
+    demands = np.asarray(flows.demands, dtype=float).copy()
+    distances = np.asarray(flows.distances, dtype=float).copy()
+    rate = float(initial_rate)
+    for year in range(years):
+        if year > 0:
+            new_rate = rate * (1.0 - annual_price_decline)
+            # Elastic response to the cheaper transit + exogenous growth.
+            demands = demands * (rate / new_rate) ** alpha
+            demands = demands * (1.0 + annual_demand_growth)
+            rate = new_rate
+            if cost_decline > 0.0:
+                distances = distances * (1.0 - cost_decline)
+        year_flows = flows.replace(
+            demands_mbps=demands, distances_miles=distances
+        )
+        year_cost_model = cost_model or LinearDistanceCost(theta=0.2)
+        market = Market(
+            year_flows, model, year_cost_model, blended_rate=rate
+        )
+        outcome = market.tiered_outcome(strategy, n_bundles)
+        outcomes.append(
+            YearOutcome(
+                year=year,
+                blended_rate=rate,
+                total_demand_mbps=float(demands.sum()),
+                blended_profit=market.blended_profit(),
+                tiered_profit=outcome.profit,
+                profit_capture=outcome.profit_capture,
+                tier_prices=tuple(
+                    sorted(float(t.price) for t in outcome.tiers)
+                ),
+            )
+        )
+    return outcomes
+
+
+def render_trajectory(outcomes: Sequence[YearOutcome]) -> str:
+    """Aligned text table of a simulated trajectory."""
+    header = (
+        f"{'year':>4} {'rate $/Mbps':>12} {'demand Gbps':>12} "
+        f"{'blended $':>14} {'tiered $':>14} {'premium':>9} {'capture':>9}"
+    )
+    lines = [header, "-" * len(header)]
+    for outcome in outcomes:
+        lines.append(
+            f"{outcome.year:>4} {outcome.blended_rate:>12.2f} "
+            f"{outcome.total_demand_mbps / 1000.0:>12.1f} "
+            f"{outcome.blended_profit:>14,.0f} {outcome.tiered_profit:>14,.0f} "
+            f"{outcome.tiering_premium:>9.1%} {outcome.profit_capture:>9.2f}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,153 @@
+"""Welfare analysis of tiered pricing (extends the paper's §2.2.1).
+
+The paper's Figure 1 shows — on a two-flow example — that tiering can
+raise ISP profit *and* customer surplus at once.  This module generalizes
+that question to calibrated markets: for any bundling counterfactual it
+decomposes social welfare into producer and consumer parts, and tracks
+how both move against the blended-rate baseline and the per-flow-pricing
+ceiling.
+
+Definitions (all absolute $/month):
+
+* **producer surplus** — ISP profit, Eq. 1;
+* **consumer surplus** — area under demand above price (CED) or the logit
+  inclusive value (both from the demand models);
+* **welfare** — their sum;
+* **surplus capture** — like the paper's profit capture, but for consumer
+  surplus: ``(CS_new - CS_blended) / |CS_flow - CS_blended|`` where
+  ``CS_flow`` is surplus under per-flow pricing.  Note the denominator's
+  absolute value: unlike profit, per-flow pricing may *lower* consumer
+  surplus, so the index can be negative and is reported alongside the raw
+  dollars.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Sequence
+
+from repro.core.bundling import BundlingStrategy
+from repro.core.market import Market
+
+#: Gap below which capture indices are reported as exactly 1.0.
+_EPS = 1e-12
+
+
+@dataclasses.dataclass(frozen=True)
+class WelfareBreakdown:
+    """Producer/consumer decomposition of one pricing structure."""
+
+    label: str
+    profit: float
+    consumer_surplus: float
+
+    @property
+    def welfare(self) -> float:
+        return self.profit + self.consumer_surplus
+
+
+@dataclasses.dataclass(frozen=True)
+class WelfareComparison:
+    """Welfare movement from blended pricing to a tiered counterfactual."""
+
+    blended: WelfareBreakdown
+    tiered: WelfareBreakdown
+    per_flow: WelfareBreakdown
+
+    @property
+    def profit_gain(self) -> float:
+        return self.tiered.profit - self.blended.profit
+
+    @property
+    def surplus_gain(self) -> float:
+        return self.tiered.consumer_surplus - self.blended.consumer_surplus
+
+    @property
+    def welfare_gain(self) -> float:
+        return self.tiered.welfare - self.blended.welfare
+
+    @property
+    def pareto_improvement(self) -> bool:
+        """Did the ISP *and* its customers both gain (Figure 1's point)?"""
+        return self.profit_gain > _EPS and self.surplus_gain > _EPS
+
+    @property
+    def surplus_capture(self) -> float:
+        """Fraction of the blended-to-per-flow surplus movement realized.
+
+        Signed: positive means surplus moved the same direction per-flow
+        pricing would move it; magnitudes above 1 mean the tiered design
+        moved it further.
+        """
+        gap = self.per_flow.consumer_surplus - self.blended.consumer_surplus
+        if abs(gap) <= _EPS * max(1.0, abs(self.per_flow.consumer_surplus)):
+            return 1.0
+        return self.surplus_gain / abs(gap)
+
+
+def welfare_comparison(
+    market: Market,
+    strategy: BundlingStrategy,
+    n_bundles: int,
+) -> WelfareComparison:
+    """Blended vs ``n_bundles``-tier vs per-flow welfare on one market."""
+    outcome = market.tiered_outcome(strategy, n_bundles)
+    scale = market.demand_model.population(market.flows.demands)
+    per_flow_prices = market.optimal_flow_prices()
+    per_flow = WelfareBreakdown(
+        label="per-flow",
+        profit=market.max_profit(),
+        consumer_surplus=scale
+        * market.demand_model.consumer_surplus(market.valuations, per_flow_prices),
+    )
+    blended = WelfareBreakdown(
+        label="blended",
+        profit=market.blended_profit(),
+        consumer_surplus=market.blended_surplus(),
+    )
+    tiered = WelfareBreakdown(
+        label=f"{n_bundles}-tier ({strategy.name})",
+        profit=outcome.profit,
+        consumer_surplus=outcome.consumer_surplus,
+    )
+    return WelfareComparison(blended=blended, tiered=tiered, per_flow=per_flow)
+
+
+def welfare_curve(
+    market: Market,
+    strategy: BundlingStrategy,
+    bundle_counts: Sequence[int] = (1, 2, 3, 4, 5, 6),
+) -> "list[WelfareComparison]":
+    """Welfare comparisons across tier budgets (a welfare analogue of the
+    paper's profit-capture curves)."""
+    return [
+        welfare_comparison(market, strategy, b) for b in bundle_counts
+    ]
+
+
+def render_welfare_table(comparisons: "list[WelfareComparison]") -> str:
+    """Aligned text table of a welfare curve."""
+    header = (
+        f"{'tiers':<22}{'profit':>14}{'surplus':>14}{'welfare':>14}"
+        f"{'pareto':>8}"
+    )
+    lines = [header, "-" * len(header)]
+    first = comparisons[0]
+    lines.append(
+        f"{'blended (baseline)':<22}{first.blended.profit:>14,.0f}"
+        f"{first.blended.consumer_surplus:>14,.0f}"
+        f"{first.blended.welfare:>14,.0f}{'-':>8}"
+    )
+    for comparison in comparisons:
+        tiered = comparison.tiered
+        lines.append(
+            f"{tiered.label:<22}{tiered.profit:>14,.0f}"
+            f"{tiered.consumer_surplus:>14,.0f}{tiered.welfare:>14,.0f}"
+            f"{'yes' if comparison.pareto_improvement else 'no':>8}"
+        )
+    lines.append(
+        f"{'per-flow (ceiling)':<22}{first.per_flow.profit:>14,.0f}"
+        f"{first.per_flow.consumer_surplus:>14,.0f}"
+        f"{first.per_flow.welfare:>14,.0f}{'-':>8}"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,57 @@
+"""Exception hierarchy for the transit-pricing reproduction library.
+
+All exceptions raised by :mod:`repro` derive from :class:`ReproError`, so
+callers can catch library failures with a single ``except`` clause while
+still letting programming errors (``TypeError`` and friends) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class ModelParameterError(ReproError, ValueError):
+    """A demand/cost model parameter is outside its valid domain.
+
+    Examples: a constant-elasticity sensitivity ``alpha <= 1`` (the monopoly
+    price would be unbounded), a logit outside-share ``s0`` outside ``(0, 1)``,
+    or a non-positive blended rate ``P0``.
+    """
+
+
+class CalibrationError(ReproError, RuntimeError):
+    """Fitting valuations or the cost scale ``gamma`` to data failed.
+
+    Raised when the observed data is incompatible with the assumption that
+    the ISP is profit-maximizing at the blended rate (e.g. the implied
+    ``gamma`` is non-positive) or when a numeric solver does not converge.
+    """
+
+
+class BundlingError(ReproError, ValueError):
+    """A bundling strategy received an invalid request.
+
+    Examples: asking for zero bundles, more bundles than flows when the
+    strategy cannot emit empty bundles, or a flow set with no flows.
+    """
+
+
+class OptimizationError(ReproError, RuntimeError):
+    """A price-optimization routine failed to converge."""
+
+
+class DataError(ReproError, ValueError):
+    """Raw measurement data (NetFlow records, GeoIP entries, topology
+    elements) is malformed or inconsistent."""
+
+
+class TopologyError(ReproError, ValueError):
+    """A network topology is malformed (unknown PoP, disconnected route,
+    negative link length, ...)."""
+
+
+class AccountingError(ReproError, RuntimeError):
+    """Tier accounting failed (unknown tier tag, no matching route, or an
+    inconsistent billing window)."""

@@ -1,0 +1,108 @@
+"""Experiment drivers: one function per paper table and figure.
+
+The mapping from paper artifacts to drivers (see DESIGN.md for details):
+
+========  =====================================================
+Artifact  Driver
+========  =====================================================
+Table 1   :func:`repro.experiments.tables.table1_data`
+Fig. 1    :func:`repro.experiments.figures.figure1_data`
+Fig. 2    :func:`repro.experiments.figures.figure2_data`
+Fig. 3    :func:`repro.experiments.figures.figure3_data`
+Fig. 4    :func:`repro.experiments.figures.figure4_data`
+Fig. 5    :func:`repro.experiments.figures.figure5_data`
+Fig. 6    :func:`repro.experiments.figures.figure6_data`
+Fig. 8    :func:`repro.experiments.figures.figure8_data`
+Fig. 9    :func:`repro.experiments.figures.figure9_data`
+Fig. 10   :func:`repro.experiments.sweeps.figure10_data`
+Fig. 11   :func:`repro.experiments.sweeps.figure11_data`
+Fig. 12   :func:`repro.experiments.sweeps.figure12_data`
+Fig. 13   :func:`repro.experiments.sweeps.figure13_data`
+Fig. 14   :func:`repro.experiments.sweeps.figure14_data`
+Fig. 15   :func:`repro.experiments.sweeps.figure15_data`
+Fig. 16   :func:`repro.experiments.sweeps.figure16_data`
+========  =====================================================
+
+(Figures 7 and 17 are architecture diagrams, not data plots; the pipeline
+of Figure 7 is :mod:`repro.experiments.runner` itself and the accounting
+schemes of Figure 17 live in :mod:`repro.accounting`.)
+"""
+
+from repro.experiments.config import (
+    BUNDLE_COUNTS,
+    DEFAULT_ALPHA,
+    DEFAULT_BLENDED_RATE,
+    DEFAULT_CONFIG,
+    DEFAULT_N_FLOWS,
+    DEFAULT_S0,
+    DEFAULT_SEED,
+    DEFAULT_THETA,
+    ExperimentConfig,
+)
+from repro.experiments.figures import (
+    DATASET_TITLES,
+    figure1_data,
+    figure2_data,
+    figure3_data,
+    figure4_data,
+    figure5_data,
+    figure6_data,
+    figure8_data,
+    figure9_data,
+)
+from repro.experiments.runner import (
+    build_market,
+    capture_by_strategy,
+    demand_model,
+    render_series_table,
+)
+from repro.experiments.sweeps import (
+    THETA_VALUES,
+    figure10_data,
+    figure11_data,
+    figure12_data,
+    figure13_data,
+    figure14_data,
+    figure15_data,
+    figure16_data,
+    robustness_summary,
+    theta_sweep,
+)
+from repro.experiments.tables import render_table1, table1_data
+
+__all__ = [
+    "BUNDLE_COUNTS",
+    "DATASET_TITLES",
+    "DEFAULT_ALPHA",
+    "DEFAULT_BLENDED_RATE",
+    "DEFAULT_CONFIG",
+    "DEFAULT_N_FLOWS",
+    "DEFAULT_S0",
+    "DEFAULT_SEED",
+    "DEFAULT_THETA",
+    "ExperimentConfig",
+    "THETA_VALUES",
+    "build_market",
+    "capture_by_strategy",
+    "demand_model",
+    "figure1_data",
+    "figure2_data",
+    "figure3_data",
+    "figure4_data",
+    "figure5_data",
+    "figure6_data",
+    "figure8_data",
+    "figure9_data",
+    "figure10_data",
+    "figure11_data",
+    "figure12_data",
+    "figure13_data",
+    "figure14_data",
+    "figure15_data",
+    "figure16_data",
+    "render_series_table",
+    "render_table1",
+    "robustness_summary",
+    "table1_data",
+    "theta_sweep",
+]

@@ -1,0 +1,44 @@
+"""The paper's default evaluation parameters (§4.2.2, §4.3).
+
+Unless a figure sweeps them, the evaluation fixes: price sensitivity
+``alpha = 1.1``, blended rate ``P0 = $20/Mbps/month``, cost tuning
+``theta = 0.2`` (linear model), logit outside share ``s0 = 0.2``, and tier
+budgets of one through six bundles.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+#: Price sensitivity used in Figures 8-13.
+DEFAULT_ALPHA = 1.1
+#: Blended rate in $/Mbps/month.
+DEFAULT_BLENDED_RATE = 20.0
+#: Linear/concave cost base-cost fraction.
+DEFAULT_THETA = 0.2
+#: Logit outside (non-buying) share at the blended rate.
+DEFAULT_S0 = 0.2
+#: Tier budgets plotted on every figure's x axis.
+BUNDLE_COUNTS = (1, 2, 3, 4, 5, 6)
+#: Flows per synthetic dataset in the figure experiments.  The paper also
+#: aggregates to keep optimal search tractable; 120 destination aggregates
+#: keep the exhaustive-quality DP under a second per panel.
+DEFAULT_N_FLOWS = 120
+#: Seed for the synthetic datasets used in the figures.
+DEFAULT_SEED = 7
+
+
+@dataclasses.dataclass(frozen=True)
+class ExperimentConfig:
+    """Bundle of knobs shared by the figure drivers."""
+
+    alpha: float = DEFAULT_ALPHA
+    blended_rate: float = DEFAULT_BLENDED_RATE
+    theta: float = DEFAULT_THETA
+    s0: float = DEFAULT_S0
+    n_flows: int = DEFAULT_N_FLOWS
+    seed: int = DEFAULT_SEED
+    bundle_counts: tuple = BUNDLE_COUNTS
+
+
+DEFAULT_CONFIG = ExperimentConfig()

@@ -1,0 +1,153 @@
+"""Text renderers for every experiment's data (shared by CLI and benches).
+
+Each ``render_figureN`` takes the matching driver's output and returns an
+aligned plain-text table mirroring the paper's plot."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.runner import render_series_table
+
+
+def render_figure1(data: dict) -> str:
+    blended = data["blended"]
+    tiered = data["tiered"]
+    return "\n".join(
+        [
+            "Figure 1: blended vs tiered pricing (alpha=2, v=(1,2), c=(1,0.5))",
+            f"  blended  price  ${blended['price']:.2f}"
+            f"   profit ${blended['profit']:.4f} (paper $2.08)"
+            f"   surplus ${blended['surplus']:.4f} (paper $4.17)",
+            f"  tiered   prices ${tiered['prices'][0]:.2f}, ${tiered['prices'][1]:.2f}"
+            f"   profit ${tiered['profit']:.4f} (paper $2.25)"
+            f"   surplus ${tiered['surplus']:.4f} (paper $4.50)",
+            f"  gains: profit +${data['profit_gain']:.4f}, "
+            f"surplus +${data['surplus_gain']:.4f}",
+        ]
+    )
+
+
+def render_figure2(data: dict) -> str:
+    lo, hi = data["failure_window"]
+    lines = [
+        "Figure 2: direct-peering bypass regimes "
+        f"(R=${data['blended_rate']:.2f}, tiered price=${data['tiered_price']:.2f})",
+        f"  market-failure window: c_direct in (${lo:.2f}, ${hi:.2f})",
+        f"  {'c_direct':>9}  {'outcome':<17} {'loss $/Mbps':>12}",
+    ]
+    for point in data["points"]:
+        lines.append(
+            f"  {point['c_direct']:>9.2f}  {point['outcome']:<17} "
+            f"{point['loss_per_mbps']:>12.2f}"
+        )
+    return "\n".join(lines)
+
+
+def _sampled_curves(title: str, data: dict, sample_prices: tuple, label: str) -> str:
+    lines = [title]
+    lines.append(
+        "  " + "curve".ljust(12) + "".join(f"{label}{p:<8}" for p in sample_prices)
+    )
+    for name, curve in data["curves"].items():
+        prices = np.array([p for p, _ in curve])
+        quantities = np.array([q for _, q in curve])
+        row = "  " + name.ljust(12)
+        for p in sample_prices:
+            row += f"{np.interp(p, prices, quantities):<10.3f}"
+        lines.append(row)
+    return "\n".join(lines)
+
+
+def render_figure3(data: dict) -> str:
+    return _sampled_curves(
+        "Figure 3: CED demand curves, v=1 (quantity at sample prices)",
+        data,
+        (0.5, 1.0, 2.0, 4.0),
+        "p=",
+    )
+
+
+def render_figure4(data: dict) -> str:
+    lines = ["Figure 4: profit maxima for v=1, alpha=2"]
+    for name, peak in data["maxima"].items():
+        lines.append(
+            f"  {name}: p* = ${peak['price']:.2f}, profit = ${peak['profit']:.4f}"
+        )
+    return "\n".join(lines)
+
+
+def render_figure5(data: dict) -> str:
+    return _sampled_curves(
+        "Figure 5: logit demand for flow 2 (v=(1.6, 1.0), p1=$1)",
+        data,
+        (0.25, 1.0, 2.0, 3.5),
+        "p2=",
+    )
+
+
+def render_figure6(data: dict) -> str:
+    lines = ["Figure 6: concave price-curve fits (y = k ln x + c)"]
+    for name, fit in data.items():
+        lines.append(
+            f"  {name:4s} k_fit={fit['k_fit']:.4f} (true {fit['k_true']:.4f})  "
+            f"c_fit={fit['c_fit']:.4f} (true {fit['c_true']:.2f})  "
+            f"rmse={fit['residual']:.4f}  "
+            f"a@reported_b={fit['a_for_reported_base']:.3f}"
+        )
+    return "\n".join(lines)
+
+
+def render_strategy_panels(panels: dict, figure: str, family: str) -> str:
+    blocks = []
+    for _, panel in panels.items():
+        blocks.append(
+            render_series_table(
+                f"{figure} ({panel['title']}): profit capture, {family} demand",
+                "strategy / #bundles",
+                panel["bundle_counts"],
+                panel["capture"],
+            )
+        )
+    return "\n\n".join(blocks)
+
+
+def render_figure8(panels: dict) -> str:
+    return render_strategy_panels(panels, "Figure 8", "CED")
+
+
+def render_figure9(panels: dict) -> str:
+    return render_strategy_panels(panels, "Figure 9", "logit")
+
+
+def render_theta_sweep(data: dict, figure: str) -> str:
+    blocks = []
+    for family, panel in data["panels"].items():
+        series = {
+            f"theta={theta}": curve
+            for theta, curve in panel["normalized_gain"].items()
+        }
+        blocks.append(
+            render_series_table(
+                f"{figure} ({data['dataset']}, {data['cost_model']} cost, "
+                f"{family} demand): normalized profit increase",
+                "setting / #bundles",
+                panel["bundle_counts"],
+                series,
+            )
+        )
+    return "\n\n".join(blocks)
+
+
+def render_envelope(data: dict, figure: str, sweep_desc: str) -> str:
+    blocks = []
+    for family, panel in data["panels"].items():
+        blocks.append(
+            render_series_table(
+                f"{figure} ({family} demand): capture envelope over {sweep_desc}",
+                "network / #bundles",
+                data["bundle_counts"],
+                panel,
+            )
+        )
+    return "\n\n".join(blocks)

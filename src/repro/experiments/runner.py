@@ -1,0 +1,83 @@
+"""The Figure 7 pipeline: dataset -> demand + cost -> bundling -> profit.
+
+These helpers assemble calibrated :class:`~repro.core.market.Market`
+objects from experiment configuration and format result series as the
+aligned text tables the benchmarks print.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+from typing import Optional
+
+from repro.core.bundling import BundlingStrategy
+from repro.core.ced import CEDDemand
+from repro.core.cost import CostModel, LinearDistanceCost
+from repro.core.demand import DemandModel
+from repro.core.logit import LogitDemand
+from repro.core.market import Market
+from repro.experiments.config import DEFAULT_CONFIG, ExperimentConfig
+from repro.synth.datasets import load_dataset
+
+
+def demand_model(
+    family: str, config: ExperimentConfig = DEFAULT_CONFIG
+) -> DemandModel:
+    """Instantiate ``"ced"`` or ``"logit"`` at the config's parameters."""
+    if family == "ced":
+        return CEDDemand(alpha=config.alpha)
+    if family == "logit":
+        return LogitDemand(alpha=config.alpha, s0=config.s0)
+    raise ValueError(f"unknown demand family {family!r}; use 'ced' or 'logit'")
+
+
+def build_market(
+    dataset: str,
+    family: str = "ced",
+    cost_model: Optional[CostModel] = None,
+    config: ExperimentConfig = DEFAULT_CONFIG,
+) -> Market:
+    """Load a synthetic dataset and calibrate a market on it."""
+    flows = load_dataset(dataset, n_flows=config.n_flows, seed=config.seed)
+    if cost_model is None:
+        cost_model = LinearDistanceCost(theta=config.theta)
+    return Market(
+        flows,
+        demand_model(family, config),
+        cost_model,
+        blended_rate=config.blended_rate,
+    )
+
+
+def capture_by_strategy(
+    market: Market,
+    strategies: Sequence[BundlingStrategy],
+    bundle_counts: Sequence[int],
+) -> "dict[str, list[float]]":
+    """Profit-capture curves, one list per strategy."""
+    return {
+        strategy.name: [
+            market.tiered_outcome(strategy, b).profit_capture
+            for b in bundle_counts
+        ]
+        for strategy in strategies
+    }
+
+
+def render_series_table(
+    title: str,
+    column_header: str,
+    columns: Sequence,
+    series: Mapping[str, Sequence[float]],
+    value_format: str = "{:.3f}",
+) -> str:
+    """Align named series under shared columns, like one figure panel."""
+    name_width = max([len(name) for name in series] + [len(column_header)])
+    header = column_header.ljust(name_width) + "".join(
+        f"{str(col):>9}" for col in columns
+    )
+    lines = [title, header, "-" * len(header)]
+    for name, values in series.items():
+        cells = "".join(value_format.format(v).rjust(9) for v in values)
+        lines.append(name.ljust(name_width) + cells)
+    return "\n".join(lines)

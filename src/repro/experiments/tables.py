@@ -1,0 +1,35 @@
+"""Table drivers (the paper's Table 1)."""
+
+from __future__ import annotations
+
+from repro.experiments.config import DEFAULT_CONFIG, ExperimentConfig
+from repro.synth.datasets import DATASET_NAMES, table1_row
+
+
+def table1_data(config: ExperimentConfig = DEFAULT_CONFIG) -> "list[dict]":
+    """Paper-vs-synthetic Table 1 rows for all three datasets."""
+    return [
+        table1_row(name, n_flows=config.n_flows, seed=config.seed)
+        for name in DATASET_NAMES
+    ]
+
+
+def render_table1(rows: "list[dict]") -> str:
+    """Side-by-side Table 1 as aligned text."""
+    header = (
+        f"{'dataset':<10} {'date':<10} "
+        f"{'w-avg dist (mi)':>18} {'dist CV':>12} "
+        f"{'aggregate (Gbps)':>18} {'demand CV':>12}"
+    )
+    lines = ["Table 1: data sets (paper / measured)", header, "-" * len(header)]
+    for row in rows:
+        paper = row["paper"]
+        measured = row["measured"]
+        lines.append(
+            f"{row['dataset']:<10} {row['date']:<10} "
+            f"{paper['w_avg_distance_miles']:>7.0f} /{measured['w_avg_distance_miles']:>8.1f} "
+            f"{paper['distance_cv']:>5.2f} /{measured['distance_cv']:>5.2f} "
+            f"{paper['aggregate_gbps']:>7.0f} /{measured['aggregate_gbps']:>8.1f} "
+            f"{paper['demand_cv']:>5.2f} /{measured['demand_cv']:>5.2f}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,39 @@
+"""Geographic substrate: coordinates, gazetteer, synthetic GeoIP, regions."""
+
+from repro.geo.coords import (
+    City,
+    EARTH_RADIUS_MILES,
+    EUROPEAN_CITIES,
+    GeoPoint,
+    US_RESEARCH_CITIES,
+    WORLD_CITIES,
+    city_by_key,
+    city_distance_miles,
+    haversine_miles,
+)
+from repro.geo.geoip import GeoIPDatabase, GeoIPEntry, database_for
+from repro.geo.regions import (
+    DEFAULT_METRO_MILES,
+    DEFAULT_NATIONAL_MILES,
+    classify_by_distance,
+    classify_by_endpoints,
+)
+
+__all__ = [
+    "City",
+    "DEFAULT_METRO_MILES",
+    "DEFAULT_NATIONAL_MILES",
+    "EARTH_RADIUS_MILES",
+    "EUROPEAN_CITIES",
+    "GeoIPDatabase",
+    "GeoIPEntry",
+    "GeoPoint",
+    "US_RESEARCH_CITIES",
+    "WORLD_CITIES",
+    "city_by_key",
+    "city_distance_miles",
+    "classify_by_distance",
+    "classify_by_endpoints",
+    "database_for",
+    "haversine_miles",
+]

@@ -1,0 +1,151 @@
+"""Geographic coordinates and great-circle distances.
+
+Flow distances proxy for delivery cost throughout the paper, so the whole
+pipeline rests on computing distances between points of presence and
+between GeoIP-located endpoints.  A small world-city gazetteer provides
+realistic coordinates for the synthetic topologies.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+from repro.errors import DataError
+
+#: Mean Earth radius in miles (IUGG).
+EARTH_RADIUS_MILES = 3958.7613
+
+
+@dataclasses.dataclass(frozen=True)
+class GeoPoint:
+    """A point on the Earth's surface (degrees)."""
+
+    lat: float
+    lon: float
+
+    def __post_init__(self) -> None:
+        if not -90.0 <= self.lat <= 90.0:
+            raise DataError(f"latitude out of range: {self.lat}")
+        if not -180.0 <= self.lon <= 180.0:
+            raise DataError(f"longitude out of range: {self.lon}")
+
+
+@dataclasses.dataclass(frozen=True)
+class City:
+    """A gazetteer entry: a city with country and coordinates."""
+
+    name: str
+    country: str
+    location: GeoPoint
+
+    @property
+    def key(self) -> str:
+        """Stable identifier, e.g. ``"frankfurt-de"``."""
+        return f"{self.name.lower().replace(' ', '_')}-{self.country.lower()}"
+
+
+def haversine_miles(a: GeoPoint, b: GeoPoint) -> float:
+    """Great-circle distance between two points in miles."""
+    lat1, lon1 = math.radians(a.lat), math.radians(a.lon)
+    lat2, lon2 = math.radians(b.lat), math.radians(b.lon)
+    dlat = lat2 - lat1
+    dlon = lon2 - lon1
+    h = math.sin(dlat / 2.0) ** 2 + math.cos(lat1) * math.cos(lat2) * math.sin(
+        dlon / 2.0
+    ) ** 2
+    return 2.0 * EARTH_RADIUS_MILES * math.asin(math.sqrt(min(1.0, h)))
+
+
+def city_distance_miles(a: City, b: City) -> float:
+    """Great-circle distance between two gazetteer cities."""
+    return haversine_miles(a.location, b.location)
+
+
+def _c(name: str, country: str, lat: float, lon: float) -> City:
+    return City(name=name, country=country, location=GeoPoint(lat=lat, lon=lon))
+
+
+#: European cities used by the EU-ISP synthetic topology.
+EUROPEAN_CITIES = (
+    _c("Amsterdam", "NL", 52.37, 4.90),
+    _c("Rotterdam", "NL", 51.92, 4.48),
+    _c("The Hague", "NL", 52.08, 4.31),
+    _c("Utrecht", "NL", 52.09, 5.12),
+    _c("Eindhoven", "NL", 51.44, 5.47),
+    _c("Brussels", "BE", 50.85, 4.35),
+    _c("Antwerp", "BE", 51.22, 4.40),
+    _c("Frankfurt", "DE", 50.11, 8.68),
+    _c("Dusseldorf", "DE", 51.23, 6.78),
+    _c("Hamburg", "DE", 53.55, 9.99),
+    _c("Berlin", "DE", 52.52, 13.40),
+    _c("Munich", "DE", 48.14, 11.58),
+    _c("Paris", "FR", 48.86, 2.35),
+    _c("London", "GB", 51.51, -0.13),
+    _c("Manchester", "GB", 53.48, -2.24),
+    _c("Zurich", "CH", 47.37, 8.54),
+    _c("Geneva", "CH", 46.20, 6.14),
+    _c("Vienna", "AT", 48.21, 16.37),
+    _c("Milan", "IT", 45.46, 9.19),
+    _c("Madrid", "ES", 40.42, -3.70),
+    _c("Stockholm", "SE", 59.33, 18.07),
+    _c("Copenhagen", "DK", 55.68, 12.57),
+    _c("Warsaw", "PL", 52.23, 21.01),
+    _c("Prague", "CZ", 50.08, 14.44),
+)
+
+#: North-American cities used by the Internet2-like research backbone
+#: (the historical Abilene points of presence).
+US_RESEARCH_CITIES = (
+    _c("Seattle", "US", 47.61, -122.33),
+    _c("Sunnyvale", "US", 37.37, -122.04),
+    _c("Los Angeles", "US", 34.05, -118.24),
+    _c("Salt Lake City", "US", 40.76, -111.89),
+    _c("Denver", "US", 39.74, -104.99),
+    _c("Kansas City", "US", 39.10, -94.58),
+    _c("Houston", "US", 29.76, -95.37),
+    _c("Indianapolis", "US", 39.77, -86.16),
+    _c("Chicago", "US", 41.88, -87.63),
+    _c("Atlanta", "US", 33.75, -84.39),
+    _c("Washington", "US", 38.91, -77.04),
+    _c("New York", "US", 40.71, -74.01),
+)
+
+#: World cities used by the global CDN topology.
+WORLD_CITIES = (
+    _c("New York", "US", 40.71, -74.01),
+    _c("Ashburn", "US", 39.04, -77.49),
+    _c("Miami", "US", 25.76, -80.19),
+    _c("Chicago", "US", 41.88, -87.63),
+    _c("Dallas", "US", 32.78, -96.80),
+    _c("Seattle", "US", 47.61, -122.33),
+    _c("San Jose", "US", 37.34, -121.89),
+    _c("Los Angeles", "US", 34.05, -118.24),
+    _c("Toronto", "CA", 43.65, -79.38),
+    _c("Sao Paulo", "BR", -23.55, -46.63),
+    _c("London", "GB", 51.51, -0.13),
+    _c("Amsterdam", "NL", 52.37, 4.90),
+    _c("Frankfurt", "DE", 50.11, 8.68),
+    _c("Paris", "FR", 48.86, 2.35),
+    _c("Madrid", "ES", 40.42, -3.70),
+    _c("Milan", "IT", 45.46, 9.19),
+    _c("Stockholm", "SE", 59.33, 18.07),
+    _c("Moscow", "RU", 55.76, 37.62),
+    _c("Johannesburg", "ZA", -26.20, 28.05),
+    _c("Dubai", "AE", 25.20, 55.27),
+    _c("Mumbai", "IN", 19.08, 72.88),
+    _c("Singapore", "SG", 1.35, 103.82),
+    _c("Hong Kong", "HK", 22.32, 114.17),
+    _c("Tokyo", "JP", 35.68, 139.69),
+    _c("Seoul", "KR", 37.57, 126.98),
+    _c("Sydney", "AU", -33.87, 151.21),
+)
+
+
+def city_by_key(key: str) -> City:
+    """Look up any gazetteer city by its :attr:`City.key`."""
+    for table in (EUROPEAN_CITIES, US_RESEARCH_CITIES, WORLD_CITIES):
+        for city in table:
+            if city.key == key:
+                return city
+    raise DataError(f"unknown city key {key!r}")

@@ -1,0 +1,120 @@
+"""A synthetic GeoIP database (substitute for MaxMind GeoLite, §4.1.1).
+
+The paper locates CDN flow endpoints with a commercial GeoIP database.  We
+cannot redistribute one, so this module provides the same *interface* —
+longest-prefix IP-to-location lookup — over a synthetic table that assigns
+deterministic /16 blocks to gazetteer cities.  Any IPv4 address generated
+by :meth:`GeoIPDatabase.address_in` resolves back to its city, which is all
+the trace pipeline needs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import ipaddress
+from collections.abc import Iterable, Sequence
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import DataError
+from repro.geo.coords import City
+
+
+@dataclasses.dataclass(frozen=True)
+class GeoIPEntry:
+    """One prefix-to-city mapping."""
+
+    network: ipaddress.IPv4Network
+    city: City
+
+
+class GeoIPDatabase:
+    """Longest-prefix-match IP geolocation over synthetic allocations.
+
+    Args:
+        cities: The cities to allocate address space for.
+        blocks_per_city: Number of /16 blocks each city receives.  More
+            blocks let the trace generator emit more distinct endpoints.
+
+    The allocation walks ``10.0.0.0/8``-style unique-local space upward
+    through ``1.0.0.0/8`` ... so that every block is unambiguous.  The
+    mapping is deterministic given the city order.
+    """
+
+    def __init__(self, cities: Sequence[City], blocks_per_city: int = 2) -> None:
+        if not cities:
+            raise DataError("GeoIPDatabase needs at least one city")
+        if blocks_per_city < 1:
+            raise DataError("blocks_per_city must be >= 1")
+        if len(cities) * blocks_per_city > 250 * 256:
+            raise DataError("allocation exceeds the synthetic address plan")
+        self._entries: list = []
+        self._by_city: dict = {}
+        block = 0
+        for city in cities:
+            networks = []
+            for _ in range(blocks_per_city):
+                first_octet = 1 + block // 256
+                second_octet = block % 256
+                network = ipaddress.IPv4Network(f"{first_octet}.{second_octet}.0.0/16")
+                self._entries.append(GeoIPEntry(network=network, city=city))
+                networks.append(network)
+                block += 1
+            self._by_city[city.key] = networks
+        # Sorted by network address for bisect-style matching.
+        self._entries.sort(key=lambda e: int(e.network.network_address))
+        self._starts = [int(e.network.network_address) for e in self._entries]
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def entries(self) -> "list[GeoIPEntry]":
+        return list(self._entries)
+
+    def lookup(self, address: str) -> Optional[City]:
+        """Locate an IPv4 address, or ``None`` when no prefix covers it."""
+        try:
+            addr = int(ipaddress.IPv4Address(address))
+        except (ipaddress.AddressValueError, ValueError) as exc:
+            raise DataError(f"invalid IPv4 address {address!r}") from exc
+        # Find the last entry whose network address is <= addr.
+        import bisect
+
+        i = bisect.bisect_right(self._starts, addr) - 1
+        if i < 0:
+            return None
+        entry = self._entries[i]
+        if addr <= int(entry.network.broadcast_address):
+            return entry.city
+        return None
+
+    def networks_for(self, city: City) -> "list[ipaddress.IPv4Network]":
+        """All blocks allocated to a city."""
+        try:
+            return list(self._by_city[city.key])
+        except KeyError as exc:
+            raise DataError(f"city {city.key!r} not in this database") from exc
+
+    def address_in(self, city: City, rng: np.random.Generator) -> str:
+        """Draw a random address from one of the city's blocks."""
+        networks = self.networks_for(city)
+        network = networks[int(rng.integers(len(networks)))]
+        host = int(rng.integers(1, network.num_addresses - 1))
+        return str(network.network_address + host)
+
+    def cities(self) -> "list[City]":
+        """All cities with allocations, in allocation order."""
+        seen = set()
+        ordered = []
+        for entry in self._entries:
+            if entry.city.key not in seen:
+                seen.add(entry.city.key)
+                ordered.append(entry.city)
+        return ordered
+
+
+def database_for(cities: Iterable[City], blocks_per_city: int = 2) -> GeoIPDatabase:
+    """Convenience constructor mirroring MaxMind-style usage."""
+    return GeoIPDatabase(list(cities), blocks_per_city=blocks_per_city)

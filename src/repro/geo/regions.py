@@ -1,0 +1,49 @@
+"""Region classification of flows (paper §3.3, "function of destination region").
+
+Two classifiers mirror the paper exactly:
+
+* :func:`classify_by_endpoints` — GeoIP-style: same city is metro, same
+  country is national, otherwise international (used for the CDN and
+  Internet2 data, where endpoint identities are known).
+* :func:`classify_by_distance` — threshold-style: under 10 miles is metro,
+  under 100 miles is national, otherwise international (used for the EU
+  ISP, where only entry/exit distances are known).
+"""
+
+from __future__ import annotations
+
+from repro.core.flow import INTERNATIONAL, METRO, NATIONAL
+from repro.errors import DataError
+from repro.geo.coords import City
+
+#: The paper's EU-ISP thresholds (miles).
+DEFAULT_METRO_MILES = 10.0
+DEFAULT_NATIONAL_MILES = 100.0
+
+
+def classify_by_endpoints(src: City, dst: City) -> str:
+    """Metro if same city, national if same country, else international."""
+    if src.key == dst.key:
+        return METRO
+    if src.country == dst.country:
+        return NATIONAL
+    return INTERNATIONAL
+
+
+def classify_by_distance(
+    distance_miles: float,
+    metro_miles: float = DEFAULT_METRO_MILES,
+    national_miles: float = DEFAULT_NATIONAL_MILES,
+) -> str:
+    """The paper's EU-ISP distance thresholds."""
+    if distance_miles < 0:
+        raise DataError(f"distance must be non-negative, got {distance_miles}")
+    if not 0 < metro_miles < national_miles:
+        raise DataError(
+            f"need 0 < metro_miles < national_miles, got {metro_miles}, {national_miles}"
+        )
+    if distance_miles < metro_miles:
+        return METRO
+    if distance_miles < national_miles:
+        return NATIONAL
+    return INTERNATIONAL

@@ -1,0 +1,191 @@
+"""File I/O for traffic matrices and tier designs.
+
+Real deployments do not start from synthetic generators: operators export
+traffic matrices from their measurement systems and carry pricing
+configurations between tools.  This module provides the two round-trip
+formats the library needs:
+
+* **flow CSV** — one row per flow with columns
+  ``demand_mbps, distance_miles[, region][, cost_class][, src][, dst]``;
+  the natural interchange format for a traffic matrix.
+* **tier-design JSON** — rates and destination assignments of a
+  :class:`~repro.accounting.tier_designer.TierDesign`, versioned so old
+  files keep loading.
+
+All loaders validate eagerly and raise :class:`~repro.errors.DataError`
+with the offending line/field, never half-construct an object.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+import pathlib
+from typing import Union
+
+from repro.accounting.tier_designer import TierDesign
+from repro.core.flow import FlowSet
+from repro.errors import DataError
+
+#: Schema version written into design files.
+DESIGN_FORMAT_VERSION = 1
+
+PathLike = Union[str, pathlib.Path]
+
+_REQUIRED_COLUMNS = ("demand_mbps", "distance_miles")
+_OPTIONAL_COLUMNS = ("region", "cost_class", "src", "dst")
+
+
+# ----------------------------------------------------------------------
+# Flow CSV
+# ----------------------------------------------------------------------
+
+
+def flowset_to_csv(flows: FlowSet) -> str:
+    """Serialize a flow set as CSV text (only populated columns)."""
+    columns = list(_REQUIRED_COLUMNS)
+    optional = {
+        "region": flows.regions,
+        "cost_class": flows.classes,
+        "src": flows.srcs,
+        "dst": flows.dsts,
+    }
+    columns.extend(name for name in _OPTIONAL_COLUMNS if optional[name] is not None)
+
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, lineterminator="\n")
+    writer.writerow(columns)
+    for i in range(len(flows)):
+        row = [repr(float(flows.demands[i])), repr(float(flows.distances[i]))]
+        for name in columns[2:]:
+            value = optional[name][i]
+            row.append("" if value is None else str(value))
+        writer.writerow(row)
+    return buffer.getvalue()
+
+
+def flowset_from_csv(text: str) -> FlowSet:
+    """Parse a flow-set CSV produced by :func:`flowset_to_csv` (or by any
+    tool emitting the same columns)."""
+    reader = csv.reader(io.StringIO(text))
+    try:
+        header = next(reader)
+    except StopIteration as exc:
+        raise DataError("flow CSV is empty") from exc
+    header = [name.strip() for name in header]
+    for required in _REQUIRED_COLUMNS:
+        if required not in header:
+            raise DataError(f"flow CSV is missing the {required!r} column")
+    unknown = set(header) - set(_REQUIRED_COLUMNS) - set(_OPTIONAL_COLUMNS)
+    if unknown:
+        raise DataError(f"flow CSV has unknown columns: {sorted(unknown)}")
+    index = {name: header.index(name) for name in header}
+
+    demands, distances = [], []
+    optional: dict = {name: [] for name in _OPTIONAL_COLUMNS if name in header}
+    for line_number, row in enumerate(reader, start=2):
+        if not row or all(not cell.strip() for cell in row):
+            continue
+        if len(row) != len(header):
+            raise DataError(
+                f"flow CSV line {line_number}: expected {len(header)} cells, "
+                f"got {len(row)}"
+            )
+        try:
+            demands.append(float(row[index["demand_mbps"]]))
+            distances.append(float(row[index["distance_miles"]]))
+        except ValueError as exc:
+            raise DataError(f"flow CSV line {line_number}: {exc}") from exc
+        for name, values in optional.items():
+            cell = row[index[name]].strip()
+            values.append(cell or None)
+    if not demands:
+        raise DataError("flow CSV contains no data rows")
+    return FlowSet(
+        demands_mbps=demands,
+        distances_miles=distances,
+        regions=optional.get("region"),
+        classes=optional.get("cost_class"),
+        srcs=optional.get("src"),
+        dsts=optional.get("dst"),
+    )
+
+
+def save_flowset(flows: FlowSet, path: PathLike) -> pathlib.Path:
+    """Write a flow set to a CSV file."""
+    path = pathlib.Path(path)
+    path.write_text(flowset_to_csv(flows))
+    return path
+
+
+def load_flowset(path: PathLike) -> FlowSet:
+    """Read a flow set from a CSV file."""
+    path = pathlib.Path(path)
+    if not path.exists():
+        raise DataError(f"no such flow CSV: {path}")
+    return flowset_from_csv(path.read_text())
+
+
+# ----------------------------------------------------------------------
+# Tier-design JSON
+# ----------------------------------------------------------------------
+
+
+def design_to_json(design: TierDesign) -> str:
+    """Serialize a tier design (stable key order, human-diffable)."""
+    payload = {
+        "format_version": DESIGN_FORMAT_VERSION,
+        "provider_asn": design.provider_asn,
+        "rates": {str(tier): rate for tier, rate in sorted(design.rates.items())},
+        "tier_of_destination": dict(sorted(design.tier_of_destination.items())),
+    }
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+
+def design_from_json(text: str) -> TierDesign:
+    """Parse a tier design written by :func:`design_to_json`."""
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise DataError(f"malformed design JSON: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise DataError("design JSON must be an object")
+    version = payload.get("format_version")
+    if version != DESIGN_FORMAT_VERSION:
+        raise DataError(
+            f"unsupported design format_version {version!r} "
+            f"(this build reads {DESIGN_FORMAT_VERSION})"
+        )
+    try:
+        rates = {
+            int(tier): float(rate) for tier, rate in payload["rates"].items()
+        }
+        assignments = {
+            str(dst): int(tier)
+            for dst, tier in payload["tier_of_destination"].items()
+        }
+        asn = int(payload["provider_asn"])
+    except (KeyError, TypeError, ValueError, AttributeError) as exc:
+        raise DataError(f"design JSON is missing or corrupt: {exc!r}") from exc
+    missing = sorted(set(assignments.values()) - set(rates))
+    if missing:
+        raise DataError(f"design JSON assigns tiers with no rate: {missing}")
+    if any(rate <= 0 for rate in rates.values()):
+        raise DataError("design JSON contains non-positive rates")
+    return TierDesign(
+        provider_asn=asn, rates=rates, tier_of_destination=assignments
+    )
+
+
+def save_design(design: TierDesign, path: PathLike) -> pathlib.Path:
+    path = pathlib.Path(path)
+    path.write_text(design_to_json(design))
+    return path
+
+
+def load_design(path: PathLike) -> TierDesign:
+    path = pathlib.Path(path)
+    if not path.exists():
+        raise DataError(f"no such design file: {path}")
+    return design_from_json(path.read_text())

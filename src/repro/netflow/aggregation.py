@@ -1,0 +1,82 @@
+"""Turning deduplicated records into the model's flow set (§4.1.1).
+
+The demand model consumes per-destination *rates*; this module converts a
+collector's byte volumes over a capture window into Mbps demands and
+attaches the per-network distance heuristic supplied by the caller.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from typing import Optional
+
+from repro.core.flow import FlowSet
+from repro.errors import DataError
+from repro.netflow.collector import FlowCollector
+from repro.netflow.records import FlowKey
+
+#: Signature of a distance heuristic: flow key -> miles.
+DistanceFn = Callable[[FlowKey], float]
+#: Signature of an optional region classifier: flow key -> region label.
+RegionFn = Callable[[FlowKey], Optional[str]]
+
+
+def aggregate_to_flowset(
+    collector: FlowCollector,
+    window_seconds: float,
+    distance_fn: DistanceFn,
+    region_fn: Optional[RegionFn] = None,
+    min_demand_mbps: float = 0.0,
+) -> FlowSet:
+    """Build a :class:`FlowSet` from collected records.
+
+    Args:
+        collector: Records from all routers, already ingested.
+        window_seconds: Length of the capture (24 h in the paper).
+        distance_fn: The per-network distance heuristic (entry/exit
+            geographic distance, GeoIP endpoint distance, or routed path
+            length — see §4.1.1).
+        region_fn: Optional region classifier for the regional cost model.
+        min_demand_mbps: Flows whose mean rate falls below this are
+            dropped (sampling can leave dust entries).
+
+    Raises:
+        DataError: If the window is non-positive or no flow survives.
+    """
+    if window_seconds <= 0:
+        raise DataError(f"window_seconds must be positive, got {window_seconds}")
+    volumes = collector.deduplicated_octets()
+    if not volumes:
+        raise DataError("collector holds no records")
+
+    demands = []
+    distances = []
+    regions = []
+    srcs = []
+    dsts = []
+    for key in sorted(volumes, key=_key_sort):
+        octets = volumes[key]
+        mbps = octets * 8.0 / window_seconds / 1e6
+        if mbps <= min_demand_mbps:
+            continue
+        demands.append(mbps)
+        distances.append(float(distance_fn(key)))
+        regions.append(region_fn(key) if region_fn is not None else None)
+        srcs.append(key.src_addr)
+        dsts.append(key.dst_addr)
+    if not demands:
+        raise DataError(
+            "no flows above the demand threshold "
+            f"({min_demand_mbps} Mbps) in a {window_seconds:.0f}s window"
+        )
+    return FlowSet(
+        demands_mbps=demands,
+        distances_miles=distances,
+        regions=regions if any(r is not None for r in regions) else None,
+        srcs=srcs,
+        dsts=dsts,
+    )
+
+
+def _key_sort(key: FlowKey) -> tuple:
+    return (key.src_addr, key.dst_addr, key.src_port, key.dst_port, key.protocol)

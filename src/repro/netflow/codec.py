@@ -1,0 +1,268 @@
+"""Binary NetFlow v5 export encoding/decoding.
+
+The rest of :mod:`repro.netflow` works with parsed
+:class:`~repro.netflow.records.NetFlowRecord` objects; this module speaks
+the actual wire format, so traces can be written to and read from real
+``.nf5`` capture files and the pipeline can ingest exports produced by
+other tools.
+
+Layout (all fields big-endian, per Cisco's NetFlow v5 specification):
+
+* 24-byte header: version, count, sysuptime, unix_secs, unix_nsecs,
+  flow_sequence, engine_type, engine_id, sampling (2-bit mode + 14-bit
+  interval);
+* 48-byte records: srcaddr, dstaddr, nexthop, input, output, dPkts,
+  dOctets, first, last, srcport, dstport, pad, tcp_flags, prot, tos,
+  src_as, dst_as, src_mask, dst_mask, pad.
+
+A v5 packet carries at most 30 records; :func:`encode_packets` splits
+larger batches, and :func:`decode_packets` reassembles a stream.
+
+The abstract record's free-form ``router`` string does not exist on the
+wire; exporters are identified by ``engine_id``, so the codec takes a
+router <-> engine-id mapping.
+"""
+
+from __future__ import annotations
+
+import ipaddress
+import struct
+from collections.abc import Iterable, Sequence
+
+from repro.errors import DataError
+from repro.netflow.records import FlowKey, NetFlowRecord
+
+#: Wire version implemented here.
+VERSION = 5
+#: Maximum records per v5 packet.
+MAX_RECORDS_PER_PACKET = 30
+
+_HEADER = struct.Struct(">HHIIIIBBH")
+_RECORD = struct.Struct(">IIIHHIIIIHHBBBBHHBBH")
+
+#: Sampling mode bits for "packet interval sampling".
+_SAMPLING_MODE_PACKET_INTERVAL = 0x1
+
+
+def _ip_to_int(address: str) -> int:
+    try:
+        return int(ipaddress.IPv4Address(address))
+    except (ipaddress.AddressValueError, ValueError) as exc:
+        raise DataError(f"invalid IPv4 address {address!r}") from exc
+
+
+def _int_to_ip(value: int) -> str:
+    return str(ipaddress.IPv4Address(value))
+
+
+class EngineMap:
+    """Bidirectional router-name <-> engine-id mapping."""
+
+    def __init__(self, routers: Sequence[str]) -> None:
+        routers = list(routers)
+        if len(routers) != len(set(routers)):
+            raise DataError("router names must be unique")
+        if len(routers) > 256:
+            raise DataError("NetFlow v5 engine_id is one byte (max 256 routers)")
+        self._to_id = {router: i for i, router in enumerate(routers)}
+        self._to_router = dict(enumerate(routers))
+
+    def engine_id(self, router: str) -> int:
+        try:
+            return self._to_id[router]
+        except KeyError as exc:
+            raise DataError(f"unknown router {router!r}") from exc
+
+    def router(self, engine_id: int) -> str:
+        try:
+            return self._to_router[engine_id]
+        except KeyError as exc:
+            raise DataError(f"unknown engine id {engine_id}") from exc
+
+    @property
+    def routers(self) -> "list[str]":
+        return [self._to_router[i] for i in sorted(self._to_router)]
+
+
+def encode_packet(
+    records: Sequence[NetFlowRecord],
+    engines: EngineMap,
+    flow_sequence: int = 0,
+    unix_secs: int = 0,
+) -> bytes:
+    """Encode up to 30 records from a single router into one v5 packet."""
+    if not records:
+        raise DataError("cannot encode an empty packet")
+    if len(records) > MAX_RECORDS_PER_PACKET:
+        raise DataError(
+            f"v5 packets carry at most {MAX_RECORDS_PER_PACKET} records, "
+            f"got {len(records)}; use encode_packets"
+        )
+    routers = {record.router for record in records}
+    if len(routers) != 1:
+        raise DataError(
+            "one packet has one exporter; records span routers "
+            f"{sorted(routers)}"
+        )
+    intervals = {record.sampling_interval for record in records}
+    if len(intervals) != 1:
+        raise DataError("records in one packet must share a sampling interval")
+    interval = intervals.pop()
+    if interval >= 1 << 14:
+        raise DataError("sampling interval exceeds the 14-bit wire field")
+
+    sampling = 0
+    if interval > 1:
+        sampling = (_SAMPLING_MODE_PACKET_INTERVAL << 14) | interval
+    header = _HEADER.pack(
+        VERSION,
+        len(records),
+        0,  # sysuptime: the trace epoch is ms 0
+        unix_secs,
+        0,
+        flow_sequence,
+        0,  # engine_type
+        engines.engine_id(records[0].router),
+        sampling,
+    )
+    body = bytearray()
+    for record in records:
+        if record.octets >= 1 << 32 or record.packets >= 1 << 32:
+            raise DataError("counter exceeds the 32-bit wire field")
+        if record.last_ms >= 1 << 32:
+            raise DataError("timestamp exceeds the 32-bit wire field")
+        body += _RECORD.pack(
+            _ip_to_int(record.key.src_addr),
+            _ip_to_int(record.key.dst_addr),
+            0,  # nexthop
+            record.input_if & 0xFFFF,
+            record.output_if & 0xFFFF,
+            record.packets,
+            record.octets,
+            record.first_ms,
+            record.last_ms,
+            record.key.src_port,
+            record.key.dst_port,
+            0,  # pad1
+            0,  # tcp_flags
+            record.key.protocol,
+            0,  # tos
+            0,  # src_as
+            0,  # dst_as
+            0,  # src_mask
+            0,  # dst_mask
+            0,  # pad2
+        )
+    return header + bytes(body)
+
+
+def decode_packet(data: bytes, engines: EngineMap) -> "list[NetFlowRecord]":
+    """Decode one v5 packet back into records."""
+    if len(data) < _HEADER.size:
+        raise DataError(f"packet too short for a v5 header ({len(data)} bytes)")
+    (
+        version,
+        count,
+        _sysuptime,
+        _unix_secs,
+        _unix_nsecs,
+        _flow_sequence,
+        _engine_type,
+        engine_id,
+        sampling,
+    ) = _HEADER.unpack_from(data, 0)
+    if version != VERSION:
+        raise DataError(f"not a NetFlow v5 packet (version {version})")
+    expected = _HEADER.size + count * _RECORD.size
+    if len(data) != expected:
+        raise DataError(
+            f"packet length {len(data)} does not match header count {count} "
+            f"(expected {expected})"
+        )
+    interval = sampling & 0x3FFF
+    if interval == 0:
+        interval = 1
+    router = engines.router(engine_id)
+
+    records = []
+    offset = _HEADER.size
+    for _ in range(count):
+        (
+            src,
+            dst,
+            _nexthop,
+            input_if,
+            output_if,
+            packets,
+            octets,
+            first_ms,
+            last_ms,
+            src_port,
+            dst_port,
+            _pad1,
+            _tcp_flags,
+            protocol,
+            _tos,
+            _src_as,
+            _dst_as,
+            _src_mask,
+            _dst_mask,
+            _pad2,
+        ) = _RECORD.unpack_from(data, offset)
+        offset += _RECORD.size
+        records.append(
+            NetFlowRecord(
+                key=FlowKey(
+                    src_addr=_int_to_ip(src),
+                    dst_addr=_int_to_ip(dst),
+                    src_port=src_port,
+                    dst_port=dst_port,
+                    protocol=protocol,
+                ),
+                octets=octets,
+                packets=packets,
+                first_ms=first_ms,
+                last_ms=last_ms,
+                router=router,
+                input_if=input_if,
+                output_if=output_if,
+                sampling_interval=interval,
+            )
+        )
+    return records
+
+
+def encode_packets(
+    records: Iterable[NetFlowRecord], engines: EngineMap
+) -> "list[bytes]":
+    """Encode an arbitrary record stream as a sequence of v5 packets.
+
+    Records are grouped by (router, sampling interval) — each group is an
+    export stream with its own flow-sequence counter — and split into
+    30-record packets.
+    """
+    groups: dict = {}
+    for record in records:
+        groups.setdefault((record.router, record.sampling_interval), []).append(
+            record
+        )
+    packets = []
+    for (_, _), group in sorted(groups.items()):
+        sequence = 0
+        for start in range(0, len(group), MAX_RECORDS_PER_PACKET):
+            chunk = group[start : start + MAX_RECORDS_PER_PACKET]
+            packets.append(
+                encode_packet(chunk, engines, flow_sequence=sequence)
+            )
+            sequence += len(chunk)
+    return packets
+
+
+def decode_packets(
+    packets: Iterable[bytes], engines: EngineMap
+) -> "list[NetFlowRecord]":
+    """Decode a sequence of v5 packets into a flat record list."""
+    records = []
+    for packet in packets:
+        records.extend(decode_packet(packet, engines))
+    return records

@@ -1,0 +1,95 @@
+"""NetFlow-style flow export records (paper §4.1.1).
+
+The paper's demand data is 24 hours of sampled NetFlow from each network's
+core routers.  :class:`NetFlowRecord` models the v5-style export record the
+pipeline consumes: a 5-tuple key, byte/packet counters, a time range, the
+exporting router, and the sampling interval needed to scale counters back
+to true volumes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.errors import DataError
+
+#: IANA protocol numbers used by the trace generator.
+PROTO_TCP = 6
+PROTO_UDP = 17
+
+
+@dataclasses.dataclass(frozen=True)
+class FlowKey:
+    """The 5-tuple identifying a flow."""
+
+    src_addr: str
+    dst_addr: str
+    src_port: int
+    dst_port: int
+    protocol: int
+
+    def __post_init__(self) -> None:
+        for port in (self.src_port, self.dst_port):
+            if not 0 <= port <= 65535:
+                raise DataError(f"port out of range: {port}")
+        if not 0 <= self.protocol <= 255:
+            raise DataError(f"protocol out of range: {self.protocol}")
+
+
+@dataclasses.dataclass(frozen=True)
+class NetFlowRecord:
+    """One exported flow record.
+
+    Attributes:
+        key: The flow 5-tuple.
+        octets: Bytes observed *after* sampling (multiply by
+            ``sampling_interval`` to estimate the true volume).
+        packets: Packets observed after sampling.
+        first_ms: Flow start (ms since trace epoch).
+        last_ms: Flow end (ms since trace epoch, inclusive).
+        router: Code of the exporting router/PoP.
+        input_if: SNMP index of the input interface.
+        output_if: SNMP index of the output interface.
+        sampling_interval: The router samples one packet in this many.
+    """
+
+    key: FlowKey
+    octets: int
+    packets: int
+    first_ms: int
+    last_ms: int
+    router: str
+    input_if: int = 0
+    output_if: int = 0
+    sampling_interval: int = 1
+
+    def __post_init__(self) -> None:
+        if self.octets < 0 or self.packets < 0:
+            raise DataError("octets and packets must be non-negative")
+        if self.packets > 0 and self.octets == 0:
+            raise DataError("a record with packets must carry octets")
+        if self.last_ms < self.first_ms:
+            raise DataError(
+                f"record ends ({self.last_ms}) before it starts ({self.first_ms})"
+            )
+        if self.sampling_interval < 1:
+            raise DataError(
+                f"sampling_interval must be >= 1, got {self.sampling_interval}"
+            )
+        if not self.router:
+            raise DataError("router must be non-empty")
+
+    @property
+    def estimated_octets(self) -> int:
+        """Estimated true bytes: observed bytes times the sampling interval."""
+        return self.octets * self.sampling_interval
+
+    @property
+    def duration_ms(self) -> int:
+        return self.last_ms - self.first_ms
+
+    def mean_rate_mbps(self, window_ms: int) -> float:
+        """Estimated average rate over an accounting window, in Mbit/s."""
+        if window_ms <= 0:
+            raise DataError(f"window must be positive, got {window_ms}")
+        return self.estimated_octets * 8.0 / (window_ms / 1000.0) / 1e6

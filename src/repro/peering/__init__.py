@@ -1,0 +1,45 @@
+"""Peering economics: worked example, bypass model, product taxonomy."""
+
+from repro.peering.bypass import (
+    BypassScenario,
+    BypassSweepPoint,
+    failure_window,
+    sweep_direct_costs,
+)
+from repro.peering.offerings import (
+    BlendedRateOffering,
+    OfferingResult,
+    PaidPeeringOffering,
+    RegionalPricingOffering,
+    backplane_bundles,
+    compare_offerings,
+    render_offerings,
+)
+from repro.peering.worked_example import (
+    ALPHA,
+    COSTS,
+    MarketSnapshot,
+    VALUATIONS,
+    WorkedExample,
+    figure1_example,
+)
+
+__all__ = [
+    "ALPHA",
+    "BlendedRateOffering",
+    "BypassScenario",
+    "BypassSweepPoint",
+    "COSTS",
+    "MarketSnapshot",
+    "OfferingResult",
+    "PaidPeeringOffering",
+    "RegionalPricingOffering",
+    "VALUATIONS",
+    "WorkedExample",
+    "backplane_bundles",
+    "compare_offerings",
+    "failure_window",
+    "figure1_example",
+    "render_offerings",
+    "sweep_direct_costs",
+]

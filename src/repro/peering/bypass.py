@@ -1,0 +1,150 @@
+"""Direct-peering bypass economics (paper §2.2.2, Figure 2).
+
+A customer (say a CDN with a backbone presence at the ISP's NYC PoP) pays
+the blended rate ``R`` for *all* traffic, including cheap short-haul flows
+to a nearby exchange.  If the customer can procure a private link to that
+exchange at amortized unit cost ``c_direct < R``, it will bypass the ISP.
+
+Bypass is *efficient* when the customer genuinely delivers the traffic
+more cheaply; it is a **market failure** when the customer pays more than
+the ISP would have needed to charge in a tiered market:
+
+    ``c_direct > (M + 1) * c_isp + A``
+
+where ``c_isp`` is the ISP's unit cost for that traffic, ``M`` its profit
+margin, and ``A`` the per-unit accounting overhead of tiered pricing.  In
+that regime the blended rate pushed a customer onto a strictly more
+expensive path — capacity was deployed at a higher cost than the tiered
+price would have been.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Sequence
+
+from repro.errors import ModelParameterError
+
+
+@dataclasses.dataclass(frozen=True)
+class BypassScenario:
+    """One customer-vs-ISP interconnection decision.
+
+    Attributes:
+        blended_rate: The ISP's blended price ``R`` ($/Mbps/month).
+        isp_unit_cost: The ISP's true unit cost ``c_isp`` for the flows
+            the customer would offload.
+        direct_unit_cost: The customer's amortized unit cost ``c_direct``
+            of the private link (capex amortization + opex, per Mbps).
+        margin: The ISP's profit margin ``M`` (0.25 = 25 %).
+        accounting_overhead: Per-unit cost ``A`` of operating a tiered
+            contract (extra sessions, metering, billing).
+    """
+
+    blended_rate: float
+    isp_unit_cost: float
+    direct_unit_cost: float
+    margin: float = 0.25
+    accounting_overhead: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in ("blended_rate", "isp_unit_cost", "direct_unit_cost"):
+            if getattr(self, name) <= 0:
+                raise ModelParameterError(f"{name} must be positive")
+        if self.margin < 0:
+            raise ModelParameterError(f"margin must be >= 0, got {self.margin}")
+        if self.accounting_overhead < 0:
+            raise ModelParameterError("accounting_overhead must be >= 0")
+
+    @property
+    def tiered_price(self) -> float:
+        """What the ISP could profitably charge in a tiered market:
+        ``(M + 1) * c_isp + A``."""
+        return (self.margin + 1.0) * self.isp_unit_cost + self.accounting_overhead
+
+    @property
+    def customer_bypasses(self) -> bool:
+        """The customer provisions its own link iff ``c_direct < R``."""
+        return self.direct_unit_cost < self.blended_rate
+
+    @property
+    def is_market_failure(self) -> bool:
+        """Bypass happens *and* wastes resources: the customer's link costs
+        more than the tiered price the ISP could have offered."""
+        return self.customer_bypasses and self.direct_unit_cost > self.tiered_price
+
+    @property
+    def efficiency_loss_per_mbps(self) -> float:
+        """Extra cost per Mbps society pays when the failure occurs."""
+        if not self.is_market_failure:
+            return 0.0
+        return self.direct_unit_cost - self.tiered_price
+
+    def outcome(self) -> str:
+        """One of ``"stays"``, ``"efficient-bypass"``, ``"market-failure"``."""
+        if not self.customer_bypasses:
+            return "stays"
+        return "market-failure" if self.is_market_failure else "efficient-bypass"
+
+
+@dataclasses.dataclass(frozen=True)
+class BypassSweepPoint:
+    """One point of a ``c_direct`` sweep (for the Figure 2 bench)."""
+
+    direct_unit_cost: float
+    outcome: str
+    efficiency_loss_per_mbps: float
+
+
+def sweep_direct_costs(
+    blended_rate: float,
+    isp_unit_cost: float,
+    direct_unit_costs: Sequence[float],
+    margin: float = 0.25,
+    accounting_overhead: float = 0.0,
+) -> "list[BypassSweepPoint]":
+    """Evaluate the bypass decision across a range of private-link costs.
+
+    The sweep exposes the three regimes of §2.2.2: below the tiered price
+    the bypass is efficient, between the tiered price and the blended rate
+    it is a market failure, and above the blended rate the customer stays.
+    """
+    points = []
+    for c_direct in direct_unit_costs:
+        scenario = BypassScenario(
+            blended_rate=blended_rate,
+            isp_unit_cost=isp_unit_cost,
+            direct_unit_cost=float(c_direct),
+            margin=margin,
+            accounting_overhead=accounting_overhead,
+        )
+        points.append(
+            BypassSweepPoint(
+                direct_unit_cost=float(c_direct),
+                outcome=scenario.outcome(),
+                efficiency_loss_per_mbps=scenario.efficiency_loss_per_mbps,
+            )
+        )
+    return points
+
+
+def failure_window(
+    blended_rate: float,
+    isp_unit_cost: float,
+    margin: float = 0.25,
+    accounting_overhead: float = 0.0,
+) -> "tuple[float, float]":
+    """The ``c_direct`` interval in which blended pricing causes waste.
+
+    Returns ``(lo, hi)`` with ``lo = (M+1) c_isp + A`` and
+    ``hi = R``; the window is empty (``lo >= hi``) when the blended rate
+    is already close to cost — i.e. tiering would not retain the traffic.
+    """
+    scenario = BypassScenario(
+        blended_rate=blended_rate,
+        isp_unit_cost=isp_unit_cost,
+        direct_unit_cost=blended_rate,  # placeholder, unused
+        margin=margin,
+        accounting_overhead=accounting_overhead,
+    )
+    return scenario.tiered_price, blended_rate

@@ -1,0 +1,220 @@
+"""The §2.1 product taxonomy as executable pricing structures.
+
+The paper's background section catalogs what transit ISPs actually sell.
+Each offering is, in this library's terms, a *constraint on the bundling*
+of a calibrated market — so the whole taxonomy can be priced and compared
+on one traffic matrix:
+
+* **conventional transit** — one blended rate: a single bundle;
+* **paid peering** — on-net routes discounted vs off-net: two bundles by
+  destination type (requires the destination-type cost model's classes);
+* **backplane peering** — traffic the ISP can hand to settlement-free
+  peers at the exchange vs traffic carried across its backbone: two
+  bundles split by a distance threshold (exchange-local vs long-haul);
+* **regional pricing** — one bundle per metro/national/international
+  region (requires region labels);
+* **fine-grained tiers** — the paper's proposal: profit-weighted bundles.
+
+:func:`compare_offerings` prices every applicable offering on a market
+and reports profit and capture, reproducing §2.2's argument that the
+ad-hoc offerings are stepping stones toward (but short of) demand+cost
+aware tiers.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+import numpy as np
+
+from repro.core.bundling import (
+    BundlingStrategy,
+    Bundles,
+    BundlingInputs,
+    ProfitWeightedBundling,
+)
+from repro.core.market import Market
+from repro.errors import BundlingError
+
+
+class BlendedRateOffering(BundlingStrategy):
+    """Conventional transit: every destination at one rate."""
+
+    name = "conventional-transit"
+
+    def _bundle(self, inputs: BundlingInputs, n_bundles: int) -> Bundles:
+        del n_bundles
+        return [np.arange(inputs.n_flows)]
+
+
+class PaidPeeringOffering(BundlingStrategy):
+    """On-net routes at a discount, off-net transit at the full rate.
+
+    Splits by the flow-set's cost-class labels (``on-net``/``off-net``,
+    produced by the destination-type cost model).
+    """
+
+    name = "paid-peering"
+
+    def _bundle(self, inputs: BundlingInputs, n_bundles: int) -> Bundles:
+        del n_bundles
+        if inputs.classes is None:
+            raise BundlingError(
+                "paid peering needs on-net/off-net class labels; use the "
+                "destination-type cost model"
+            )
+        labels = sorted(set(inputs.classes))
+        if len(labels) < 2:
+            raise BundlingError(
+                f"paid peering needs two destination classes, got {labels}"
+            )
+        return [
+            np.flatnonzero(
+                np.fromiter(
+                    (cls == label for cls in inputs.classes),
+                    dtype=bool,
+                    count=inputs.n_flows,
+                )
+            )
+            for label in labels
+        ]
+
+
+def backplane_bundles(
+    market: Market, exchange_radius_miles: float = 25.0
+) -> Bundles:
+    """Backplane peering: two bundles split at the exchange radius.
+
+    Destinations within ``exchange_radius_miles`` can be offloaded to the
+    ISP's settlement-free peers at the exchange (discount bundle);
+    everything else rides its backbone at the full rate.  Works on the
+    market's stored flow distances, so it applies to any cost model.
+    """
+    if exchange_radius_miles <= 0:
+        raise BundlingError("exchange radius must be positive")
+    distances = market.flows.distances
+    local = np.flatnonzero(distances <= exchange_radius_miles)
+    remote = np.flatnonzero(distances > exchange_radius_miles)
+    bundles = [b for b in (local, remote) if b.size]
+    if len(bundles) < 2:
+        raise BundlingError(
+            f"no traffic on one side of the {exchange_radius_miles}-mile "
+            "exchange radius; backplane peering degenerates to a blended rate"
+        )
+    return bundles
+
+
+class RegionalPricingOffering(BundlingStrategy):
+    """One bundle per destination region (metro/national/international)."""
+
+    name = "regional-pricing"
+
+    def _bundle(self, inputs: BundlingInputs, n_bundles: int) -> Bundles:
+        del n_bundles
+        if inputs.classes is None:
+            raise BundlingError(
+                "regional pricing needs region classes; use the regional "
+                "cost model (or flows with region labels)"
+            )
+        labels = sorted(set(inputs.classes))
+        return [
+            np.flatnonzero(
+                np.fromiter(
+                    (cls == label for cls in inputs.classes),
+                    dtype=bool,
+                    count=inputs.n_flows,
+                )
+            )
+            for label in labels
+        ]
+
+
+@dataclasses.dataclass(frozen=True)
+class OfferingResult:
+    """Profit and capture of one §2.1 product structure."""
+
+    offering: str
+    n_tiers: int
+    profit: float
+    profit_capture: float
+    tier_prices: tuple
+
+
+def compare_offerings(
+    market: Market,
+    exchange_radius_miles: Optional[float] = 25.0,
+    proposal_tiers: int = 3,
+) -> "list[OfferingResult]":
+    """Price every applicable §2.1 offering on one calibrated market.
+
+    Offerings that need labels the market lacks are skipped.  The paper's
+    proposal (profit-weighted tiers at ``proposal_tiers``) is always
+    included last for comparison.
+    """
+    results = []
+
+    def evaluate(name: str, bundles: Bundles) -> None:
+        prices = market.demand_model.bundle_prices(
+            market.valuations, market.costs, list(bundles)
+        )
+        profit = market.profit_at(prices)
+        tier_prices = tuple(
+            sorted({round(float(prices[b[0]]), 6) for b in bundles})
+        )
+        results.append(
+            OfferingResult(
+                offering=name,
+                n_tiers=len(bundles),
+                profit=profit,
+                profit_capture=market.profit_capture(profit),
+                tier_prices=tier_prices,
+            )
+        )
+
+    evaluate("conventional-transit", [np.arange(market.n_flows)])
+
+    if market.classes is not None:
+        labels = sorted(set(market.classes))
+        by_class = [
+            np.flatnonzero(
+                np.fromiter(
+                    (cls == label for cls in market.classes),
+                    dtype=bool,
+                    count=market.n_flows,
+                )
+            )
+            for label in labels
+        ]
+        if set(labels) == {"on-net", "off-net"}:
+            evaluate("paid-peering", by_class)
+        elif len(labels) >= 2:
+            evaluate("regional-pricing", by_class)
+
+    if exchange_radius_miles is not None:
+        try:
+            evaluate(
+                "backplane-peering",
+                backplane_bundles(market, exchange_radius_miles),
+            )
+        except BundlingError:
+            pass  # degenerate split: offering not applicable to this matrix
+
+    proposal = ProfitWeightedBundling()
+    evaluate(
+        f"profit-weighted-{proposal_tiers}-tiers",
+        proposal.bundle(market.bundling_inputs(), proposal_tiers),
+    )
+    return results
+
+
+def render_offerings(results: "list[OfferingResult]") -> str:
+    """Aligned comparison table of the offering taxonomy."""
+    header = f"{'offering':<28}{'tiers':>6}{'profit $':>16}{'capture':>9}"
+    lines = [header, "-" * len(header)]
+    for result in results:
+        lines.append(
+            f"{result.offering:<28}{result.n_tiers:>6}"
+            f"{result.profit:>16,.0f}{result.profit_capture:>9.3f}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,55 @@
+"""Synthetic-data substrate: calibrated datasets and full trace generation."""
+
+from repro.synth.datasets import (
+    DATASET_NAMES,
+    DATASETS,
+    DatasetSpec,
+    dataset_spec,
+    load_dataset,
+    table1_row,
+)
+from repro.synth.distributions import (
+    calibrate_positive,
+    calibrate_total,
+    gaussian_copula_pair,
+    lognormal_sigma_for_cv,
+    sample_lognormal,
+    weighted_cv,
+    weighted_mean,
+)
+from repro.synth.trace import (
+    GroundTruthFlow,
+    MEAN_PACKET_BYTES,
+    NetworkTrace,
+    generate_network_trace,
+)
+from repro.synth.workloads import (
+    TrafficTimeSeries,
+    diurnal_profile,
+    elephants_and_mice,
+    expand_to_time_series,
+)
+
+__all__ = [
+    "DATASETS",
+    "DATASET_NAMES",
+    "DatasetSpec",
+    "GroundTruthFlow",
+    "MEAN_PACKET_BYTES",
+    "NetworkTrace",
+    "TrafficTimeSeries",
+    "calibrate_positive",
+    "calibrate_total",
+    "dataset_spec",
+    "diurnal_profile",
+    "elephants_and_mice",
+    "expand_to_time_series",
+    "gaussian_copula_pair",
+    "generate_network_trace",
+    "load_dataset",
+    "lognormal_sigma_for_cv",
+    "sample_lognormal",
+    "table1_row",
+    "weighted_cv",
+    "weighted_mean",
+]

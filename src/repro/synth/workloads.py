@@ -1,0 +1,175 @@
+"""Workload shaping on top of the base datasets.
+
+The base datasets (:mod:`repro.synth.datasets`) are static traffic
+matrices — all the paper's economics needs.  Operating tiered pricing
+also needs *time series* (95th-percentile billing, SNMP polling) and
+structured flow mixes, so this module adds:
+
+* :func:`diurnal_profile` — a normalized 24-hour traffic shape with a
+  configurable peak-to-trough ratio (the classic eyeball-network curve);
+* :class:`TrafficTimeSeries` — expand a static matrix into per-interval
+  volumes following a profile, with multiplicative noise;
+* :func:`elephants_and_mice` — a two-population flow mix with an explicit
+  heavy-hitter share, for stress-testing bundling heuristics beyond the
+  lognormal shape the datasets use.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.core.flow import FlowSet
+from repro.errors import DataError
+
+
+def diurnal_profile(
+    n_intervals: int,
+    peak_to_trough: float = 3.0,
+    peak_hour: float = 20.0,
+) -> np.ndarray:
+    """A normalized 24-hour load shape (mean exactly 1).
+
+    A raised cosine with its maximum at ``peak_hour``; ``peak_to_trough``
+    sets the max/min ratio.  Multiply a mean rate by the profile to get
+    per-interval rates.
+    """
+    if n_intervals < 1:
+        raise DataError("n_intervals must be >= 1")
+    if peak_to_trough < 1.0:
+        raise DataError("peak_to_trough must be >= 1")
+    if not 0.0 <= peak_hour < 24.0:
+        raise DataError("peak_hour must be in [0, 24)")
+    hours = np.arange(n_intervals) * 24.0 / n_intervals
+    # shape in [-1, 1], peaking at peak_hour
+    shape = np.cos((hours - peak_hour) / 24.0 * 2.0 * math.pi)
+    ratio = peak_to_trough
+    # Map to [min, max] with max/min = ratio and mean 1:
+    # values = 1 + a*shape with a chosen from the ratio.
+    amplitude = (ratio - 1.0) / (ratio + 1.0)
+    profile = 1.0 + amplitude * shape
+    return profile / profile.mean()
+
+
+@dataclasses.dataclass(frozen=True)
+class TrafficTimeSeries:
+    """Per-flow, per-interval traffic volumes over a billing window.
+
+    Attributes:
+        flows: The underlying static matrix (mean rates).
+        interval_seconds: Length of each interval (300 s = SNMP norm).
+        rates_mbps: Array of shape (n_intervals, n_flows).
+    """
+
+    flows: FlowSet
+    interval_seconds: float
+    rates_mbps: np.ndarray
+
+    @property
+    def n_intervals(self) -> int:
+        return int(self.rates_mbps.shape[0])
+
+    def octets(self, interval: int, flow: int) -> int:
+        """Bytes carried by one flow during one interval."""
+        rate = float(self.rates_mbps[interval, flow])
+        return int(rate * 1e6 / 8.0 * self.interval_seconds)
+
+    def total_octets(self, flow: int) -> int:
+        """Bytes carried by one flow over the whole window."""
+        return sum(self.octets(i, flow) for i in range(self.n_intervals))
+
+    def window_seconds(self) -> float:
+        return self.n_intervals * self.interval_seconds
+
+    def percentile_rate(self, flow: int, percentile: float = 95.0) -> float:
+        """The flow's own 95th-percentile rate (Mbps)."""
+        ordered = np.sort(self.rates_mbps[:, flow])
+        rank = max(1, math.ceil(ordered.size * percentile / 100.0))
+        return float(ordered[rank - 1])
+
+
+def expand_to_time_series(
+    flows: FlowSet,
+    n_intervals: int = 288,
+    interval_seconds: float = 300.0,
+    peak_to_trough: float = 3.0,
+    noise_cv: float = 0.1,
+    seed: int = 0,
+) -> TrafficTimeSeries:
+    """Expand a static matrix into a diurnal per-interval series.
+
+    Every flow follows the same normalized profile (scaled by its mean
+    rate) with independent lognormal multiplicative noise, so each flow's
+    window *average* stays close to the matrix entry while its peak runs
+    well above it — exactly the regime where 95th-percentile and mean-rate
+    billing diverge.
+    """
+    if interval_seconds <= 0:
+        raise DataError("interval_seconds must be positive")
+    if noise_cv < 0:
+        raise DataError("noise_cv must be >= 0")
+    profile = diurnal_profile(n_intervals, peak_to_trough=peak_to_trough)
+    rng = np.random.default_rng(seed)
+    base = np.outer(profile, flows.demands)
+    if noise_cv > 0:
+        sigma = math.sqrt(math.log(1.0 + noise_cv * noise_cv))
+        noise = rng.lognormal(-0.5 * sigma * sigma, sigma, size=base.shape)
+        base = base * noise
+    return TrafficTimeSeries(
+        flows=flows, interval_seconds=interval_seconds, rates_mbps=base
+    )
+
+
+def elephants_and_mice(
+    n_flows: int,
+    aggregate_mbps: float,
+    elephant_fraction: float = 0.1,
+    elephant_share: float = 0.8,
+    distances_miles: Sequence[float] = (),
+    seed: int = 0,
+) -> FlowSet:
+    """A two-population traffic matrix with explicit heavy hitters.
+
+    Args:
+        n_flows: Total number of flows.
+        aggregate_mbps: Total traffic.
+        elephant_fraction: Fraction of flows that are elephants.
+        elephant_share: Fraction of traffic the elephants carry.
+        distances_miles: Optional per-flow distances (defaults to a
+            lognormal around 100 miles).
+        seed: RNG seed.
+    """
+    if not 0.0 < elephant_fraction < 1.0:
+        raise DataError("elephant_fraction must be in (0, 1)")
+    if not 0.0 < elephant_share < 1.0:
+        raise DataError("elephant_share must be in (0, 1)")
+    if aggregate_mbps <= 0:
+        raise DataError("aggregate_mbps must be positive")
+    n_elephants = max(1, int(round(n_flows * elephant_fraction)))
+    n_mice = n_flows - n_elephants
+    if n_mice < 1:
+        raise DataError("need at least one mouse flow; lower elephant_fraction")
+    rng = np.random.default_rng(seed)
+
+    def population(count: int, total: float) -> np.ndarray:
+        raw = rng.lognormal(0.0, 0.4, count)
+        return raw * (total / raw.sum())
+
+    demands = np.concatenate(
+        (
+            population(n_elephants, aggregate_mbps * elephant_share),
+            population(n_mice, aggregate_mbps * (1.0 - elephant_share)),
+        )
+    )
+    if len(distances_miles) == 0:
+        distances = rng.lognormal(math.log(100.0), 0.8, n_flows)
+    else:
+        distances = np.asarray(distances_miles, dtype=float)
+        if distances.size != n_flows:
+            raise DataError(
+                f"got {distances.size} distances for {n_flows} flows"
+            )
+    return FlowSet(demands_mbps=demands, distances_miles=distances)

@@ -1,0 +1,30 @@
+"""Network-topology substrate: PoPs, links, routing, reference networks."""
+
+from repro.topology.builders import (
+    build_cdn_topology,
+    build_eu_isp_topology,
+    build_internet2_topology,
+)
+from repro.topology.ixp import IXP
+from repro.topology.network import Topology
+from repro.topology.pop import Link, PoP
+from repro.topology.routing import (
+    ExitDecision,
+    ExitSelector,
+    FlowSpec,
+    PolicyOutcome,
+)
+
+__all__ = [
+    "ExitDecision",
+    "ExitSelector",
+    "FlowSpec",
+    "IXP",
+    "Link",
+    "PoP",
+    "PolicyOutcome",
+    "Topology",
+    "build_cdn_topology",
+    "build_eu_isp_topology",
+    "build_internet2_topology",
+]

@@ -1,0 +1,139 @@
+"""Reference topologies for the three studied networks (§4.1.1).
+
+The paper's networks are proprietary; these builders produce plausible
+stand-ins at the same scale and geographic footprint:
+
+* :func:`build_eu_isp_topology` — a European transit ISP: a dense national
+  core (Benelux) with regional spurs, matching the short (54-mile
+  demand-weighted) flow distances of the paper's EU ISP.
+* :func:`build_internet2_topology` — the historical Abilene backbone: 11
+  PoPs, the published link set, continental-scale distances.
+* :func:`build_cdn_topology` — a global CDN footprint: PoPs on every
+  continent; the CDN's "distance" is endpoint-to-endpoint GeoIP distance
+  so the backbone links are only used by the accounting examples.
+"""
+
+from __future__ import annotations
+
+from repro.geo.coords import (
+    City,
+    EUROPEAN_CITIES,
+    US_RESEARCH_CITIES,
+    WORLD_CITIES,
+)
+from repro.topology.network import Topology
+
+
+def _city(table: tuple, name: str) -> City:
+    for city in table:
+        if city.name == name:
+            return city
+    raise LookupError(f"{name!r} is not in the gazetteer table")
+
+
+def build_eu_isp_topology() -> Topology:
+    """A European transit ISP centred on the Benelux/DE core."""
+    topology = Topology("eu-isp")
+    codes = {
+        "AMS": "Amsterdam",
+        "RTM": "Rotterdam",
+        "HAG": "The Hague",
+        "UTR": "Utrecht",
+        "EIN": "Eindhoven",
+        "BRU": "Brussels",
+        "ANR": "Antwerp",
+        "FRA": "Frankfurt",
+        "DUS": "Dusseldorf",
+        "HAM": "Hamburg",
+        "BER": "Berlin",
+        "MUC": "Munich",
+        "PAR": "Paris",
+        "LON": "London",
+        "ZRH": "Zurich",
+        "VIE": "Vienna",
+        "MIL": "Milan",
+        "MAD": "Madrid",
+        "STO": "Stockholm",
+        "CPH": "Copenhagen",
+        "WAW": "Warsaw",
+        "PRG": "Prague",
+    }
+    for code, name in codes.items():
+        topology.add_pop(code, _city(EUROPEAN_CITIES, name))
+    edges = [
+        # Dense national core.
+        ("AMS", "RTM"), ("AMS", "UTR"), ("AMS", "HAG"), ("RTM", "HAG"),
+        ("UTR", "EIN"), ("RTM", "ANR"), ("ANR", "BRU"), ("EIN", "DUS"),
+        # Western-European ring.
+        ("AMS", "LON"), ("LON", "PAR"), ("PAR", "BRU"), ("BRU", "FRA"),
+        ("AMS", "FRA"), ("DUS", "FRA"), ("FRA", "MUC"), ("FRA", "HAM"),
+        ("HAM", "BER"), ("BER", "WAW"), ("MUC", "VIE"), ("VIE", "PRG"),
+        ("PRG", "BER"), ("MUC", "ZRH"), ("ZRH", "MIL"), ("PAR", "MAD"),
+        ("HAM", "CPH"), ("CPH", "STO"),
+    ]
+    for a, b in edges:
+        topology.add_link(a, b)
+    return topology
+
+
+#: The historical Abilene (Internet2) link set.
+_ABILENE_EDGES = [
+    ("SEA", "SNV"), ("SEA", "DEN"), ("SNV", "LAX"), ("SNV", "DEN"),
+    ("LAX", "HOU"), ("DEN", "KSC"), ("KSC", "HOU"), ("KSC", "IPL"),
+    ("HOU", "ATL"), ("IPL", "CHI"), ("IPL", "ATL"), ("CHI", "NYC"),
+    ("ATL", "WDC"), ("NYC", "WDC"), ("SLC", "DEN"), ("SLC", "SNV"),
+]
+
+
+def build_internet2_topology() -> Topology:
+    """The 11-PoP Abilene research backbone."""
+    topology = Topology("internet2")
+    codes = {
+        "SEA": "Seattle",
+        "SNV": "Sunnyvale",
+        "LAX": "Los Angeles",
+        "SLC": "Salt Lake City",
+        "DEN": "Denver",
+        "KSC": "Kansas City",
+        "HOU": "Houston",
+        "IPL": "Indianapolis",
+        "CHI": "Chicago",
+        "ATL": "Atlanta",
+        "WDC": "Washington",
+        "NYC": "New York",
+    }
+    for code, name in codes.items():
+        topology.add_pop(code, _city(US_RESEARCH_CITIES, name))
+    for a, b in _ABILENE_EDGES:
+        topology.add_link(a, b)
+    return topology
+
+
+def build_cdn_topology() -> Topology:
+    """A global CDN footprint: every PoP homed to regional hubs."""
+    topology = Topology("cdn")
+    hub_names = {"New York", "London", "Singapore"}
+    hubs = []
+    for city in WORLD_CITIES:
+        code = _cdn_code(city)
+        topology.add_pop(code, city)
+        if city.name in hub_names:
+            hubs.append(code)
+    # Hubs form a full mesh; every other PoP connects to its two nearest hubs.
+    for i, hub_a in enumerate(hubs):
+        for hub_b in hubs[i + 1 :]:
+            topology.add_link(hub_a, hub_b)
+    for city in WORLD_CITIES:
+        code = _cdn_code(city)
+        if code in hubs:
+            continue
+        nearest = sorted(
+            hubs, key=lambda hub: topology.geographic_distance(code, hub)
+        )[:2]
+        for hub in nearest:
+            topology.add_link(code, hub)
+    return topology
+
+
+def _cdn_code(city: City) -> str:
+    return (city.name[:3] + city.country).upper().replace(" ", "")

@@ -1,0 +1,46 @@
+"""Internet exchange points and peering interconnects (paper §2.2.2, Fig. 2).
+
+An :class:`IXP` sits in a city; networks present at the exchange can peer
+there.  The peering-bypass model (:mod:`repro.peering.bypass`) uses these
+to reason about a customer provisioning its own link to a nearby exchange
+instead of paying the ISP's blended rate.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.errors import TopologyError
+from repro.geo.coords import City, city_distance_miles
+
+
+@dataclasses.dataclass(frozen=True)
+class IXP:
+    """An Internet exchange point.
+
+    Attributes:
+        name: Exchange name, e.g. ``"BOS-IX"``.
+        city: Location.
+        members: Codes/names of networks present at the exchange.
+    """
+
+    name: str
+    city: City
+    members: tuple = ()
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise TopologyError("IXP name must be non-empty")
+
+    def has_member(self, network: str) -> bool:
+        return network in self.members
+
+    def with_member(self, network: str) -> "IXP":
+        """A copy with one more member network."""
+        if self.has_member(network):
+            return self
+        return dataclasses.replace(self, members=self.members + (network,))
+
+    def distance_to_city(self, city: City) -> float:
+        """Great-circle distance from another city in miles."""
+        return city_distance_miles(self.city, city)

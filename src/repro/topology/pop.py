@@ -1,0 +1,66 @@
+"""Points of presence and links.
+
+A transit network is modeled at PoP granularity: routers collapse into one
+node per metro (how the paper's data is aggregated), and links carry a
+geographic length that the cost models consume.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.errors import TopologyError
+from repro.geo.coords import City, city_distance_miles
+
+
+@dataclasses.dataclass(frozen=True)
+class PoP:
+    """A point of presence located in a gazetteer city.
+
+    Attributes:
+        code: Short unique code, e.g. ``"FRA"``.
+        city: The city the PoP sits in (provides coordinates and country).
+    """
+
+    code: str
+    city: City
+
+    def __post_init__(self) -> None:
+        if not self.code:
+            raise TopologyError("PoP code must be non-empty")
+
+    def distance_to(self, other: "PoP") -> float:
+        """Great-circle distance to another PoP in miles."""
+        return city_distance_miles(self.city, other.city)
+
+
+@dataclasses.dataclass(frozen=True)
+class Link:
+    """An undirected backbone link between two PoPs.
+
+    Attributes:
+        a: One endpoint PoP code.
+        b: The other endpoint PoP code.
+        length_miles: Geographic length; defaults to the great-circle
+            distance between the endpoint cities when built through
+            :meth:`repro.topology.network.Topology.add_link`.
+        capacity_gbps: Nominal capacity, used by the accounting examples.
+    """
+
+    a: str
+    b: str
+    length_miles: float
+    capacity_gbps: float = 10.0
+
+    def __post_init__(self) -> None:
+        if self.a == self.b:
+            raise TopologyError(f"link endpoints must differ, got {self.a!r} twice")
+        if self.length_miles < 0:
+            raise TopologyError(f"link length must be >= 0, got {self.length_miles}")
+        if self.capacity_gbps <= 0:
+            raise TopologyError(f"capacity must be positive, got {self.capacity_gbps}")
+
+    @property
+    def key(self) -> tuple:
+        """Canonical unordered endpoint pair."""
+        return tuple(sorted((self.a, self.b)))

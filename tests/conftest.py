@@ -1,0 +1,74 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.ced import CEDDemand
+from repro.core.cost import LinearDistanceCost
+from repro.core.flow import FlowSet
+from repro.core.logit import LogitDemand
+from repro.core.market import Market
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_flows():
+    """Four flows with distinct demands and distances (no labels)."""
+    return FlowSet(
+        demands_mbps=[120.0, 40.0, 8.0, 2.0],
+        distances_miles=[5.0, 60.0, 400.0, 2500.0],
+    )
+
+
+@pytest.fixture
+def labeled_flows():
+    """Flows carrying region labels."""
+    return FlowSet(
+        demands_mbps=[100.0, 50.0, 25.0, 10.0, 5.0],
+        distances_miles=[2.0, 30.0, 80.0, 700.0, 4000.0],
+        regions=["metro", "national", "national", "international", "international"],
+    )
+
+
+@pytest.fixture
+def medium_flows(rng):
+    """Fifty heavy-tailed flows for bundling/market tests."""
+    demands = rng.lognormal(mean=2.0, sigma=1.3, size=50)
+    distances = rng.lognormal(mean=4.0, sigma=0.8, size=50)
+    return FlowSet(demands_mbps=demands, distances_miles=distances)
+
+
+@pytest.fixture
+def ced_model():
+    return CEDDemand(alpha=1.1)
+
+
+@pytest.fixture
+def logit_model():
+    return LogitDemand(alpha=1.1, s0=0.2)
+
+
+@pytest.fixture
+def ced_market(medium_flows, ced_model):
+    return Market(
+        medium_flows, ced_model, LinearDistanceCost(theta=0.2), blended_rate=20.0
+    )
+
+
+@pytest.fixture
+def logit_market(medium_flows, logit_model):
+    return Market(
+        medium_flows, logit_model, LinearDistanceCost(theta=0.2), blended_rate=20.0
+    )
+
+
+@pytest.fixture(params=["ced", "logit"])
+def any_market(request, ced_market, logit_market):
+    """Parametrized over both demand families."""
+    return {"ced": ced_market, "logit": logit_market}[request.param]

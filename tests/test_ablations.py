@@ -1,0 +1,63 @@
+"""Tests for the ablation drivers (small configurations)."""
+
+import dataclasses
+
+import pytest
+
+from repro.experiments.ablations import (
+    billing_ablation,
+    granularity_ablation,
+    optimal_search_ablation,
+    weighting_ablation,
+)
+from repro.experiments.config import DEFAULT_CONFIG
+
+
+class TestOptimalSearchAblation:
+    def test_dp_matches_exhaustive(self):
+        data = optimal_search_ablation(n_flows=7, n_trials=3, n_bundles=2)
+        assert data["worst_relative_gap"] < 1e-9
+
+    def test_reports_timing(self):
+        data = optimal_search_ablation(n_flows=6, n_trials=2)
+        assert data["time_exhaustive_s"] > 0
+        assert data["time_dp_s"] > 0
+
+
+class TestWeightingAblation:
+    def test_shapes(self):
+        data = weighting_ablation(rhos=(-0.5, 0.0), n_flows=40, seed=2)
+        assert data["rhos"] == [-0.5, 0.0]
+        for curve in data["capture"].values():
+            assert len(curve) == 2
+
+    def test_optimal_dominates(self):
+        data = weighting_ablation(rhos=(0.0,), n_flows=40, seed=2)
+        top = data["capture"]["optimal"][0]
+        for name, curve in data["capture"].items():
+            assert curve[0] <= top + 1e-9, name
+
+
+class TestGranularityAblation:
+    def test_capture_per_granularity(self):
+        config = dataclasses.replace(DEFAULT_CONFIG, seed=1)
+        data = granularity_ablation(flow_counts=(20, 40), config=config)
+        assert len(data["capture"]) == 2
+        assert all(0.0 <= c <= 1.0 for c in data["capture"])
+
+
+class TestBillingAblation:
+    def test_premium_at_least_one(self):
+        data = billing_ablation(n_flows=20, peak_to_trough=2.0)
+        assert data["premium"] >= 1.0
+        assert data["per_flow_premium_min"] >= 1.0 - 1e-9
+
+    def test_flat_traffic_has_tiny_premium(self):
+        data = billing_ablation(n_flows=20, peak_to_trough=1.0)
+        # Only the multiplicative noise separates p95 from the mean.
+        assert data["premium"] == pytest.approx(1.0, abs=0.35)
+
+    def test_burstier_traffic_pays_more(self):
+        flat = billing_ablation(n_flows=20, peak_to_trough=1.5)
+        bursty = billing_ablation(n_flows=20, peak_to_trough=4.0)
+        assert bursty["premium"] > flat["premium"]

@@ -1,0 +1,306 @@
+"""Tests for the tiered-pricing accounting substrate (paper §5)."""
+
+import pytest
+
+from repro.accounting.bgp import (
+    Community,
+    Route,
+    RoutingTable,
+    TIER_COMMUNITY_NAMESPACE,
+    make_route,
+    tag_routes_with_tiers,
+)
+from repro.accounting.billing import (
+    Invoice,
+    LineItem,
+    average_mbps,
+    build_invoice,
+    percentile_mbps,
+)
+from repro.accounting.flow_based import FlowBasedAccounting
+from repro.accounting.link_based import LinkBasedAccounting
+from repro.errors import AccountingError, DataError
+from repro.netflow.records import FlowKey, NetFlowRecord, PROTO_TCP
+
+ASN = 64500
+
+
+def tagged_rib():
+    """A RIB with three tiered routes: local /16, regional /12, default."""
+    routes = [
+        make_route("10.1.0.0/16", next_hop="LOCAL"),
+        make_route("10.0.0.0/12", next_hop="REGION"),
+        make_route("0.0.0.0/0", next_hop="WORLD"),
+    ]
+    tiers = {"LOCAL": 1, "REGION": 2, "WORLD": 3}
+    tagged = tag_routes_with_tiers(routes, lambda r: tiers[r.next_hop], ASN)
+    rib = RoutingTable()
+    rib.insert_many(tagged)
+    return rib
+
+
+class TestCommunity:
+    def test_str_roundtrip(self):
+        c = Community(namespace=TIER_COMMUNITY_NAMESPACE, asn=ASN, value=2)
+        assert Community.parse(str(c)) == c
+
+    @pytest.mark.parametrize("text", ["tier:1", "tier:x:2", "a:b:c:d", ""])
+    def test_parse_rejects_malformed(self, text):
+        with pytest.raises(DataError):
+            Community.parse(text)
+
+
+class TestRoutesAndTagging:
+    def test_make_route_validates_prefix(self):
+        with pytest.raises(DataError):
+            make_route("10.0.0.300/16", next_hop="X")
+
+    def test_tagging_attaches_community(self):
+        routes = tag_routes_with_tiers(
+            [make_route("10.0.0.0/8", "X")], lambda r: 2, ASN
+        )
+        assert routes[0].tier(ASN) == 2
+        assert routes[0].tier() == 2
+
+    def test_tagging_is_idempotent(self):
+        route = make_route("10.0.0.0/8", "X")
+        once = tag_routes_with_tiers([route], lambda r: 1, ASN)[0]
+        twice = tag_routes_with_tiers([once], lambda r: 1, ASN)[0]
+        assert len(twice.communities) == 1
+
+    def test_tier_filter_by_asn(self):
+        route = make_route("10.0.0.0/8", "X")
+        tagged = tag_routes_with_tiers([route], lambda r: 1, ASN)[0]
+        assert tagged.tier(asn=65001) is None
+
+    def test_untiered_route_reports_none(self):
+        assert make_route("10.0.0.0/8", "X").tier() is None
+
+    def test_invalid_tier_rejected(self):
+        with pytest.raises(AccountingError):
+            tag_routes_with_tiers([make_route("10.0.0.0/8", "X")], lambda r: 0, ASN)
+
+    def test_route_with_community_preserves_as_path(self):
+        route = make_route("10.0.0.0/8", "X", as_path=(ASN, 174))
+        tagged = route.with_community(Community("tier", ASN, 1))
+        assert tagged.as_path == (ASN, 174)
+
+
+class TestRoutingTable:
+    def test_longest_prefix_wins(self):
+        rib = tagged_rib()
+        assert rib.lookup("10.1.2.3").next_hop == "LOCAL"
+        assert rib.lookup("10.9.2.3").next_hop == "REGION"
+        assert rib.lookup("8.8.8.8").next_hop == "WORLD"
+
+    def test_tier_for(self):
+        rib = tagged_rib()
+        assert rib.tier_for("10.1.0.1") == 1
+        assert rib.tier_for("10.8.0.1") == 2
+        assert rib.tier_for("1.1.1.1") == 3
+
+    def test_missing_route(self):
+        rib = RoutingTable()
+        rib.insert(make_route("10.0.0.0/8", "X"))
+        assert rib.lookup("11.0.0.1") is None
+        with pytest.raises(AccountingError, match="no route"):
+            rib.tier_for("11.0.0.1")
+
+    def test_untagged_route_is_a_billing_fault(self):
+        rib = RoutingTable()
+        rib.insert(make_route("10.0.0.0/8", "X"))
+        with pytest.raises(AccountingError, match="tier"):
+            rib.tier_for("10.0.0.1")
+
+    def test_later_insert_wins(self):
+        rib = RoutingTable()
+        rib.insert(make_route("10.0.0.0/8", "OLD"))
+        rib.insert(make_route("10.0.0.0/8", "NEW"))
+        assert rib.lookup("10.0.0.1").next_hop == "NEW"
+        assert len(rib) == 1
+
+    def test_invalid_address(self):
+        with pytest.raises(DataError):
+            tagged_rib().lookup("not-an-ip")
+
+
+class TestBilling:
+    def test_percentile_discards_top_five_percent(self):
+        # 100 samples 1..100: the 95th percentile sample is 95.
+        samples = list(range(1, 101))
+        assert percentile_mbps(samples, 95.0) == 95
+
+    def test_percentile_small_sample(self):
+        assert percentile_mbps([10.0], 95.0) == 10.0
+        assert percentile_mbps([1.0, 100.0], 50.0) == 1.0
+
+    def test_percentile_validation(self):
+        with pytest.raises(AccountingError):
+            percentile_mbps([], 95.0)
+        with pytest.raises(AccountingError):
+            percentile_mbps([1.0], 0.0)
+        with pytest.raises(AccountingError):
+            percentile_mbps([-1.0], 95.0)
+
+    def test_average_mbps(self):
+        # 1e6 bytes over 8 s = 1 Mbps.
+        assert average_mbps(1_000_000, 8.0) == pytest.approx(1.0)
+        with pytest.raises(AccountingError):
+            average_mbps(1, 0.0)
+
+    def test_invoice_total_and_render(self):
+        invoice = build_invoice(
+            "AS65001", {1: 100.0, 2: 50.0}, {1: 2.0, 2: 5.0}
+        )
+        assert invoice.total == pytest.approx(450.0)
+        assert invoice.item_for(2).amount == pytest.approx(250.0)
+        text = invoice.render()
+        assert "AS65001" in text and "tier 1" in text
+
+    def test_invoice_missing_rate(self):
+        with pytest.raises(AccountingError, match="rate"):
+            build_invoice("X", {1: 10.0}, {2: 1.0})
+
+    def test_invoice_missing_tier_lookup(self):
+        invoice = Invoice(customer="X", line_items=(LineItem(1, 1.0, 1.0),))
+        with pytest.raises(AccountingError):
+            invoice.item_for(9)
+
+
+class TestLinkBasedAccounting:
+    def make(self):
+        return LinkBasedAccounting(tiers=[1, 2, 3], rib=tagged_rib())
+
+    def test_traffic_steered_to_tier_links(self):
+        acct = self.make()
+        assert acct.send("10.1.0.5", octets=1000) == 1
+        assert acct.send("10.9.0.5", octets=2000) == 2
+        assert acct.send("9.9.9.9", octets=3000) == 3
+        links = acct.links
+        assert links[1].octets == 1000
+        assert links[2].octets == 2000
+        assert links[3].octets == 3000
+
+    def test_missing_link_for_tier(self):
+        acct = LinkBasedAccounting(tiers=[1, 2], rib=tagged_rib())
+        with pytest.raises(AccountingError, match="no link"):
+            acct.send("9.9.9.9", octets=10)  # tier 3, not provisioned
+
+    def test_snmp_usage_samples(self):
+        acct = self.make()
+        acct.poll(0.0)
+        acct.send("10.1.0.5", octets=300 * 125_000)  # 300 Mbit
+        acct.poll(300.0)  # 1 Mbps over 5 minutes
+        acct.send("10.1.0.5", octets=600 * 125_000)
+        acct.poll(600.0)  # 2 Mbps
+        usage = acct.usage_samples_mbps()
+        assert usage[1] == pytest.approx([1.0, 2.0])
+        assert usage[2] == pytest.approx([0.0, 0.0])
+
+    def test_polls_must_advance(self):
+        acct = self.make()
+        acct.poll(10.0)
+        with pytest.raises(AccountingError):
+            acct.poll(10.0)
+
+    def test_invoice_rates_by_tier(self):
+        acct = self.make()
+        acct.poll(0.0)
+        acct.send("10.1.0.5", octets=300 * 125_000)
+        acct.send("9.9.9.9", octets=600 * 125_000)
+        acct.poll(300.0)
+        invoice = acct.invoice("AS65001", {1: 10.0, 2: 6.0, 3: 2.0})
+        assert invoice.item_for(1).billable_mbps == pytest.approx(1.0)
+        assert invoice.item_for(3).billable_mbps == pytest.approx(2.0)
+        assert invoice.total == pytest.approx(10.0 + 0.0 + 4.0)
+
+    def test_constructor_validation(self):
+        with pytest.raises(AccountingError):
+            LinkBasedAccounting(tiers=[], rib=tagged_rib())
+        with pytest.raises(AccountingError):
+            LinkBasedAccounting(tiers=[1, 1], rib=tagged_rib())
+
+
+def flow_record(dst, octets, router="EDGE", sampling=1):
+    return NetFlowRecord(
+        key=FlowKey("172.16.0.1", dst, 40000, 443, PROTO_TCP),
+        octets=octets,
+        packets=max(1, octets // 800),
+        first_ms=0,
+        last_ms=999,
+        router=router,
+        sampling_interval=sampling,
+    )
+
+
+class TestFlowBasedAccounting:
+    def test_usage_join(self):
+        acct = FlowBasedAccounting(rib=tagged_rib(), window_seconds=8.0)
+        acct.ingest(flow_record("10.1.0.5", 1_000_000))
+        acct.ingest(flow_record("10.9.0.5", 2_000_000))
+        acct.ingest(flow_record("8.8.8.8", 4_000_000))
+        usage = acct.usage_by_tier()
+        assert usage[1].octets == 1_000_000
+        assert usage[2].octets == 2_000_000
+        assert usage[3].mean_mbps(8.0) == pytest.approx(4.0)
+        assert usage[1].n_flows == 1
+
+    def test_sampling_scaled(self):
+        acct = FlowBasedAccounting(rib=tagged_rib(), window_seconds=1.0)
+        acct.ingest(flow_record("10.1.0.5", 1000, sampling=100))
+        assert acct.usage_by_tier()[1].octets == 100_000
+
+    def test_deduplication_across_routers(self):
+        acct = FlowBasedAccounting(rib=tagged_rib(), window_seconds=1.0)
+        acct.ingest(flow_record("10.1.0.5", 1000, router="R1"))
+        acct.ingest(flow_record("10.1.0.5", 1000, router="R2"))
+        assert acct.usage_by_tier()[1].octets == 1000
+
+    def test_no_dedup_mode_sums(self):
+        acct = FlowBasedAccounting(
+            rib=tagged_rib(), window_seconds=1.0, deduplicate=False
+        )
+        acct.ingest(flow_record("10.1.0.5", 1000, router="R1"))
+        acct.ingest(flow_record("10.1.0.5", 1000, router="R2"))
+        assert acct.usage_by_tier()[1].octets == 2000
+
+    def test_invoice(self):
+        acct = FlowBasedAccounting(rib=tagged_rib(), window_seconds=8.0)
+        acct.ingest(flow_record("10.1.0.5", 1_000_000))
+        invoice = acct.invoice("AS65001", {1: 10.0})
+        assert invoice.total == pytest.approx(10.0)
+
+    def test_window_validated(self):
+        with pytest.raises(AccountingError):
+            FlowBasedAccounting(rib=tagged_rib(), window_seconds=0.0)
+
+
+class TestSchemesAgree:
+    def test_link_and_flow_accounting_bill_the_same_traffic_alike(self):
+        """Integration: both §5.2 schemes yield the same mean-rate totals."""
+        rib = tagged_rib()
+        rates = {1: 10.0, 2: 6.0, 3: 2.0}
+        window = 300.0
+        traffic = [
+            ("10.1.0.5", 300 * 125_000),
+            ("10.9.0.5", 600 * 125_000),
+            ("8.8.8.8", 150 * 125_000),
+        ]
+
+        link_acct = LinkBasedAccounting(tiers=[1, 2, 3], rib=rib)
+        link_acct.poll(0.0)
+        for dst, octets in traffic:
+            link_acct.send(dst, octets)
+        link_acct.poll(window)
+        link_invoice = link_acct.invoice("C", rates)
+
+        flow_acct = FlowBasedAccounting(rib=rib, window_seconds=window)
+        for dst, octets in traffic:
+            flow_acct.ingest(flow_record(dst, octets))
+        flow_invoice = flow_acct.invoice("C", rates)
+
+        assert link_invoice.total == pytest.approx(flow_invoice.total)
+        for tier in (1, 2, 3):
+            assert link_invoice.item_for(tier).billable_mbps == pytest.approx(
+                flow_invoice.item_for(tier).billable_mbps
+            )

@@ -1,0 +1,266 @@
+"""Tests for constant-elasticity demand (paper §3.2.1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.ced import CEDDemand
+from repro.errors import CalibrationError, ModelParameterError
+
+
+@pytest.fixture
+def model():
+    return CEDDemand(alpha=2.0)
+
+
+class TestConstruction:
+    @pytest.mark.parametrize("alpha", [1.0, 0.5, 0.0, -1.0, float("nan")])
+    def test_alpha_must_exceed_one(self, alpha):
+        with pytest.raises(ModelParameterError, match="alpha"):
+            CEDDemand(alpha)
+
+    def test_describe_mentions_alpha(self):
+        assert "1.7" in CEDDemand(1.7).describe()
+
+    def test_repr(self):
+        assert repr(CEDDemand(2.0)) == "CEDDemand(alpha=2.0)"
+
+    def test_population_is_unity(self, model):
+        assert model.population(np.array([1.0, 2.0])) == 1.0
+
+
+class TestQuantities:
+    def test_eq2_shape(self, model):
+        v = np.array([1.0, 2.0])
+        p = np.array([1.0, 1.0])
+        q = model.quantities(v, p)
+        assert q == pytest.approx([1.0, 4.0])
+
+    def test_demand_decreases_with_price(self, model):
+        v = np.array([1.5])
+        q_low = model.quantities(v, np.array([1.0]))
+        q_high = model.quantities(v, np.array([2.0]))
+        assert q_high[0] < q_low[0]
+
+    def test_unit_elasticity_scaling(self):
+        # Doubling price scales demand by 2^-alpha.
+        model = CEDDemand(alpha=3.0)
+        v = np.array([1.0])
+        ratio = model.quantities(v, np.array([2.0]))[0] / model.quantities(
+            v, np.array([1.0])
+        )[0]
+        assert ratio == pytest.approx(2.0**-3)
+
+    def test_nonpositive_price_rejected(self, model):
+        with pytest.raises(ModelParameterError):
+            model.quantities(np.array([1.0]), np.array([0.0]))
+
+    def test_shape_mismatch_rejected(self, model):
+        with pytest.raises(ModelParameterError):
+            model.quantities(np.array([1.0, 2.0]), np.array([1.0]))
+
+
+class TestPricing:
+    def test_eq4_markup(self, model):
+        # alpha=2 -> p* = 2c.
+        c = np.array([1.0, 0.5, 3.0])
+        p = model.optimal_prices(np.array([1.0, 1.0, 1.0]), c)
+        assert p == pytest.approx(2.0 * c)
+
+    def test_markup_grows_as_alpha_approaches_one(self):
+        c = np.array([1.0])
+        v = np.array([1.0])
+        p_inelastic = CEDDemand(1.05).optimal_prices(v, c)[0]
+        p_elastic = CEDDemand(5.0).optimal_prices(v, c)[0]
+        assert p_inelastic > p_elastic > 1.0
+
+    def test_nonpositive_cost_rejected(self, model):
+        with pytest.raises(ModelParameterError):
+            model.optimal_prices(np.array([1.0]), np.array([0.0]))
+
+    def test_uniform_price_single_flow_matches_eq4(self, model):
+        v = np.array([1.3])
+        c = np.array([0.7])
+        assert model.uniform_price(v, c) == pytest.approx(
+            model.optimal_prices(v, c)[0]
+        )
+
+    def test_uniform_price_is_weighted_markup(self, model):
+        # Eq 5: the blended optimum is the markup applied to a
+        # v^alpha-weighted average cost.
+        v = np.array([1.0, 2.0])
+        c = np.array([1.0, 0.5])
+        expected = 2.0 * (1.0 * 1.0 + 0.5 * 4.0) / (1.0 + 4.0)
+        assert model.uniform_price(v, c) == pytest.approx(expected)
+        assert model.uniform_price(v, c) == pytest.approx(1.2)
+
+    def test_uniform_price_between_extreme_flow_optima(self, model):
+        v = np.array([1.0, 1.0, 1.0])
+        c = np.array([0.5, 1.0, 2.0])
+        uniform = model.uniform_price(v, c)
+        per_flow = model.optimal_prices(v, c)
+        assert per_flow.min() < uniform < per_flow.max()
+
+    def test_uniform_price_first_order_condition(self, model):
+        # No single price earns more than the Eq 5 price.
+        v = np.array([1.0, 2.0, 0.5])
+        c = np.array([1.0, 0.4, 2.0])
+        p_star = model.uniform_price(v, c)
+        best = model.profit(v, c, np.full(3, p_star))
+        for p in np.linspace(0.5, 5.0, 200):
+            assert model.profit(v, c, np.full(3, p)) <= best + 1e-12
+
+
+class TestProfitAndSurplus:
+    def test_profit_at_blended_rate_matches_direct_sum(self, model):
+        v = np.array([1.0, 2.0])
+        c = np.array([1.0, 0.5])
+        p = np.array([1.2, 1.2])
+        q = model.quantities(v, p)
+        assert model.profit(v, c, p) == pytest.approx(float(np.sum(q * (p - c))))
+
+    def test_figure1_profit_numbers(self, model):
+        v = np.array([1.0, 2.0])
+        c = np.array([1.0, 0.5])
+        blended = model.profit(v, c, np.array([1.2, 1.2]))
+        tiered = model.profit(v, c, model.optimal_prices(v, c))
+        assert blended == pytest.approx(25.0 / 12.0)  # $2.08
+        assert tiered == pytest.approx(2.25)
+
+    def test_figure1_surplus_numbers(self, model):
+        v = np.array([1.0, 2.0])
+        blended = model.consumer_surplus(v, np.array([1.2, 1.2]))
+        tiered = model.consumer_surplus(v, np.array([2.0, 1.0]))
+        assert blended == pytest.approx(25.0 / 6.0)  # $4.17
+        assert tiered == pytest.approx(4.5)
+
+    def test_surplus_formula_alpha2(self, model):
+        # CS = p*q/(alpha-1) = p*q at alpha=2.
+        v = np.array([1.0])
+        p = np.array([0.8])
+        q = model.quantities(v, p)[0]
+        assert model.consumer_surplus(v, p) == pytest.approx(0.8 * q)
+
+    def test_surplus_matches_numeric_integral(self):
+        model = CEDDemand(alpha=1.5)
+        v = np.array([2.0])
+        price = 1.3
+        # integral of q(p) dp from price to infinity equals CS for CED;
+        # a log-spaced grid tames the slowly decaying p^(-1/2) tail.
+        grid = np.logspace(np.log10(price), 9, 400_000)
+        q = model.quantities(np.full(grid.size, 2.0), grid)
+        numeric = np.trapezoid(q, grid)
+        assert model.consumer_surplus(v, np.array([price])) == pytest.approx(
+            numeric, rel=1e-3
+        )
+
+    def test_surplus_decreases_with_price(self, model):
+        v = np.array([1.0, 1.0])
+        low = model.consumer_surplus(v, np.array([1.0, 1.0]))
+        high = model.consumer_surplus(v, np.array([2.0, 2.0]))
+        assert high < low
+
+
+class TestCalibration:
+    def test_valuation_fit_inverts_demand(self, model):
+        q = np.array([4.0, 9.0, 0.25])
+        p0 = 2.0
+        v = model.fit_valuations(q, p0)
+        assert model.quantities(v, np.full(3, p0)) == pytest.approx(q)
+
+    def test_valuation_fit_formula(self):
+        # v = P0 * q^(1/alpha)  (the corrected §4.1.2 formula).
+        model = CEDDemand(alpha=2.0)
+        v = model.fit_valuations(np.array([9.0]), 3.0)
+        assert v[0] == pytest.approx(3.0 * 3.0)
+
+    @pytest.mark.parametrize("bad", [0.0, -1.0, float("nan")])
+    def test_valuation_fit_rejects_bad_rate(self, model, bad):
+        with pytest.raises((ModelParameterError, CalibrationError)):
+            model.fit_valuations(np.array([1.0]), bad)
+
+    def test_valuation_fit_rejects_bad_demand(self, model):
+        with pytest.raises(CalibrationError):
+            model.fit_valuations(np.array([1.0, 0.0]), 2.0)
+
+    def test_gamma_makes_blended_rate_optimal(self, model):
+        q = np.array([10.0, 3.0, 100.0, 0.5])
+        f = np.array([1.0, 5.0, 2.0, 11.0])
+        p0 = 20.0
+        v = model.fit_valuations(q, p0)
+        gamma = model.fit_gamma(v, f, p0)
+        assert model.uniform_price(v, gamma * f) == pytest.approx(p0)
+
+    def test_gamma_positive(self, model):
+        v = model.fit_valuations(np.array([5.0, 1.0]), 10.0)
+        gamma = model.fit_gamma(v, np.array([2.0, 8.0]), 10.0)
+        assert gamma > 0
+
+    def test_gamma_rejects_nonpositive_costs(self, model):
+        v = model.fit_valuations(np.array([5.0, 1.0]), 10.0)
+        with pytest.raises(CalibrationError):
+            model.fit_gamma(v, np.array([2.0, 0.0]), 10.0)
+
+    def test_gamma_scales_inversely_with_relative_costs(self, model):
+        # Doubling all relative costs halves gamma (dollar costs unchanged).
+        q = np.array([3.0, 7.0])
+        f = np.array([1.0, 4.0])
+        v = model.fit_valuations(q, 10.0)
+        g1 = model.fit_gamma(v, f, 10.0)
+        g2 = model.fit_gamma(v, 2.0 * f, 10.0)
+        assert g2 == pytest.approx(g1 / 2.0)
+
+    def test_large_alpha_fit_is_stable(self):
+        # v**alpha overflows naively at alpha=10; the implementation
+        # normalizes internally.
+        model = CEDDemand(alpha=10.0)
+        q = np.array([1e4, 1e2, 1.0])
+        v = model.fit_valuations(q, 30.0)
+        gamma = model.fit_gamma(v, np.array([1.0, 10.0, 100.0]), 30.0)
+        assert np.isfinite(gamma) and gamma > 0
+        assert model.uniform_price(v, gamma * np.array([1.0, 10.0, 100.0])) == (
+            pytest.approx(30.0)
+        )
+
+
+class TestPotentialProfit:
+    def test_eq12_matches_profit_at_optimum(self, model):
+        v = np.array([1.0, 2.0, 0.7])
+        c = np.array([1.0, 0.5, 2.0])
+        pi = model.potential_profits(v, c)
+        for i in range(3):
+            vi = v[i : i + 1]
+            ci = c[i : i + 1]
+            direct = model.profit(vi, ci, model.optimal_prices(vi, ci))
+            assert pi[i] == pytest.approx(direct)
+
+    def test_eq12_closed_form(self, model):
+        # pi = v^a/a * (a c/(a-1))^(1-a); alpha=2, v=1, c=1 -> 0.25.
+        pi = model.potential_profits(np.array([1.0]), np.array([1.0]))
+        assert pi[0] == pytest.approx(0.25)
+
+    def test_potential_profit_increases_with_valuation(self, model):
+        pi = model.potential_profits(np.array([1.0, 2.0]), np.array([1.0, 1.0]))
+        assert pi[1] > pi[0]
+
+    def test_potential_profit_decreases_with_cost(self, model):
+        pi = model.potential_profits(np.array([1.0, 1.0]), np.array([1.0, 2.0]))
+        assert pi[1] < pi[0]
+
+
+class TestBundleObjective:
+    def test_slice_scores_match_direct_bundle_profit(self, model):
+        v = np.array([1.0, 1.5, 2.0, 0.5])
+        c = np.array([0.5, 0.8, 1.1, 2.0])
+        objective = model.bundle_objective(v, c)
+        for i in range(4):
+            for j in range(i + 1, 5):
+                members = np.arange(i, j)
+                price = model.uniform_price(v[members], c[members])
+                direct = model.profit(
+                    v[members], c[members], np.full(members.size, price)
+                )
+                assert objective.slice_score(i, j) == pytest.approx(direct)
+
+    def test_empty_slice_scores_zero(self, model):
+        objective = model.bundle_objective(np.array([1.0]), np.array([1.0]))
+        assert objective.slice_score(0, 0) == 0.0

@@ -1,0 +1,166 @@
+"""Tests for commit-level (volume-discount) pricing."""
+
+import numpy as np
+import pytest
+
+from repro.core.commitments import (
+    CommitContract,
+    CommitMarket,
+    ContractChoice,
+)
+from repro.errors import ModelParameterError
+
+
+@pytest.fixture
+def market():
+    return CommitMarket(alpha=2.0, unit_cost=1.0)
+
+
+@pytest.fixture
+def customers(rng):
+    return rng.lognormal(mean=1.5, sigma=0.8, size=60)
+
+
+class TestConstruction:
+    @pytest.mark.parametrize("alpha", [1.0, 0.5, float("nan")])
+    def test_alpha_validated(self, alpha):
+        with pytest.raises(ModelParameterError):
+            CommitMarket(alpha=alpha, unit_cost=1.0)
+
+    def test_unit_cost_validated(self):
+        with pytest.raises(ModelParameterError):
+            CommitMarket(alpha=2.0, unit_cost=0.0)
+
+    def test_contract_validated(self):
+        with pytest.raises(ModelParameterError):
+            CommitContract(commit_mbps=-1.0, price_per_mbps=1.0)
+        with pytest.raises(ModelParameterError):
+            CommitContract(commit_mbps=0.0, price_per_mbps=0.0)
+
+
+class TestSingleContract:
+    def test_unconstrained_usage_is_ced_demand(self, market):
+        contract = CommitContract(commit_mbps=0.0, price_per_mbps=2.0)
+        choice = market.evaluate(4.0, contract)
+        assert choice.usage_mbps == pytest.approx((4.0 / 2.0) ** 2)
+        assert choice.payment == pytest.approx(2.0 * 4.0)
+        # CED surplus: p q / (alpha - 1) = p q at alpha = 2.
+        assert choice.surplus == pytest.approx(choice.payment)
+
+    def test_commit_floor_binds_small_customers(self, market):
+        contract = CommitContract(commit_mbps=100.0, price_per_mbps=2.0)
+        choice = market.evaluate(4.0, contract)  # wants 4 Mbps, pays for 100
+        assert choice.usage_mbps == 100.0
+        assert choice.payment == pytest.approx(200.0)
+        assert choice.surplus < 0
+
+    def test_big_customer_clears_the_commit(self, market):
+        contract = CommitContract(commit_mbps=4.0, price_per_mbps=2.0)
+        choice = market.evaluate(20.0, contract)
+        assert choice.usage_mbps == pytest.approx(100.0)
+        assert choice.surplus > 0
+
+    def test_utility_concave_increasing(self, market):
+        u = [market.utility(3.0, q) for q in (1.0, 2.0, 3.0)]
+        assert u[0] < u[1] < u[2]
+        assert u[1] - u[0] > u[2] - u[1]
+
+
+class TestSelfSelection:
+    def test_opt_out_when_everything_is_unprofitable(self, market):
+        menu = [CommitContract(commit_mbps=1000.0, price_per_mbps=50.0)]
+        choice = market.choose(0.5, menu)
+        assert choice.contract_index is None
+        assert choice.payment == 0.0
+
+    def test_selection_is_monotone_in_valuation(self, market):
+        # Volume discounts: bigger commits, cheaper unit price.
+        menu = [
+            CommitContract(commit_mbps=0.0, price_per_mbps=3.0),
+            CommitContract(commit_mbps=10.0, price_per_mbps=2.4),
+            CommitContract(commit_mbps=60.0, price_per_mbps=2.0),
+        ]
+        picks = []
+        for valuation in (1.0, 3.0, 6.0, 12.0, 25.0):
+            choice = market.choose(valuation, menu)
+            picks.append(
+                -1 if choice.contract_index is None else choice.contract_index
+            )
+        assert picks == sorted(picks)
+
+    def test_choice_maximizes_surplus(self, market):
+        menu = [
+            CommitContract(commit_mbps=0.0, price_per_mbps=3.0),
+            CommitContract(commit_mbps=20.0, price_per_mbps=2.0),
+        ]
+        for valuation in (2.0, 8.0, 15.0):
+            choice = market.choose(valuation, menu)
+            for contract in menu:
+                assert choice.surplus >= market.evaluate(
+                    valuation, contract
+                ).surplus - 1e-9
+
+    def test_menu_required(self, market):
+        with pytest.raises(ModelParameterError):
+            market.choose(1.0, [])
+
+
+class TestProfit:
+    def test_blended_baseline_markup(self, market, customers):
+        baseline = market.best_single_price(customers)
+        assert baseline.price_per_mbps == pytest.approx(2.0)  # 2c at alpha=2
+        assert baseline.commit_mbps == 0.0
+
+    def test_profit_accounts_for_cost(self, market):
+        menu = [CommitContract(commit_mbps=0.0, price_per_mbps=2.0)]
+        valuations = [4.0]
+        q = (4.0 / 2.0) ** 2
+        assert market.profit(valuations, menu) == pytest.approx(2.0 * q - 1.0 * q)
+
+    def test_served_surplus_nonnegative_under_selection(self, market, customers):
+        menu = [
+            CommitContract(commit_mbps=0.0, price_per_mbps=3.0),
+            CommitContract(commit_mbps=50.0, price_per_mbps=2.2),
+        ]
+        for choice in market.simulate(customers, menu):
+            assert choice.surplus >= -1e-12
+
+
+class TestMenuOptimization:
+    def test_optimized_menu_beats_or_matches_blended(self, market, customers):
+        usages = (np.asarray(customers) / 2.0) ** 2
+        commits = [0.0, np.quantile(usages, 0.6), np.quantile(usages, 0.9)]
+        menu = market.optimize_menu_prices(customers, commits)
+        blended_profit = market.profit(
+            customers, [market.best_single_price(customers)]
+        )
+        assert market.profit(customers, menu) >= blended_profit - 1e-9
+
+    def test_optimized_menu_discounts_volume(self, market, customers):
+        """If the optimizer keeps several active contracts, the bigger
+        commits carry weakly lower unit prices (volume discounts)."""
+        usages = (np.asarray(customers) / 2.0) ** 2
+        commits = [0.0, float(np.quantile(usages, 0.7))]
+        menu = market.optimize_menu_prices(customers, commits)
+        if len(menu) == 2:
+            chosen = {
+                c.contract_index for c in market.simulate(customers, menu)
+            }
+            if chosen == {0, 1}:
+                assert menu[1].price_per_mbps <= menu[0].price_per_mbps + 1e-6
+
+    def test_validation(self, market):
+        with pytest.raises(ModelParameterError):
+            market.optimize_menu_prices([1.0], [])
+        with pytest.raises(ModelParameterError):
+            market.optimize_menu_prices([], [0.0])
+        with pytest.raises(ModelParameterError):
+            market.optimize_menu_prices([1.0], [-5.0])
+
+
+def test_contract_choice_is_frozen():
+    choice = ContractChoice(
+        contract_index=0, usage_mbps=1.0, payment=2.0, surplus=0.5
+    )
+    with pytest.raises(AttributeError):
+        choice.payment = 3.0

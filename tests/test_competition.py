@@ -1,0 +1,214 @@
+"""Tests for the logit competition extension."""
+
+import numpy as np
+import pytest
+
+from repro.core.competition import (
+    CompetitionEquilibrium,
+    Firm,
+    LogitCompetition,
+)
+from repro.core.logit import LogitDemand
+from repro.errors import ModelParameterError
+
+
+@pytest.fixture
+def valuations():
+    return np.array([22.0, 21.0, 20.0, 19.5])
+
+
+@pytest.fixture
+def costs():
+    return np.array([2.0, 3.0, 5.0, 9.0])
+
+
+def duopoly(valuations, costs, bundles_a=None, bundles_b=None, quality_b=0.0):
+    return LogitCompetition(
+        valuations,
+        firms=[
+            Firm(name="A", costs=costs, bundles=bundles_a),
+            Firm(name="B", costs=costs.copy(), quality=quality_b, bundles=bundles_b),
+        ],
+        alpha=1.1,
+    )
+
+
+class TestConstruction:
+    def test_requires_firms(self, valuations):
+        with pytest.raises(ModelParameterError):
+            LogitCompetition(valuations, firms=[], alpha=1.0)
+
+    def test_cost_shape_checked(self, valuations):
+        with pytest.raises(ModelParameterError):
+            LogitCompetition(
+                valuations, firms=[Firm("A", np.array([1.0]))], alpha=1.0
+            )
+
+    def test_duplicate_names_rejected(self, valuations, costs):
+        with pytest.raises(ModelParameterError, match="unique"):
+            LogitCompetition(
+                valuations,
+                firms=[Firm("A", costs), Firm("A", costs)],
+                alpha=1.0,
+            )
+
+    def test_bundles_must_partition(self, valuations, costs):
+        with pytest.raises(ModelParameterError, match="partition"):
+            Firm("A", costs, bundles=[np.array([0, 1])])
+
+    def test_overlapping_bundles_rejected(self, costs):
+        with pytest.raises(ModelParameterError, match="overlap"):
+            Firm("A", costs, bundles=[np.array([0, 1]), np.array([1, 2, 3])])
+
+
+class TestShares:
+    def test_all_shares_sum_to_one(self, valuations, costs):
+        market = duopoly(valuations, costs)
+        prices = {"A": costs + 3.0, "B": costs + 4.0}
+        shares = market.shares(prices)
+        total = sum(s.sum() for s in shares.values()) + market.outside_share(
+            prices
+        )
+        assert total == pytest.approx(1.0)
+
+    def test_cheaper_firm_wins_share(self, valuations, costs):
+        market = duopoly(valuations, costs)
+        prices = {"A": costs + 2.0, "B": costs + 5.0}
+        shares = market.shares(prices)
+        assert shares["A"].sum() > shares["B"].sum()
+
+    def test_quality_wins_share_at_equal_prices(self, valuations, costs):
+        market = duopoly(valuations, costs, quality_b=1.0)
+        prices = {"A": costs + 3.0, "B": costs + 3.0}
+        shares = market.shares(prices)
+        assert shares["B"].sum() > shares["A"].sum()
+
+
+class TestMonopolyConsistency:
+    def test_single_firm_matches_logit_demand_model(self, valuations, costs):
+        """One firm must reproduce the paper's monopoly pricing exactly."""
+        alpha = 1.3
+        market = LogitCompetition(
+            valuations, firms=[Firm("mono", costs)], alpha=alpha
+        )
+        response = market.best_response("mono", {"mono": costs + 1.0})
+        mono = LogitDemand(alpha=alpha, s0=0.5)  # s0 unused by pricing
+        expected = mono.optimal_prices(valuations, costs)
+        assert response == pytest.approx(expected)
+
+    def test_single_blended_firm_matches_uniform_price(self, valuations, costs):
+        alpha = 1.3
+        market = LogitCompetition(
+            valuations,
+            firms=[Firm("mono", costs, bundles=[np.arange(4)])],
+            alpha=alpha,
+        )
+        response = market.best_response("mono", {"mono": costs + 1.0})
+        mono = LogitDemand(alpha=alpha, s0=0.5)
+        expected = mono.uniform_price(valuations, costs)
+        assert response == pytest.approx(np.full(4, expected))
+
+
+class TestBestResponse:
+    def test_equal_markup_over_costs(self, valuations, costs):
+        market = duopoly(valuations, costs)
+        response = market.best_response("A", {"A": costs + 1, "B": costs + 3})
+        markups = response - costs
+        assert np.allclose(markups, markups[0])
+
+    def test_response_is_locally_optimal(self, valuations, costs, rng):
+        market = duopoly(valuations, costs)
+        rival = {"B": costs + 3.0}
+        response = market.best_response("A", {"A": costs + 1, **rival})
+        best = market.profit("A", {"A": response, **rival})
+        for _ in range(40):
+            jitter = rng.normal(0.0, 0.4, 4)
+            candidate = {"A": response + jitter, **rival}
+            if np.any(candidate["A"] <= 0):
+                continue
+            assert market.profit("A", candidate) <= best + 1e-10
+
+    def test_tiering_constraint_lowers_best_profit(self, valuations, costs):
+        rival_prices = costs + 3.0
+        free = duopoly(valuations, costs)
+        blended = duopoly(valuations, costs, bundles_a=[np.arange(4)])
+        free_profit = free.profit(
+            "A",
+            {
+                "A": free.best_response("A", {"A": costs + 1, "B": rival_prices}),
+                "B": rival_prices,
+            },
+        )
+        blended_profit = blended.profit(
+            "A",
+            {
+                "A": blended.best_response(
+                    "A", {"A": costs + 1, "B": rival_prices}
+                ),
+                "B": rival_prices,
+            },
+        )
+        assert blended_profit < free_profit
+
+
+class TestEquilibrium:
+    def test_converges_and_is_nash(self, valuations, costs):
+        eq = duopoly(valuations, costs).equilibrium()
+        assert isinstance(eq, CompetitionEquilibrium)
+        assert eq.is_nash()
+        assert eq.rounds < 5000
+
+    def test_symmetric_firms_split_the_market(self, valuations, costs):
+        eq = duopoly(valuations, costs).equilibrium()
+        assert eq.share("A") == pytest.approx(eq.share("B"), rel=1e-6)
+        assert eq.profit("A") == pytest.approx(eq.profit("B"), rel=1e-6)
+
+    def test_competition_compresses_markups(self, valuations, costs):
+        """Duopoly equilibrium markups are below the monopoly markup."""
+        alpha = 1.1
+        mono = LogitDemand(alpha=alpha, s0=0.5)
+        monopoly_markup = mono.optimal_markup(valuations, costs)
+        eq = duopoly(valuations, costs).equilibrium()
+        assert eq.markup("A") < monopoly_markup
+        assert eq.markup("B") < monopoly_markup
+
+    def test_quality_advantage_pays(self, valuations, costs):
+        eq = duopoly(valuations, costs, quality_b=1.5).equilibrium()
+        assert eq.share("B") > eq.share("A")
+        assert eq.profit("B") > eq.profit("A")
+
+    def test_unilateral_tiering_beats_blended_rival(self, valuations, costs):
+        """The §2.2 story under explicit competition: the ISP that tiers
+        out-earns an otherwise identical blended-rate rival."""
+        eq = duopoly(
+            valuations,
+            costs,
+            bundles_a=None,                # A prices per flow
+            bundles_b=[np.arange(4)],      # B sells one blended rate
+        ).equilibrium()
+        assert eq.profit("A") > eq.profit("B")
+        assert eq.share("A") > eq.share("B")
+
+    def test_both_tiering_is_symmetric_again(self, valuations, costs):
+        eq = duopoly(
+            valuations,
+            costs,
+            bundles_a=[np.array([0, 1]), np.array([2, 3])],
+            bundles_b=[np.array([0, 1]), np.array([2, 3])],
+        ).equilibrium()
+        assert eq.profit("A") == pytest.approx(eq.profit("B"), rel=1e-6)
+
+    def test_three_firm_markets_converge(self, valuations, costs):
+        market = LogitCompetition(
+            valuations,
+            firms=[
+                Firm("A", costs),
+                Firm("B", costs * 1.1),
+                Firm("C", costs * 0.9),
+            ],
+            alpha=1.1,
+        )
+        eq = market.equilibrium()
+        assert eq.is_nash()
+        # The lowest-cost firm earns the most.
+        assert eq.profit("C") > eq.profit("A") > eq.profit("B")

@@ -1,0 +1,127 @@
+"""Tests for tier-design drift evaluation."""
+
+import numpy as np
+import pytest
+
+from repro.accounting.drift import evaluate_drift
+from repro.accounting.tier_designer import TierDesign
+from repro.core.bundling import ProfitWeightedBundling
+from repro.core.ced import CEDDemand
+from repro.core.cost import DestinationTypeCost, LinearDistanceCost
+from repro.core.flow import FlowSet
+from repro.core.market import Market
+from repro.errors import AccountingError
+
+P0 = 20.0
+
+
+def make_flows(demands, distances, offset=0):
+    return FlowSet(
+        demands_mbps=demands,
+        distances_miles=distances,
+        dsts=[f"10.0.{(offset + i) // 250}.{(offset + i) % 250 + 1}" for i in range(len(demands))],
+    )
+
+
+@pytest.fixture
+def base_flows(rng):
+    return make_flows(
+        rng.lognormal(3.0, 1.2, 40), rng.lognormal(3.5, 0.9, 40)
+    )
+
+
+@pytest.fixture
+def design(base_flows):
+    market = Market(base_flows, CEDDemand(1.1), LinearDistanceCost(0.2), P0)
+    outcome = market.tiered_outcome(ProfitWeightedBundling(), 3)
+    return TierDesign.from_outcome(market, outcome)
+
+
+class TestNoDrift:
+    def test_same_traffic_has_no_regret(self, design, base_flows):
+        report = evaluate_drift(
+            design, base_flows, CEDDemand(1.1), LinearDistanceCost(0.2), P0
+        )
+        assert report.unknown_destinations == 0
+        assert report.missing_destinations == 0
+        assert report.regret == pytest.approx(0.0, abs=1e-6)
+        assert not report.should_retier()
+
+    def test_captures_match_on_identical_traffic(self, design, base_flows):
+        report = evaluate_drift(
+            design, base_flows, CEDDemand(1.1), LinearDistanceCost(0.2), P0
+        )
+        assert report.stale_capture == pytest.approx(report.refreshed_capture)
+
+
+class TestDrift:
+    def test_uniform_growth_is_benign(self, design, base_flows):
+        # All flows double: relative structure unchanged; stale tiers fine.
+        grown = base_flows.replace(demands_mbps=2.0 * base_flows.demands)
+        report = evaluate_drift(
+            design, grown, CEDDemand(1.1), LinearDistanceCost(0.2), P0
+        )
+        assert report.capture_drop == pytest.approx(0.0, abs=0.02)
+        assert not report.should_retier()
+
+    def test_structural_drift_creates_regret(self, design, base_flows, rng):
+        # Traffic inverts: cheap destinations shrink, expensive ones boom,
+        # and distances reshuffle - the old cost-aligned tiers misprice.
+        shuffled = make_flows(
+            base_flows.demands[::-1],
+            rng.permutation(base_flows.distances) * rng.uniform(0.2, 5.0, 40),
+        )
+        report = evaluate_drift(
+            design, shuffled, CEDDemand(1.1), LinearDistanceCost(0.2), P0
+        )
+        assert report.regret > 0
+        assert report.refreshed_capture > report.stale_capture
+
+    def test_new_destinations_counted_and_priced_at_blended(
+        self, design, base_flows, rng
+    ):
+        extra = make_flows(
+            rng.lognormal(3.0, 1.0, 10), rng.lognormal(3.5, 0.9, 10), offset=500
+        )
+        combined = FlowSet(
+            demands_mbps=np.concatenate((base_flows.demands, extra.demands)),
+            distances_miles=np.concatenate(
+                (base_flows.distances, extra.distances)
+            ),
+            dsts=list(base_flows.dsts) + list(extra.dsts),
+        )
+        report = evaluate_drift(
+            design, combined, CEDDemand(1.1), LinearDistanceCost(0.2), P0
+        )
+        assert report.unknown_destinations == 10
+        assert report.missing_destinations == 0
+
+    def test_churned_destinations_counted(self, design, base_flows):
+        shrunk = base_flows.subset(list(range(25)))
+        report = evaluate_drift(
+            design, shrunk, CEDDemand(1.1), LinearDistanceCost(0.2), P0
+        )
+        assert report.missing_destinations == 15
+        assert report.unknown_destinations == 0
+
+
+class TestValidation:
+    def test_needs_destinations(self, design, rng):
+        anonymous = FlowSet(
+            demands_mbps=rng.lognormal(3.0, 1.0, 5),
+            distances_miles=rng.lognormal(3.0, 0.5, 5),
+        )
+        with pytest.raises(AccountingError, match="destination"):
+            evaluate_drift(
+                design, anonymous, CEDDemand(1.1), LinearDistanceCost(0.2), P0
+            )
+
+    def test_splitting_cost_model_rejected(self, design, base_flows):
+        with pytest.raises(AccountingError, match="non-splitting"):
+            evaluate_drift(
+                design,
+                base_flows,
+                CEDDemand(1.1),
+                DestinationTypeCost(0.2),
+                P0,
+            )

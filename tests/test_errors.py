@@ -1,0 +1,52 @@
+"""The exception hierarchy: everything catches as ReproError."""
+
+import pytest
+
+from repro.errors import (
+    AccountingError,
+    BundlingError,
+    CalibrationError,
+    DataError,
+    ModelParameterError,
+    OptimizationError,
+    ReproError,
+    TopologyError,
+)
+
+ALL_ERRORS = [
+    AccountingError,
+    BundlingError,
+    CalibrationError,
+    DataError,
+    ModelParameterError,
+    OptimizationError,
+    TopologyError,
+]
+
+
+@pytest.mark.parametrize("exc_type", ALL_ERRORS)
+def test_all_errors_derive_from_repro_error(exc_type):
+    assert issubclass(exc_type, ReproError)
+
+
+def test_value_like_errors_are_value_errors():
+    for exc_type in (ModelParameterError, BundlingError, DataError, TopologyError):
+        assert issubclass(exc_type, ValueError)
+
+
+def test_runtime_like_errors_are_runtime_errors():
+    for exc_type in (CalibrationError, OptimizationError, AccountingError):
+        assert issubclass(exc_type, RuntimeError)
+
+
+def test_catching_base_catches_subclass():
+    with pytest.raises(ReproError):
+        raise CalibrationError("fit failed")
+
+
+@pytest.mark.parametrize("exc_type", ALL_ERRORS)
+def test_errors_carry_messages(exc_type):
+    try:
+        raise exc_type("specific detail")
+    except ReproError as caught:
+        assert "specific detail" in str(caught)

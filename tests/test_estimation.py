@@ -1,0 +1,150 @@
+"""Tests for demand-parameter estimation from price changes."""
+
+import numpy as np
+import pytest
+
+from repro.core.ced import CEDDemand
+from repro.core.estimation import (
+    ElasticityEstimate,
+    PriceSnapshot,
+    estimate_ced_alpha,
+    estimate_logit_alpha,
+    implied_outside_share,
+    predicted_demand_change,
+)
+from repro.core.logit import LogitDemand
+from repro.errors import CalibrationError, ModelParameterError
+
+
+class TestPriceSnapshot:
+    def test_validation(self):
+        with pytest.raises(ModelParameterError):
+            PriceSnapshot(price=0.0, demands=np.array([1.0]))
+        with pytest.raises(ModelParameterError):
+            PriceSnapshot(price=1.0, demands=np.array([]))
+        with pytest.raises(ModelParameterError):
+            PriceSnapshot(price=1.0, demands=np.array([1.0, 0.0]))
+
+
+class TestCEDEstimation:
+    def make_snapshots(self, alpha, p_before=20.0, p_after=15.0, noise=0.0, n=50):
+        rng = np.random.default_rng(4)
+        model = CEDDemand(alpha)
+        valuations = rng.lognormal(3.0, 0.6, n)
+        q_before = model.quantities(valuations, np.full(n, p_before))
+        q_after = model.quantities(valuations, np.full(n, p_after))
+        if noise:
+            q_before = q_before * rng.lognormal(0, noise, n)
+            q_after = q_after * rng.lognormal(0, noise, n)
+        return (
+            PriceSnapshot(p_before, q_before),
+            PriceSnapshot(p_after, q_after),
+        )
+
+    @pytest.mark.parametrize("alpha", [1.1, 2.0, 4.0])
+    def test_exact_recovery_without_noise(self, alpha):
+        before, after = self.make_snapshots(alpha)
+        estimate = estimate_ced_alpha(before, after)
+        assert estimate.alpha == pytest.approx(alpha, rel=1e-9)
+        assert estimate.dispersion == pytest.approx(0.0, abs=1e-9)
+        assert estimate.homogeneous
+
+    def test_recovery_under_noise(self):
+        before, after = self.make_snapshots(1.5, noise=0.1)
+        estimate = estimate_ced_alpha(before, after)
+        assert estimate.alpha == pytest.approx(1.5, rel=0.25)
+
+    def test_price_increase_direction_irrelevant(self):
+        before, after = self.make_snapshots(2.0, p_before=10.0, p_after=25.0)
+        assert estimate_ced_alpha(before, after).alpha == pytest.approx(2.0)
+
+    def test_heterogeneous_flows_flagged(self):
+        rng = np.random.default_rng(1)
+        n = 40
+        alphas = np.where(np.arange(n) % 2 == 0, 1.2, 6.0)
+        valuations = rng.lognormal(3.0, 0.3, n)
+        q_before = (valuations / 20.0) ** alphas
+        q_after = (valuations / 12.0) ** alphas
+        estimate = estimate_ced_alpha(
+            PriceSnapshot(20.0, q_before), PriceSnapshot(12.0, q_after)
+        )
+        assert not estimate.homogeneous
+
+    def test_same_price_unidentifiable(self):
+        before, _ = self.make_snapshots(2.0)
+        with pytest.raises(CalibrationError, match="unidentifiable"):
+            estimate_ced_alpha(before, before)
+
+    def test_mismatched_flows_rejected(self):
+        before, after = self.make_snapshots(2.0)
+        truncated = PriceSnapshot(after.price, after.demands[:-1])
+        with pytest.raises(CalibrationError, match="different flow sets"):
+            estimate_ced_alpha(before, truncated)
+
+    def test_growth_dominated_data_rejected(self):
+        # Demand that rose when price rose cannot identify an elasticity.
+        before = PriceSnapshot(10.0, np.array([1.0, 2.0, 3.0]))
+        after = PriceSnapshot(15.0, np.array([2.0, 4.0, 6.0]))
+        with pytest.raises(CalibrationError, match="growth"):
+            estimate_ced_alpha(before, after)
+
+
+class TestLogitEstimation:
+    def make_snapshots(self, alpha, s0=0.3, p_before=20.0, p_after=16.0, n=30):
+        rng = np.random.default_rng(7)
+        model = LogitDemand(alpha=alpha, s0=s0)
+        demands = rng.lognormal(2.0, 0.8, n)
+        valuations = model.fit_valuations(demands, p_before)
+        population = model.population(demands)
+        q_before = population * model.shares(valuations, np.full(n, p_before))
+        q_after = population * model.shares(valuations, np.full(n, p_after))
+        return (
+            PriceSnapshot(p_before, q_before),
+            PriceSnapshot(p_after, q_after),
+            population,
+        )
+
+    @pytest.mark.parametrize("alpha", [0.7, 1.1, 2.5])
+    def test_exact_recovery(self, alpha):
+        before, after, population = self.make_snapshots(alpha)
+        estimate = estimate_logit_alpha(before, after, population)
+        assert estimate.alpha == pytest.approx(alpha, rel=1e-9)
+        assert estimate.homogeneous
+
+    def test_population_must_exceed_demand(self):
+        before, after, _ = self.make_snapshots(1.1)
+        with pytest.raises(CalibrationError, match="population"):
+            estimate_logit_alpha(before, after, before.demands.sum())
+
+    def test_implied_outside_share(self):
+        before, _, population = self.make_snapshots(1.1, s0=0.3)
+        assert implied_outside_share(before.demands, population) == (
+            pytest.approx(0.3)
+        )
+        with pytest.raises(CalibrationError):
+            implied_outside_share(before.demands, 1.0)
+
+
+class TestPlanningHelper:
+    def test_thirty_percent_cut_at_paper_alpha(self):
+        multiplier = predicted_demand_change(1.1, 20.0, 14.0)
+        assert multiplier == pytest.approx((20.0 / 14.0) ** 1.1)
+        assert 1.4 < multiplier < 1.6
+
+    def test_validation(self):
+        with pytest.raises(ModelParameterError):
+            predicted_demand_change(0.0, 10.0, 5.0)
+        with pytest.raises(ModelParameterError):
+            predicted_demand_change(1.0, -1.0, 5.0)
+
+
+class TestEstimateObject:
+    def test_fields(self):
+        estimate = ElasticityEstimate(
+            alpha=2.0, per_flow=np.array([1.9, 2.0, 2.1]), dispersion=0.1, n_flows=3
+        )
+        assert estimate.homogeneous
+        estimate = ElasticityEstimate(
+            alpha=2.0, per_flow=np.array([0.5, 2.0, 8.0]), dispersion=2.0, n_flows=3
+        )
+        assert not estimate.homogeneous

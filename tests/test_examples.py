@@ -1,0 +1,51 @@
+"""Smoke tests: every example script runs cleanly end to end.
+
+The examples are a deliverable in their own right; these tests keep them
+green as the library evolves.  Each script must exit 0 and produce the
+output its walkthrough promises.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).parent.parent / "examples"
+
+#: script -> a phrase its output must contain.
+EXPECTED_OUTPUT = {
+    "quickstart.py": "profit capture",
+    "tier_design_study.py": "Tiers needed",
+    "peering_bypass_analysis.py": "market-failure window",
+    "accounting_simulation.py": "schemes agree",
+    "custom_network.py": "3-tier design",
+    "welfare_and_billing.py": "Pareto",
+    "competition_study.py": "granularity game",
+    "customer_routing.py": "hot-potato",
+}
+
+
+def run_example(name: str) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / name)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, (name, result.stderr[-2000:])
+    return result.stdout
+
+
+def test_every_example_is_covered():
+    scripts = {p.name for p in EXAMPLES_DIR.glob("*.py")}
+    assert scripts == set(EXPECTED_OUTPUT), (
+        "examples/ and EXPECTED_OUTPUT drifted apart"
+    )
+
+
+@pytest.mark.parametrize("name", sorted(EXPECTED_OUTPUT))
+def test_example_runs(name):
+    stdout = run_example(name)
+    assert EXPECTED_OUTPUT[name] in stdout, name
+    assert len(stdout.splitlines()) >= 5, name

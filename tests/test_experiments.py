@@ -1,0 +1,183 @@
+"""Tests for the experiment drivers (one per paper table/figure).
+
+Heavy figure drivers run on a shrunken configuration here; the full-size
+runs (and the paper-claim assertions) live in ``benchmarks/``.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.experiments.config import DEFAULT_CONFIG, ExperimentConfig
+from repro.experiments.figures import (
+    figure1_data,
+    figure2_data,
+    figure3_data,
+    figure4_data,
+    figure5_data,
+    figure6_data,
+    figure8_data,
+    figure9_data,
+)
+from repro.experiments.runner import (
+    build_market,
+    demand_model,
+    render_series_table,
+)
+from repro.experiments.sweeps import (
+    THETA_VALUES,
+    figure14_data,
+    figure16_data,
+    robustness_summary,
+    theta_sweep,
+)
+from repro.experiments.tables import render_table1, table1_data
+
+#: Small config so driver tests stay fast.
+TINY = ExperimentConfig(n_flows=24, seed=3, bundle_counts=(1, 2, 3))
+
+
+class TestRunner:
+    def test_demand_model_families(self):
+        assert demand_model("ced").name == "ced"
+        assert demand_model("logit").name == "logit"
+        with pytest.raises(ValueError):
+            demand_model("cobb-douglas")
+
+    def test_build_market_defaults(self):
+        market = build_market("eu_isp", config=TINY)
+        assert market.n_flows == 24
+        assert market.blended_rate == TINY.blended_rate
+
+    def test_render_series_table_alignment(self):
+        text = render_series_table(
+            "Title", "who", [1, 2], {"a": [0.1, 0.2], "bbbb": [0.3, 0.4]}
+        )
+        lines = text.splitlines()
+        assert lines[0] == "Title"
+        assert "0.100" in text and "0.400" in text
+        # Rows align under the header columns.
+        assert len(lines[3]) == len(lines[4])
+
+
+class TestTable1Driver:
+    def test_rows_cover_all_datasets(self):
+        rows = table1_data(config=TINY)
+        assert [r["dataset"] for r in rows] == ["eu_isp", "cdn", "internet2"]
+
+    def test_render_contains_both_columns(self):
+        text = render_table1(table1_data(config=TINY))
+        assert "paper / measured" in text
+        assert "eu_isp" in text
+
+
+class TestSmallFigureDrivers:
+    def test_figure1(self):
+        data = figure1_data()
+        assert data["profit_gain"] > 0
+        assert data["surplus_gain"] > 0
+
+    def test_figure2(self):
+        data = figure2_data(n_points=10)
+        assert len(data["points"]) == 10
+        assert data["failure_window"][0] < data["failure_window"][1]
+
+    def test_figure3(self):
+        data = figure3_data(alphas=(1.5, 2.5), n_points=10)
+        assert set(data["curves"]) == {"alpha=1.5", "alpha=2.5"}
+        assert all(len(c) == 10 for c in data["curves"].values())
+
+    def test_figure4(self):
+        data = figure4_data(costs=(1.0, 2.0))
+        assert data["maxima"]["c=1.0"]["price"] == pytest.approx(2.0)
+
+    def test_figure5(self):
+        data = figure5_data(n_points=12)
+        for curve in data["curves"].values():
+            assert len(curve) == 12
+
+    def test_figure6_recovers_generating_curves(self):
+        data = figure6_data()
+        assert set(data) == {"itu", "ntt"}
+        for fit in data.values():
+            assert fit["k_fit"] == pytest.approx(fit["k_true"], abs=0.05)
+
+
+class TestStrategyPanels:
+    @pytest.mark.parametrize("driver", [figure8_data, figure9_data])
+    def test_panels_shape(self, driver):
+        panels = driver(config=TINY)
+        assert set(panels) == {"eu_isp", "cdn", "internet2"}
+        for panel in panels.values():
+            capture = panel["capture"]
+            assert "optimal" in capture and "profit-weighted" in capture
+            assert all(len(curve) == 3 for curve in capture.values())
+
+    def test_capture_starts_at_zero(self):
+        panels = figure8_data(config=TINY)
+        for panel in panels.values():
+            for curve in panel["capture"].values():
+                assert curve[0] == pytest.approx(0.0, abs=1e-6)
+
+
+class TestThetaSweeps:
+    @pytest.mark.parametrize("cost_model", sorted(THETA_VALUES))
+    def test_sweep_shapes(self, cost_model):
+        data = theta_sweep(cost_model, config=TINY, thetas=THETA_VALUES[cost_model][:2])
+        for panel in data["panels"].values():
+            assert set(panel["normalized_gain"]) == set(
+                THETA_VALUES[cost_model][:2]
+            )
+            # Normalization: nothing exceeds 1.
+            for curve in panel["normalized_gain"].values():
+                assert max(curve) <= 1.0 + 1e-9
+
+    def test_unknown_cost_model(self):
+        with pytest.raises(ValueError, match="unknown cost model"):
+            theta_sweep("quadratic", config=TINY)
+
+    def test_exactly_one_curve_touches_one(self):
+        data = theta_sweep("linear", config=TINY)
+        for panel in data["panels"].values():
+            peaks = [max(c) for c in panel["normalized_gain"].values()]
+            assert max(peaks) <= 1.0 + 1e-9
+
+
+class TestEnvelopes:
+    def test_figure14_shape(self):
+        data = figure14_data(alphas=(1.2, 2.0), config=TINY)
+        assert data["alphas"] == [1.2, 2.0]
+        for family in ("ced", "logit"):
+            for network in ("eu_isp", "cdn", "internet2"):
+                assert len(data["panels"][family][network]) == 3
+
+    def test_envelope_is_a_lower_bound(self):
+        alphas = (1.2, 2.0)
+        data = figure14_data(alphas=alphas, config=TINY)
+        # Recompute one point directly and check the min-envelope bounds it.
+        from repro.core.bundling import ProfitWeightedBundling
+
+        config = dataclasses.replace(TINY, alpha=1.2)
+        market = build_market("eu_isp", family="ced", config=config)
+        direct = market.tiered_outcome(ProfitWeightedBundling(), 2).profit_capture
+        assert data["panels"]["ced"]["eu_isp"][1] <= direct + 1e-12
+
+    def test_figure16_validates_feasibility(self):
+        bad = dataclasses.replace(TINY, alpha=1.1, blended_rate=20.0)
+        with pytest.raises(ValueError, match="s0"):
+            figure16_data(s0_values=(0.01,), config=bad)
+
+    def test_robustness_summary_keys(self):
+        summary = robustness_summary(config=TINY)
+        assert set(summary) == {
+            "eu_isp_ced_two_bundles_min_over_alpha",
+            "eu_isp_ced_two_bundles_min_over_p0",
+        }
+
+
+def test_default_config_matches_paper():
+    assert DEFAULT_CONFIG.alpha == 1.1
+    assert DEFAULT_CONFIG.blended_rate == 20.0
+    assert DEFAULT_CONFIG.theta == 0.2
+    assert DEFAULT_CONFIG.s0 == 0.2
+    assert DEFAULT_CONFIG.bundle_counts == (1, 2, 3, 4, 5, 6)

@@ -1,0 +1,181 @@
+"""Tests for the Flow / FlowSet containers."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.flow import Flow, FlowSet, INTERNATIONAL, METRO, NATIONAL
+from repro.errors import DataError
+
+
+class TestFlow:
+    def test_valid_flow(self):
+        flow = Flow(demand_mbps=10.0, distance_miles=50.0, region=METRO)
+        assert flow.demand_mbps == 10.0
+        assert flow.region == METRO
+
+    def test_zero_distance_is_allowed(self):
+        assert Flow(demand_mbps=1.0, distance_miles=0.0).distance_miles == 0.0
+
+    @pytest.mark.parametrize("demand", [0.0, -1.0, float("nan"), float("inf")])
+    def test_invalid_demand_rejected(self, demand):
+        with pytest.raises(DataError):
+            Flow(demand_mbps=demand, distance_miles=1.0)
+
+    @pytest.mark.parametrize("distance", [-0.1, float("nan"), float("inf")])
+    def test_invalid_distance_rejected(self, distance):
+        with pytest.raises(DataError):
+            Flow(demand_mbps=1.0, distance_miles=distance)
+
+    def test_unknown_region_rejected(self):
+        with pytest.raises(DataError, match="region"):
+            Flow(demand_mbps=1.0, distance_miles=1.0, region="galactic")
+
+    def test_flow_is_frozen(self):
+        flow = Flow(demand_mbps=1.0, distance_miles=1.0)
+        with pytest.raises(AttributeError):
+            flow.demand_mbps = 2.0
+
+
+class TestFlowSetConstruction:
+    def test_from_arrays(self, small_flows):
+        assert len(small_flows) == 4
+        assert small_flows.demands[0] == 120.0
+
+    def test_from_flows_roundtrip(self):
+        flows = [
+            Flow(demand_mbps=5.0, distance_miles=10.0, region=METRO, src="a"),
+            Flow(demand_mbps=7.0, distance_miles=900.0, region=NATIONAL, src="b"),
+        ]
+        fs = FlowSet.from_flows(flows)
+        assert len(fs) == 2
+        assert fs[0] == flows[0]
+        assert fs[1] == flows[1]
+
+    def test_from_zero_flows_rejected(self):
+        with pytest.raises(DataError):
+            FlowSet.from_flows([])
+
+    def test_empty_arrays_rejected(self):
+        with pytest.raises(DataError):
+            FlowSet(demands_mbps=[], distances_miles=[])
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(DataError, match="length"):
+            FlowSet(demands_mbps=[1.0, 2.0], distances_miles=[1.0])
+
+    def test_negative_demand_rejected(self):
+        with pytest.raises(DataError):
+            FlowSet(demands_mbps=[1.0, -2.0], distances_miles=[1.0, 2.0])
+
+    def test_nan_distance_rejected(self):
+        with pytest.raises(DataError):
+            FlowSet(demands_mbps=[1.0], distances_miles=[float("nan")])
+
+    def test_two_dimensional_input_rejected(self):
+        with pytest.raises(DataError):
+            FlowSet(demands_mbps=[[1.0, 2.0]], distances_miles=[[1.0, 2.0]])
+
+    def test_label_length_mismatch_rejected(self):
+        with pytest.raises(DataError, match="regions"):
+            FlowSet(
+                demands_mbps=[1.0, 2.0],
+                distances_miles=[1.0, 2.0],
+                regions=[METRO],
+            )
+
+    def test_unknown_region_label_rejected(self):
+        with pytest.raises(DataError, match="region"):
+            FlowSet(
+                demands_mbps=[1.0],
+                distances_miles=[1.0],
+                regions=["continental"],
+            )
+
+    def test_all_none_labels_collapse_to_none(self):
+        fs = FlowSet(
+            demands_mbps=[1.0, 2.0],
+            distances_miles=[1.0, 2.0],
+            regions=[None, None],
+        )
+        assert fs.regions is None
+
+    def test_arrays_are_read_only(self, small_flows):
+        with pytest.raises(ValueError):
+            small_flows.demands[0] = 999.0
+
+
+class TestFlowSetAccess:
+    def test_iteration_yields_flows(self, labeled_flows):
+        flows = list(labeled_flows)
+        assert len(flows) == 5
+        assert all(isinstance(f, Flow) for f in flows)
+        assert flows[0].region == METRO
+        assert flows[4].region == INTERNATIONAL
+
+    def test_getitem(self, small_flows):
+        flow = small_flows[2]
+        assert flow.demand_mbps == 8.0
+        assert flow.distance_miles == 400.0
+
+    def test_subset_preserves_order_and_labels(self, labeled_flows):
+        sub = labeled_flows.subset([4, 0])
+        assert sub.demands.tolist() == [5.0, 100.0]
+        assert sub.regions == (INTERNATIONAL, METRO)
+
+    def test_subset_empty_rejected(self, small_flows):
+        with pytest.raises(DataError):
+            small_flows.subset([])
+
+    def test_replace_demands(self, small_flows):
+        replaced = small_flows.replace(demands_mbps=[1.0, 1.0, 1.0, 1.0])
+        assert replaced.demands.tolist() == [1.0] * 4
+        assert replaced.distances.tolist() == small_flows.distances.tolist()
+        # Original is untouched.
+        assert small_flows.demands[0] == 120.0
+
+    def test_repr_mentions_size(self, small_flows):
+        assert "n=4" in repr(small_flows)
+
+
+class TestFlowSetStatistics:
+    def test_aggregate_gbps(self, small_flows):
+        assert small_flows.aggregate_gbps() == pytest.approx(170.0 / 1000.0)
+
+    def test_weighted_average_distance(self):
+        fs = FlowSet(demands_mbps=[3.0, 1.0], distances_miles=[10.0, 50.0])
+        assert fs.weighted_average_distance() == pytest.approx(20.0)
+
+    def test_distance_cv_zero_for_equal_distances(self):
+        fs = FlowSet(demands_mbps=[1.0, 9.0], distances_miles=[5.0, 5.0])
+        assert fs.distance_cv() == pytest.approx(0.0)
+
+    def test_distance_cv_weighted(self):
+        fs = FlowSet(demands_mbps=[1.0, 1.0], distances_miles=[10.0, 30.0])
+        # mean 20, std 10 -> CV 0.5
+        assert fs.distance_cv() == pytest.approx(0.5)
+
+    def test_demand_cv_unweighted(self):
+        fs = FlowSet(demands_mbps=[1.0, 3.0], distances_miles=[1.0, 1.0])
+        assert fs.demand_cv() == pytest.approx(0.5)
+
+    def test_table1_row_keys(self, small_flows):
+        row = small_flows.table1_row()
+        assert set(row) == {
+            "w_avg_distance_miles",
+            "distance_cv",
+            "aggregate_gbps",
+            "demand_cv",
+        }
+        assert all(math.isfinite(v) for v in row.values())
+
+    def test_stats_match_numpy_reference(self, medium_flows):
+        q = medium_flows.demands
+        d = medium_flows.distances
+        assert medium_flows.weighted_average_distance() == pytest.approx(
+            float(np.sum(q * d) / np.sum(q))
+        )
+        assert medium_flows.demand_cv() == pytest.approx(
+            float(np.std(q) / np.mean(q))
+        )

@@ -1,0 +1,176 @@
+"""Tests for the geographic substrate (coordinates, GeoIP, regions)."""
+
+import pytest
+
+from repro.core.flow import INTERNATIONAL, METRO, NATIONAL
+from repro.errors import DataError
+from repro.geo.coords import (
+    City,
+    EUROPEAN_CITIES,
+    GeoPoint,
+    US_RESEARCH_CITIES,
+    WORLD_CITIES,
+    city_by_key,
+    city_distance_miles,
+    haversine_miles,
+)
+from repro.geo.geoip import GeoIPDatabase
+from repro.geo.regions import classify_by_distance, classify_by_endpoints
+
+
+def city(table, name):
+    return next(c for c in table if c.name == name)
+
+
+class TestHaversine:
+    def test_zero_distance(self):
+        p = GeoPoint(lat=45.0, lon=7.0)
+        assert haversine_miles(p, p) == 0.0
+
+    def test_symmetry(self):
+        a = GeoPoint(lat=40.71, lon=-74.01)
+        b = GeoPoint(lat=51.51, lon=-0.13)
+        assert haversine_miles(a, b) == pytest.approx(haversine_miles(b, a))
+
+    def test_new_york_to_london(self):
+        nyc = city(WORLD_CITIES, "New York")
+        lon = city(WORLD_CITIES, "London")
+        # Known great-circle distance ~3,460 miles.
+        assert city_distance_miles(nyc, lon) == pytest.approx(3460, rel=0.01)
+
+    def test_amsterdam_to_rotterdam_is_metro_scale(self):
+        ams = city(EUROPEAN_CITIES, "Amsterdam")
+        rtm = city(EUROPEAN_CITIES, "Rotterdam")
+        assert 25 < city_distance_miles(ams, rtm) < 50
+
+    def test_quarter_circumference(self):
+        equator = GeoPoint(lat=0.0, lon=0.0)
+        pole = GeoPoint(lat=90.0, lon=0.0)
+        assert haversine_miles(equator, pole) == pytest.approx(6218, rel=0.01)
+
+    def test_triangle_inequality(self, rng):
+        pts = [
+            GeoPoint(lat=float(lat), lon=float(lon))
+            for lat, lon in zip(
+                rng.uniform(-80, 80, 12), rng.uniform(-179, 179, 12)
+            )
+        ]
+        for a, b, c in zip(pts, pts[1:], pts[2:]):
+            assert haversine_miles(a, c) <= (
+                haversine_miles(a, b) + haversine_miles(b, c) + 1e-6
+            )
+
+    @pytest.mark.parametrize("lat,lon", [(91, 0), (-91, 0), (0, 181), (0, -181)])
+    def test_coordinates_validated(self, lat, lon):
+        with pytest.raises(DataError):
+            GeoPoint(lat=lat, lon=lon)
+
+
+class TestGazetteer:
+    def test_city_key_format(self):
+        ams = city(EUROPEAN_CITIES, "Amsterdam")
+        assert ams.key == "amsterdam-nl"
+
+    def test_city_key_handles_spaces(self):
+        slc = city(US_RESEARCH_CITIES, "Salt Lake City")
+        assert " " not in slc.key
+
+    def test_city_by_key_roundtrip(self):
+        for table in (EUROPEAN_CITIES, US_RESEARCH_CITIES, WORLD_CITIES):
+            for c in table:
+                assert city_by_key(c.key).name == c.name
+
+    def test_city_by_key_unknown(self):
+        with pytest.raises(DataError):
+            city_by_key("atlantis-xx")
+
+    def test_tables_have_no_duplicate_keys(self):
+        for table in (EUROPEAN_CITIES, US_RESEARCH_CITIES, WORLD_CITIES):
+            keys = [c.key for c in table]
+            assert len(keys) == len(set(keys))
+
+
+class TestGeoIP:
+    @pytest.fixture
+    def db(self):
+        return GeoIPDatabase(list(EUROPEAN_CITIES[:5]), blocks_per_city=2)
+
+    def test_allocation_size(self, db):
+        assert len(db) == 10
+
+    def test_address_roundtrip(self, db, rng):
+        for c in EUROPEAN_CITIES[:5]:
+            for _ in range(5):
+                addr = db.address_in(c, rng)
+                located = db.lookup(addr)
+                assert located is not None and located.key == c.key
+
+    def test_lookup_outside_allocation(self, db):
+        assert db.lookup("200.1.2.3") is None
+
+    def test_lookup_invalid_address(self, db):
+        with pytest.raises(DataError):
+            db.lookup("999.1.2.3")
+        with pytest.raises(DataError):
+            db.lookup("not-an-ip")
+
+    def test_networks_for_unknown_city(self, db):
+        stranger = City(name="Oslo", country="NO", location=GeoPoint(59.9, 10.8))
+        with pytest.raises(DataError):
+            db.networks_for(stranger)
+
+    def test_blocks_do_not_overlap(self, db):
+        entries = db.entries
+        for a, b in zip(entries, entries[1:]):
+            assert int(a.network.broadcast_address) < int(
+                b.network.network_address
+            )
+
+    def test_cities_listing(self, db):
+        assert [c.key for c in db.cities()] == [c.key for c in EUROPEAN_CITIES[:5]]
+
+    def test_constructor_validation(self):
+        with pytest.raises(DataError):
+            GeoIPDatabase([], blocks_per_city=1)
+        with pytest.raises(DataError):
+            GeoIPDatabase(list(EUROPEAN_CITIES[:2]), blocks_per_city=0)
+
+
+class TestRegionClassifiers:
+    def test_by_endpoints_metro(self):
+        ams = city(EUROPEAN_CITIES, "Amsterdam")
+        assert classify_by_endpoints(ams, ams) == METRO
+
+    def test_by_endpoints_national(self):
+        ams = city(EUROPEAN_CITIES, "Amsterdam")
+        rtm = city(EUROPEAN_CITIES, "Rotterdam")
+        assert classify_by_endpoints(ams, rtm) == NATIONAL
+
+    def test_by_endpoints_international(self):
+        ams = city(EUROPEAN_CITIES, "Amsterdam")
+        par = city(EUROPEAN_CITIES, "Paris")
+        assert classify_by_endpoints(ams, par) == INTERNATIONAL
+
+    @pytest.mark.parametrize(
+        "distance,expected",
+        [(0.0, METRO), (9.99, METRO), (10.0, NATIONAL), (99.9, NATIONAL),
+         (100.0, INTERNATIONAL), (5000.0, INTERNATIONAL)],
+    )
+    def test_by_distance_thresholds(self, distance, expected):
+        assert classify_by_distance(distance) == expected
+
+    def test_by_distance_custom_thresholds(self):
+        assert classify_by_distance(40.0, metro_miles=50.0, national_miles=60.0) == (
+            METRO
+        )
+
+    def test_by_distance_validation(self):
+        with pytest.raises(DataError):
+            classify_by_distance(-1.0)
+        with pytest.raises(DataError):
+            classify_by_distance(5.0, metro_miles=100.0, national_miles=10.0)
+
+
+def test_haversine_returns_plain_float():
+    """Geo primitives are pure-Python: no array inputs required."""
+    assert isinstance(haversine_miles(GeoPoint(0, 0), GeoPoint(1, 1)), float)

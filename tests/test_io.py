@@ -1,0 +1,188 @@
+"""Tests for flow-CSV and tier-design JSON I/O."""
+
+import numpy as np
+import pytest
+
+from repro.accounting.tier_designer import TierDesign
+from repro.core.flow import FlowSet
+from repro.errors import DataError
+from repro.io import (
+    design_from_json,
+    design_to_json,
+    flowset_from_csv,
+    flowset_to_csv,
+    load_design,
+    load_flowset,
+    save_design,
+    save_flowset,
+)
+from repro.synth.datasets import load_dataset
+
+
+class TestFlowCSVRoundtrip:
+    def test_minimal_columns(self, small_flows):
+        text = flowset_to_csv(small_flows)
+        parsed = flowset_from_csv(text)
+        assert np.array_equal(parsed.demands, small_flows.demands)
+        assert np.array_equal(parsed.distances, small_flows.distances)
+        assert parsed.regions is None
+
+    def test_labeled_columns(self, labeled_flows):
+        parsed = flowset_from_csv(flowset_to_csv(labeled_flows))
+        assert parsed.regions == labeled_flows.regions
+
+    def test_full_columns(self):
+        flows = FlowSet(
+            demands_mbps=[1.5, 2.5],
+            distances_miles=[10.0, 20.0],
+            regions=["metro", None],
+            classes=["on-net", "off-net"],
+            srcs=["10.0.0.1", None],
+            dsts=["10.0.1.1", "10.0.2.1"],
+        )
+        parsed = flowset_from_csv(flowset_to_csv(flows))
+        assert parsed.regions == ("metro", None)
+        assert parsed.classes == ("on-net", "off-net")
+        assert parsed.srcs == ("10.0.0.1", None)
+        assert parsed.dsts == ("10.0.1.1", "10.0.2.1")
+
+    def test_float_precision_exact(self):
+        flows = FlowSet(
+            demands_mbps=[1.0 / 3.0, 2.0 / 7.0], distances_miles=[np.pi, 1e-7]
+        )
+        parsed = flowset_from_csv(flowset_to_csv(flows))
+        assert np.array_equal(parsed.demands, flows.demands)
+        assert np.array_equal(parsed.distances, flows.distances)
+
+    def test_synthetic_dataset_roundtrip(self):
+        flows = load_dataset("cdn", n_flows=40, seed=5)
+        parsed = flowset_from_csv(flowset_to_csv(flows))
+        assert parsed.table1_row() == flows.table1_row()
+
+    def test_file_roundtrip(self, tmp_path, small_flows):
+        path = save_flowset(small_flows, tmp_path / "matrix.csv")
+        loaded = load_flowset(path)
+        assert np.array_equal(loaded.demands, small_flows.demands)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(DataError, match="no such"):
+            load_flowset(tmp_path / "nope.csv")
+
+
+class TestFlowCSVValidation:
+    def test_empty_text(self):
+        with pytest.raises(DataError, match="empty"):
+            flowset_from_csv("")
+
+    def test_missing_required_column(self):
+        with pytest.raises(DataError, match="demand_mbps"):
+            flowset_from_csv("distance_miles\n1.0\n")
+
+    def test_unknown_column(self):
+        with pytest.raises(DataError, match="unknown columns"):
+            flowset_from_csv("demand_mbps,distance_miles,color\n1,2,red\n")
+
+    def test_ragged_row(self):
+        with pytest.raises(DataError, match="line 2"):
+            flowset_from_csv("demand_mbps,distance_miles\n1.0\n")
+
+    def test_non_numeric_cell(self):
+        with pytest.raises(DataError, match="line 3"):
+            flowset_from_csv("demand_mbps,distance_miles\n1.0,2.0\nfast,3.0\n")
+
+    def test_header_only(self):
+        with pytest.raises(DataError, match="no data rows"):
+            flowset_from_csv("demand_mbps,distance_miles\n")
+
+    def test_blank_lines_skipped(self):
+        parsed = flowset_from_csv(
+            "demand_mbps,distance_miles\n1.0,2.0\n\n3.0,4.0\n"
+        )
+        assert len(parsed) == 2
+
+    def test_invalid_flow_values_propagate(self):
+        with pytest.raises(DataError):
+            flowset_from_csv("demand_mbps,distance_miles\n-1.0,2.0\n")
+
+
+@pytest.fixture
+def design():
+    return TierDesign(
+        provider_asn=64500,
+        rates={1: 15.5, 2: 22.0},
+        tier_of_destination={"10.0.0.1": 1, "10.0.0.2": 2, "10.0.0.3": 1},
+    )
+
+
+class TestDesignJSON:
+    def test_roundtrip(self, design):
+        parsed = design_from_json(design_to_json(design))
+        assert parsed.provider_asn == design.provider_asn
+        assert parsed.rates == design.rates
+        assert parsed.tier_of_destination == design.tier_of_destination
+
+    def test_file_roundtrip(self, tmp_path, design):
+        path = save_design(design, tmp_path / "tiers.json")
+        loaded = load_design(path)
+        assert loaded.rates == design.rates
+
+    def test_loaded_design_is_operable(self, design):
+        parsed = design_from_json(design_to_json(design))
+        rib = parsed.routing_table()
+        assert rib.tier_for("10.0.0.2", 64500) == 2
+
+    def test_malformed_json(self):
+        with pytest.raises(DataError, match="malformed"):
+            design_from_json("{not json")
+
+    def test_non_object(self):
+        with pytest.raises(DataError, match="object"):
+            design_from_json("[1, 2]")
+
+    def test_version_checked(self, design):
+        text = design_to_json(design).replace(
+            '"format_version": 1', '"format_version": 99'
+        )
+        with pytest.raises(DataError, match="format_version"):
+            design_from_json(text)
+
+    def test_missing_rate_for_assigned_tier(self):
+        text = """
+        {"format_version": 1, "provider_asn": 1,
+         "rates": {"1": 10.0},
+         "tier_of_destination": {"10.0.0.1": 2}}
+        """
+        with pytest.raises(DataError, match="no rate"):
+            design_from_json(text)
+
+    def test_nonpositive_rate_rejected(self):
+        text = """
+        {"format_version": 1, "provider_asn": 1,
+         "rates": {"1": 0.0},
+         "tier_of_destination": {"10.0.0.1": 1}}
+        """
+        with pytest.raises(DataError, match="non-positive"):
+            design_from_json(text)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(DataError, match="no such"):
+            load_design(tmp_path / "nope.json")
+
+    def test_end_to_end_design_export(self, tmp_path):
+        """Market -> design -> JSON -> reload -> same invoiceable config."""
+        from repro.core.bundling import ProfitWeightedBundling
+        from repro.core.ced import CEDDemand
+        from repro.core.cost import LinearDistanceCost
+        from repro.core.market import Market
+
+        flows = FlowSet(
+            demands_mbps=[50.0, 20.0, 5.0],
+            distances_miles=[5.0, 100.0, 2000.0],
+            dsts=["10.0.0.1", "10.0.0.2", "10.0.0.3"],
+        )
+        market = Market(flows, CEDDemand(1.1), LinearDistanceCost(0.2), 20.0)
+        outcome = market.tiered_outcome(ProfitWeightedBundling(), 2)
+        design = TierDesign.from_outcome(market, outcome)
+        loaded = load_design(save_design(design, tmp_path / "d.json"))
+        assert loaded.rates == design.rates
+        assert loaded.tier_of_destination == design.tier_of_destination

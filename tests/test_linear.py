@@ -1,0 +1,182 @@
+"""Tests for the linear demand family (extension)."""
+
+import numpy as np
+import pytest
+
+from repro.core.bundling import OptimalBundling, ProfitWeightedBundling
+from repro.core.cost import LinearDistanceCost
+from repro.core.linear import LinearDemand
+from repro.core.market import Market
+from repro.errors import CalibrationError, ModelParameterError
+
+
+@pytest.fixture
+def model():
+    return LinearDemand(kappa=1.5)
+
+
+@pytest.fixture
+def fitted(model):
+    q = np.array([10.0, 4.0, 1.0])
+    f = np.array([1.0, 3.0, 6.0])
+    p0 = 20.0
+    v = model.fit_valuations(q, p0)
+    gamma = model.fit_gamma(v, f, p0)
+    return {"q": q, "v": v, "c": gamma * f, "p0": p0}
+
+
+class TestConstruction:
+    @pytest.mark.parametrize("kappa", [1.0, 2.0, 0.5, 3.0])
+    def test_kappa_range(self, kappa):
+        with pytest.raises(ModelParameterError, match="kappa"):
+            LinearDemand(kappa=kappa)
+
+    def test_must_fit_before_pricing(self, model):
+        with pytest.raises(CalibrationError, match="fit"):
+            model.optimal_prices(np.array([1.0]), np.array([0.5]))
+
+
+class TestFitting:
+    def test_demand_reproduced_at_p0(self, model, fitted):
+        q = model.quantities(fitted["v"], np.full(3, fitted["p0"]))
+        assert q == pytest.approx(fitted["q"])
+
+    def test_demand_zero_at_choke(self, model, fitted):
+        choke = model.choke_price
+        assert choke == pytest.approx(1.5 * 20.0)
+        q = model.quantities(fitted["v"], np.full(3, choke))
+        assert q == pytest.approx(np.zeros(3), abs=1e-12)
+
+    def test_blended_rate_is_optimal_after_calibration(self, model, fitted):
+        assert model.uniform_price(fitted["v"], fitted["c"]) == pytest.approx(
+            fitted["p0"]
+        )
+        best = model.profit(fitted["v"], fitted["c"], np.full(3, fitted["p0"]))
+        for p in np.linspace(5.0, 29.9, 120):
+            assert model.profit(fitted["v"], fitted["c"], np.full(3, p)) <= (
+                best + 1e-9
+            )
+
+    def test_gamma_positive(self, fitted):
+        assert np.all(fitted["c"] > 0)
+
+
+class TestPricing:
+    def test_halfway_to_choke(self, model, fitted):
+        p = model.optimal_prices(fitted["v"], fitted["c"])
+        assert p == pytest.approx((model.choke_price + fitted["c"]) / 2.0)
+
+    def test_per_flow_optimum_verified_on_grid(self, model, fitted):
+        p_star = model.optimal_prices(fitted["v"], fitted["c"])
+        for i in range(3):
+            vi = fitted["v"][i : i + 1]
+            ci = fitted["c"][i : i + 1]
+            best = model.profit(vi, ci, p_star[i : i + 1])
+            for p in np.linspace(1.0, model.choke_price - 1e-6, 200):
+                assert model.profit(vi, ci, np.array([p])) <= best + 1e-9
+
+    def test_unprofitable_flow_prices_out(self, model):
+        model.fit_valuations(np.array([5.0, 5.0]), 20.0)
+        costs = np.array([5.0, 40.0])  # second exceeds the 30 choke
+        v = model.fit_valuations(np.array([5.0, 5.0]), 20.0)
+        prices = model.optimal_prices(v, costs)
+        q = model.quantities(v, prices)
+        assert q[1] == 0.0
+        assert model.profit(v[1:], costs[1:], prices[1:]) == 0.0
+
+    def test_potential_profit_formula(self, model, fitted):
+        pi = model.potential_profits(fitted["v"], fitted["c"])
+        direct = np.array(
+            [
+                model.profit(
+                    fitted["v"][i : i + 1],
+                    fitted["c"][i : i + 1],
+                    model.optimal_prices(fitted["v"], fitted["c"])[i : i + 1],
+                )
+                for i in range(3)
+            ]
+        )
+        assert pi == pytest.approx(direct)
+
+
+class TestSurplus:
+    def test_triangle_area(self, model, fitted):
+        # CS at P0 per flow: q^2/(2b); check against a numeric integral.
+        prices = np.full(3, fitted["p0"])
+        direct = model.consumer_surplus(fitted["v"], prices)
+        # Reference: integrate total demand over price up to the choke.
+        grid = np.linspace(fitted["p0"], model.choke_price, 40_000)
+        totals = [
+            model.quantities(fitted["v"], np.full(3, g)).sum() for g in grid
+        ]
+        numeric = np.trapezoid(totals, grid)
+        assert direct == pytest.approx(numeric, rel=1e-4)
+
+    def test_surplus_decreases_with_price(self, model, fitted):
+        low = model.consumer_surplus(fitted["v"], np.full(3, 10.0))
+        high = model.consumer_surplus(fitted["v"], np.full(3, 25.0))
+        assert high < low
+
+
+class TestBundleObjective:
+    def test_slice_matches_direct_bundle_profit(self, model, fitted):
+        objective = model.bundle_objective(fitted["v"], fitted["c"])
+        for i in range(3):
+            for j in range(i + 1, 4):
+                members = np.arange(i, j)
+                price = model.uniform_price(
+                    fitted["v"][members], fitted["c"][members]
+                )
+                direct = model.profit(
+                    fitted["v"][members],
+                    fitted["c"][members],
+                    np.full(members.size, price),
+                )
+                assert objective.slice_score(i, j) == pytest.approx(direct)
+
+
+class TestMarketIntegration:
+    def test_full_pipeline_with_linear_demand(self, medium_flows):
+        market = Market(
+            medium_flows,
+            LinearDemand(kappa=1.5),
+            LinearDistanceCost(theta=0.2),
+            blended_rate=20.0,
+        )
+        assert market.quantities(market.blended_prices()) == pytest.approx(
+            medium_flows.demands
+        )
+        assert market.max_profit() >= market.blended_profit()
+        outcome = market.tiered_outcome(OptimalBundling(), 3)
+        assert 0.0 <= outcome.profit_capture <= 1.0 + 1e-9
+        assert outcome.profit_capture > 0.5
+
+    def test_three_families_agree_on_the_headline(self, medium_flows):
+        """3 tiers capture most of the gap under CED, logit, AND linear."""
+        from repro.core.ced import CEDDemand
+        from repro.core.logit import LogitDemand
+
+        for demand in (
+            CEDDemand(1.1),
+            LogitDemand(1.1, s0=0.2),
+            LinearDemand(kappa=1.5),
+        ):
+            market = Market(
+                medium_flows, demand, LinearDistanceCost(0.2), blended_rate=20.0
+            )
+            outcome = market.tiered_outcome(ProfitWeightedBundling(), 3)
+            assert outcome.profit_capture > 0.5, demand.name
+
+    def test_capture_monotone_for_optimal(self, medium_flows):
+        market = Market(
+            medium_flows,
+            LinearDemand(kappa=1.3),
+            LinearDistanceCost(theta=0.2),
+            blended_rate=20.0,
+        )
+        curve = [
+            market.tiered_outcome(OptimalBundling(), b).profit_capture
+            for b in (1, 2, 3, 4)
+        ]
+        assert all(b >= a - 1e-9 for a, b in zip(curve, curve[1:]))
+        assert curve[0] == pytest.approx(0.0, abs=1e-9)

@@ -1,0 +1,200 @@
+"""Tests for the calibrated market and counterfactual engine (§3-4)."""
+
+import numpy as np
+import pytest
+
+from repro.core.bundling import (
+    OptimalBundling,
+    ProfitWeightedBundling,
+    paper_strategies,
+)
+from repro.core.ced import CEDDemand
+from repro.core.cost import (
+    DestinationTypeCost,
+    LinearDistanceCost,
+    RegionalCost,
+)
+from repro.core.logit import LogitDemand
+from repro.core.market import Market, capture_table
+from repro.errors import ModelParameterError
+
+
+class TestCalibrationInvariants:
+    def test_quantities_at_blended_rate_match_observed(self, any_market):
+        q = any_market.quantities(any_market.blended_prices())
+        assert q == pytest.approx(any_market.flows.demands)
+
+    def test_blended_rate_is_optimal_uniform_price(self, any_market):
+        # No single price improves on P0 after calibration.
+        best = any_market.blended_profit()
+        n = any_market.n_flows
+        for price in np.linspace(8.0, 45.0, 60):
+            assert any_market.profit_at(np.full(n, price)) <= best + 1e-9
+
+    def test_costs_are_gamma_times_relative(self, ced_market):
+        assert ced_market.costs == pytest.approx(
+            ced_market.gamma * ced_market.relative_costs
+        )
+
+    def test_max_profit_exceeds_blended(self, any_market):
+        assert any_market.max_profit() > any_market.blended_profit()
+
+    def test_max_profit_unbeatable_by_random_prices(self, ced_market, rng):
+        v, c = ced_market.valuations, ced_market.costs
+        best = ced_market.max_profit()
+        for _ in range(30):
+            prices = ced_market.optimal_flow_prices() * rng.uniform(
+                0.7, 1.3, ced_market.n_flows
+            )
+            assert ced_market.profit_at(prices) <= best + 1e-9
+        del v, c
+
+    def test_invalid_blended_rate_rejected(self, medium_flows, ced_model):
+        with pytest.raises(ModelParameterError):
+            Market(medium_flows, ced_model, LinearDistanceCost(0.2), blended_rate=0.0)
+
+
+class TestProfitCapture:
+    def test_capture_of_blended_profit_is_zero(self, any_market):
+        assert any_market.profit_capture(any_market.blended_profit()) == (
+            pytest.approx(0.0, abs=1e-9)
+        )
+
+    def test_capture_of_max_profit_is_one(self, any_market):
+        assert any_market.profit_capture(any_market.max_profit()) == (
+            pytest.approx(1.0)
+        )
+
+    def test_single_bundle_captures_nothing(self, any_market):
+        outcome = any_market.tiered_outcome(ProfitWeightedBundling(), 1)
+        assert outcome.profit_capture == pytest.approx(0.0, abs=1e-9)
+
+    def test_one_bundle_per_flow_captures_everything(self, any_market):
+        outcome = any_market.tiered_outcome(
+            ProfitWeightedBundling(), any_market.n_flows
+        )
+        assert outcome.profit_capture == pytest.approx(1.0)
+
+    def test_optimal_capture_is_monotone_in_bundles(self, any_market):
+        curve = [
+            any_market.tiered_outcome(OptimalBundling(), b).profit_capture
+            for b in (1, 2, 3, 4)
+        ]
+        assert all(b >= a - 1e-9 for a, b in zip(curve, curve[1:]))
+
+    def test_capture_between_zero_and_one_for_all_strategies(self, any_market):
+        for strategy in paper_strategies():
+            for b in (2, 4):
+                capture = any_market.tiered_outcome(strategy, b).profit_capture
+                assert -1e-9 <= capture <= 1.0 + 1e-9, (strategy.name, b)
+
+    def test_degenerate_equal_costs_capture_is_one(self, ced_model):
+        # All flows same distance -> same cost -> blended is already optimal.
+        from repro.core.flow import FlowSet
+
+        flows = FlowSet(
+            demands_mbps=[5.0, 1.0, 9.0], distances_miles=[10.0, 10.0, 10.0]
+        )
+        market = Market(flows, ced_model, LinearDistanceCost(0.0), 20.0)
+        assert market.profit_capture(market.blended_profit()) == 1.0
+
+
+class TestTieredOutcome:
+    def test_prices_equal_within_bundles(self, ced_market):
+        outcome = ced_market.tiered_outcome(ProfitWeightedBundling(), 3)
+        for members in outcome.bundles:
+            assert np.allclose(
+                outcome.prices[members], outcome.prices[members[0]]
+            )
+
+    def test_tier_summaries_sorted_by_price(self, any_market):
+        outcome = any_market.tiered_outcome(ProfitWeightedBundling(), 4)
+        prices = [t.price for t in outcome.tiers]
+        assert prices == sorted(prices)
+
+    def test_tier_demand_sums_to_market_demand(self, any_market):
+        outcome = any_market.tiered_outcome(ProfitWeightedBundling(), 3)
+        total = sum(t.demand_mbps for t in outcome.tiers)
+        assert total == pytest.approx(
+            float(any_market.quantities(outcome.prices).sum())
+        )
+
+    def test_tier_margin(self, ced_market):
+        outcome = ced_market.tiered_outcome(ProfitWeightedBundling(), 3)
+        for tier in outcome.tiers:
+            assert tier.margin == pytest.approx(tier.price - tier.mean_cost)
+
+    def test_welfare_is_profit_plus_surplus(self, any_market):
+        outcome = any_market.tiered_outcome(ProfitWeightedBundling(), 3)
+        assert outcome.welfare == pytest.approx(
+            outcome.profit + outcome.consumer_surplus
+        )
+
+    def test_expensive_tiers_have_higher_mean_cost_under_ced(self, ced_market):
+        # CED tier prices are markups over weighted mean cost, so price
+        # order follows cost order.
+        outcome = ced_market.tiered_outcome(OptimalBundling(), 3)
+        costs = [t.mean_cost for t in outcome.tiers]
+        assert costs == sorted(costs)
+
+    def test_invalid_bundle_count_rejected(self, ced_market):
+        with pytest.raises(ModelParameterError):
+            ced_market.tiered_outcome(ProfitWeightedBundling(), 0)
+
+    def test_strategy_name_recorded(self, ced_market):
+        outcome = ced_market.tiered_outcome(ProfitWeightedBundling(), 2)
+        assert outcome.strategy == "profit-weighted"
+        assert outcome.n_bundles == 2
+
+
+class TestTieredPricingWelfare:
+    def test_tiered_pricing_raises_welfare_under_ced(self, ced_market):
+        """The paper's §2.2.1 claim: tiering helps ISP *and* customers."""
+        blended_welfare = (
+            ced_market.blended_profit() + ced_market.blended_surplus()
+        )
+        outcome = ced_market.tiered_outcome(OptimalBundling(), 4)
+        assert outcome.welfare > blended_welfare
+
+
+class TestMarketWithOtherCostModels:
+    def test_regional_market_exposes_classes(self, labeled_flows, ced_model):
+        market = Market(
+            labeled_flows, ced_model, RegionalCost(theta=1.1), blended_rate=20.0
+        )
+        assert market.classes is not None
+        assert set(market.classes) <= {"metro", "national", "international"}
+
+    def test_destination_type_market_doubles_flows(self, medium_flows, ced_model):
+        market = Market(
+            medium_flows,
+            ced_model,
+            DestinationTypeCost(theta=0.1),
+            blended_rate=20.0,
+        )
+        assert market.n_flows == 2 * len(medium_flows)
+        # Total demand preserved by the split.
+        assert market.flows.demands.sum() == pytest.approx(
+            medium_flows.demands.sum()
+        )
+
+    def test_logit_and_ced_agree_on_capture_sign(self, medium_flows):
+        for model in (CEDDemand(1.1), LogitDemand(1.1, s0=0.2)):
+            market = Market(
+                medium_flows, model, LinearDistanceCost(0.2), blended_rate=20.0
+            )
+            outcome = market.tiered_outcome(OptimalBundling(), 3)
+            assert outcome.profit_capture > 0.5
+
+
+class TestCaptureTable:
+    def test_table_shape(self, ced_market):
+        strategies = [ProfitWeightedBundling(), OptimalBundling()]
+        table = capture_table(ced_market, strategies, bundle_counts=(1, 2, 3))
+        assert set(table) == {"profit-weighted", "optimal"}
+        assert all(len(v) == 3 for v in table.values())
+
+    def test_describe_mentions_models(self, ced_market):
+        text = ced_market.describe()
+        assert "constant-elasticity" in text
+        assert "linear" in text

@@ -1,0 +1,108 @@
+"""Cross-model grid: every demand family against every cost model.
+
+The paper's robustness argument rests on the conclusions holding across
+the model grid; these tests run the full calibrate-bundle-price loop for
+all 3 demand families x 6 cost models and assert the shared invariants
+(calibration consistency, capture bounds, monotonicity at the optimum).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.bundling import OptimalBundling, ProfitWeightedBundling
+from repro.core.ced import CEDDemand
+from repro.core.cost import (
+    CallableCost,
+    ConcaveDistanceCost,
+    DestinationTypeCost,
+    LinearDistanceCost,
+    RegionalCost,
+    StepDistanceCost,
+)
+from repro.core.linear import LinearDemand
+from repro.core.logit import LogitDemand
+from repro.core.market import Market
+from repro.synth.datasets import load_dataset
+
+DEMAND_FACTORIES = {
+    "ced": lambda: CEDDemand(alpha=1.1),
+    "logit": lambda: LogitDemand(alpha=1.1, s0=0.2),
+    "linear": lambda: LinearDemand(kappa=1.5),
+}
+
+COST_FACTORIES = {
+    "linear": lambda: LinearDistanceCost(theta=0.2),
+    "concave": lambda: ConcaveDistanceCost(theta=0.2),
+    "regional": lambda: RegionalCost(theta=1.1),
+    "destination-type": lambda: DestinationTypeCost(theta=0.1),
+    "step": lambda: StepDistanceCost(theta=0.1),
+    "callable": lambda: CallableCost(lambda d: 1.0 + d / 50.0, theta=0.1),
+}
+
+
+@pytest.fixture(scope="module")
+def flows():
+    return load_dataset("eu_isp", n_flows=60, seed=13)
+
+
+@pytest.fixture(
+    scope="module",
+    params=[
+        (demand, cost)
+        for demand in DEMAND_FACTORIES
+        for cost in COST_FACTORIES
+    ],
+    ids=lambda pair: f"{pair[0]}+{pair[1]}",
+)
+def grid_market(request, flows):
+    demand_name, cost_name = request.param
+    return Market(
+        flows,
+        DEMAND_FACTORIES[demand_name](),
+        COST_FACTORIES[cost_name](),
+        blended_rate=20.0,
+    )
+
+
+class TestGridInvariants:
+    def test_calibration_reproduces_observed_demand(self, grid_market):
+        q = grid_market.quantities(grid_market.blended_prices())
+        assert q == pytest.approx(grid_market.flows.demands, rel=1e-6)
+
+    def test_blended_rate_is_uniform_optimum(self, grid_market):
+        best = grid_market.blended_profit()
+        n = grid_market.n_flows
+        for price in np.linspace(10.0, 29.0, 24):
+            assert grid_market.profit_at(np.full(n, price)) <= best * (1 + 1e-9)
+
+    def test_gamma_and_costs_positive(self, grid_market):
+        assert grid_market.gamma > 0
+        assert np.all(grid_market.costs > 0)
+
+    def test_max_profit_bounds_everything(self, grid_market):
+        maximum = grid_market.max_profit()
+        assert maximum >= grid_market.blended_profit() - 1e-9
+        outcome = grid_market.tiered_outcome(ProfitWeightedBundling(), 3)
+        assert outcome.profit <= maximum + 1e-9 * max(1.0, abs(maximum))
+
+    def test_capture_in_unit_interval(self, grid_market):
+        for n_bundles in (2, 4):
+            outcome = grid_market.tiered_outcome(
+                ProfitWeightedBundling(), n_bundles
+            )
+            assert -1e-6 <= outcome.profit_capture <= 1.0 + 1e-6
+
+    def test_optimal_capture_weakly_increasing(self, grid_market):
+        strategy = OptimalBundling()
+        curve = [
+            grid_market.tiered_outcome(strategy, b).profit_capture
+            for b in (1, 2, 3)
+        ]
+        assert all(b >= a - 1e-9 for a, b in zip(curve, curve[1:]))
+
+    def test_tier_summaries_consistent(self, grid_market):
+        outcome = grid_market.tiered_outcome(ProfitWeightedBundling(), 3)
+        assert sum(t.n_flows for t in outcome.tiers) == grid_market.n_flows
+        for tier in outcome.tiers:
+            assert tier.price > 0
+            assert tier.demand_mbps >= 0

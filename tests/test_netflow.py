@@ -1,0 +1,256 @@
+"""Tests for the NetFlow substrate (records, sampling, dedup, aggregation)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DataError
+from repro.netflow.aggregation import aggregate_to_flowset
+from repro.netflow.collector import FlowCollector
+from repro.netflow.records import FlowKey, NetFlowRecord, PROTO_TCP, PROTO_UDP
+from repro.netflow.sampling import PacketSampler
+
+
+def key(n=1, dst="2.0.0.9"):
+    return FlowKey(
+        src_addr=f"1.0.0.{n}",
+        dst_addr=dst,
+        src_port=40000 + n,
+        dst_port=443,
+        protocol=PROTO_TCP,
+    )
+
+
+def record(k, octets, router="R1", sampling=1, first=0, last=999):
+    return NetFlowRecord(
+        key=k,
+        octets=octets,
+        packets=max(1, octets // 800),
+        first_ms=first,
+        last_ms=last,
+        router=router,
+        sampling_interval=sampling,
+    )
+
+
+class TestFlowKey:
+    def test_valid(self):
+        k = key()
+        assert k.protocol == PROTO_TCP
+
+    @pytest.mark.parametrize("port", [-1, 65536])
+    def test_port_validated(self, port):
+        with pytest.raises(DataError):
+            FlowKey("1.1.1.1", "2.2.2.2", port, 80, PROTO_UDP)
+
+    def test_protocol_validated(self):
+        with pytest.raises(DataError):
+            FlowKey("1.1.1.1", "2.2.2.2", 1, 80, 300)
+
+    def test_keys_are_hashable_and_equal_by_value(self):
+        assert key(1) == key(1)
+        assert key(1) != key(2)
+        assert len({key(1), key(1), key(2)}) == 2
+
+
+class TestNetFlowRecord:
+    def test_estimated_octets_scales_by_sampling(self):
+        r = record(key(), octets=1000, sampling=100)
+        assert r.estimated_octets == 100_000
+
+    def test_mean_rate(self):
+        # 1,000,000 bytes over 8 seconds = 1 Mbit/s.
+        r = record(key(), octets=1_000_000, last=7999)
+        assert r.mean_rate_mbps(8000) == pytest.approx(1.0)
+
+    def test_mean_rate_window_validated(self):
+        with pytest.raises(DataError):
+            record(key(), 10).mean_rate_mbps(0)
+
+    def test_time_order_validated(self):
+        with pytest.raises(DataError):
+            record(key(), 10, first=100, last=50)
+
+    def test_negative_counters_rejected(self):
+        with pytest.raises(DataError):
+            NetFlowRecord(
+                key=key(), octets=-1, packets=1, first_ms=0, last_ms=1, router="R"
+            )
+
+    def test_packets_without_octets_rejected(self):
+        with pytest.raises(DataError):
+            NetFlowRecord(
+                key=key(), octets=0, packets=5, first_ms=0, last_ms=1, router="R"
+            )
+
+    def test_router_required(self):
+        with pytest.raises(DataError):
+            NetFlowRecord(
+                key=key(), octets=1, packets=1, first_ms=0, last_ms=1, router=""
+            )
+
+    def test_sampling_interval_validated(self):
+        with pytest.raises(DataError):
+            record(key(), 10, sampling=0)
+
+
+class TestPacketSampler:
+    def test_unsampled_passthrough(self, rng):
+        sampler = PacketSampler(1, rng)
+        counters = sampler.sample(1000, 800_000)
+        assert counters.packets == 1000
+        assert counters.octets == 800_000
+
+    def test_zero_packets(self, rng):
+        counters = PacketSampler(100, rng).sample(0, 0)
+        assert counters.packets == 0 and counters.octets == 0
+
+    def test_estimator_is_nearly_unbiased(self, rng):
+        sampler = PacketSampler(100, rng)
+        true_packets, true_octets = 200_000, 160_000_000
+        estimates = []
+        for _ in range(40):
+            counters = sampler.sample(true_packets, true_octets)
+            estimates.append(sampler.estimate(counters)[1])
+        assert np.mean(estimates) == pytest.approx(true_octets, rel=0.02)
+
+    def test_sampled_counts_reasonable(self, rng):
+        counters = PacketSampler(10, rng).sample(10_000, 8_000_000)
+        assert 700 <= counters.packets <= 1300
+        assert counters.sampling_interval == 10
+
+    def test_validation(self, rng):
+        with pytest.raises(DataError):
+            PacketSampler(0, rng)
+        with pytest.raises(DataError):
+            PacketSampler(10, rng).sample(-1, 0)
+
+
+class TestFlowCollector:
+    def test_deduplicates_across_routers(self):
+        # Same flow exported by three routers on its path: volume must be
+        # counted once (the max per-router total), not three times.
+        collector = FlowCollector()
+        k = key()
+        for router in ("R1", "R2", "R3"):
+            collector.ingest(record(k, octets=1000, router=router))
+        assert collector.deduplicated_octets()[k] == 1000
+        assert collector.records_seen == 3
+        assert len(collector) == 1
+
+    def test_sums_within_router(self):
+        collector = FlowCollector()
+        k = key()
+        collector.ingest(record(k, octets=600, router="R1", first=0, last=10))
+        collector.ingest(record(k, octets=400, router="R1", first=11, last=20))
+        assert collector.deduplicated_octets()[k] == 1000
+
+    def test_takes_max_router_when_sampling_noise_differs(self):
+        collector = FlowCollector()
+        k = key()
+        collector.ingest(record(k, octets=900, router="R1"))
+        collector.ingest(record(k, octets=1100, router="R2"))
+        assert collector.deduplicated_octets()[k] == 1100
+        assert collector.entry_router(k) == "R2"
+
+    def test_total_octets_sums_everything(self):
+        collector = FlowCollector()
+        k = key()
+        collector.ingest(record(k, octets=900, router="R1"))
+        collector.ingest(record(k, octets=1100, router="R2"))
+        assert collector.total_octets()[k] == 2000
+
+    def test_distinct_flows_kept_apart(self):
+        collector = FlowCollector()
+        collector.ingest(record(key(1), octets=100))
+        collector.ingest(record(key(2), octets=200))
+        volumes = collector.deduplicated_octets()
+        assert volumes[key(1)] == 100
+        assert volumes[key(2)] == 200
+
+    def test_routers_for(self):
+        collector = FlowCollector()
+        collector.ingest(record(key(), 10, router="R2"))
+        collector.ingest(record(key(), 10, router="R1"))
+        assert collector.routers_for(key()) == ["R1", "R2"]
+        with pytest.raises(DataError):
+            collector.routers_for(key(9))
+
+    def test_time_span(self):
+        collector = FlowCollector()
+        collector.ingest(record(key(1), 10, first=5, last=100))
+        collector.ingest(record(key(2), 10, first=50, last=900))
+        assert collector.time_span_ms() == (5, 900)
+
+    def test_time_span_empty(self):
+        with pytest.raises(DataError):
+            FlowCollector().time_span_ms()
+
+    def test_sampling_scales_in_dedup(self):
+        collector = FlowCollector()
+        collector.ingest(record(key(), octets=100, sampling=1000))
+        assert collector.deduplicated_octets()[key()] == 100_000
+
+
+class TestAggregation:
+    def test_rates_and_distances(self):
+        collector = FlowCollector()
+        # 10^6 bytes over a 8-second window -> 1 Mbps.
+        collector.ingest(record(key(1, dst="2.0.0.1"), octets=1_000_000))
+        collector.ingest(record(key(2, dst="2.0.0.2"), octets=2_000_000))
+        distances = {"2.0.0.1": 10.0, "2.0.0.2": 500.0}
+        flows = aggregate_to_flowset(
+            collector,
+            window_seconds=8.0,
+            distance_fn=lambda k: distances[k.dst_addr],
+        )
+        assert len(flows) == 2
+        by_dst = {dst: i for i, dst in enumerate(flows.dsts)}
+        assert flows.demands[by_dst["2.0.0.1"]] == pytest.approx(1.0)
+        assert flows.demands[by_dst["2.0.0.2"]] == pytest.approx(2.0)
+        assert flows.distances[by_dst["2.0.0.2"]] == 500.0
+
+    def test_region_fn_attached(self):
+        collector = FlowCollector()
+        collector.ingest(record(key(1), octets=1_000_000))
+        flows = aggregate_to_flowset(
+            collector,
+            window_seconds=1.0,
+            distance_fn=lambda k: 5.0,
+            region_fn=lambda k: "metro",
+        )
+        assert flows.regions == ("metro",)
+
+    def test_min_demand_filter(self):
+        collector = FlowCollector()
+        collector.ingest(record(key(1), octets=1_000_000))
+        collector.ingest(record(key(2), octets=100))
+        flows = aggregate_to_flowset(
+            collector,
+            window_seconds=8.0,
+            distance_fn=lambda k: 1.0,
+            min_demand_mbps=0.5,
+        )
+        assert len(flows) == 1
+
+    def test_empty_collector_rejected(self):
+        with pytest.raises(DataError):
+            aggregate_to_flowset(
+                FlowCollector(), window_seconds=1.0, distance_fn=lambda k: 1.0
+            )
+
+    def test_all_filtered_rejected(self):
+        collector = FlowCollector()
+        collector.ingest(record(key(1), octets=8))
+        with pytest.raises(DataError, match="threshold"):
+            aggregate_to_flowset(
+                collector,
+                window_seconds=1000.0,
+                distance_fn=lambda k: 1.0,
+                min_demand_mbps=1.0,
+            )
+
+    def test_window_validated(self):
+        with pytest.raises(DataError):
+            aggregate_to_flowset(
+                FlowCollector(), window_seconds=0.0, distance_fn=lambda k: 1.0
+            )

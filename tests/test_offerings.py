@@ -1,0 +1,144 @@
+"""Tests for the §2.1 offering taxonomy as pricing structures."""
+
+import numpy as np
+import pytest
+
+from repro.core.ced import CEDDemand
+from repro.core.cost import DestinationTypeCost, LinearDistanceCost, RegionalCost
+from repro.core.logit import LogitDemand
+from repro.core.market import Market
+from repro.errors import BundlingError
+from repro.peering.offerings import (
+    BlendedRateOffering,
+    PaidPeeringOffering,
+    RegionalPricingOffering,
+    backplane_bundles,
+    compare_offerings,
+    render_offerings,
+)
+from repro.synth.datasets import load_dataset
+
+
+@pytest.fixture(scope="module")
+def flows():
+    return load_dataset("eu_isp", n_flows=80, seed=23)
+
+
+@pytest.fixture(scope="module")
+def linear_market(flows):
+    return Market(flows, CEDDemand(1.1), LinearDistanceCost(0.2), 20.0)
+
+
+@pytest.fixture(scope="module")
+def regional_market(flows):
+    return Market(flows, CEDDemand(1.1), RegionalCost(1.1), 20.0)
+
+
+@pytest.fixture(scope="module")
+def onnet_market(flows):
+    return Market(flows, CEDDemand(1.1), DestinationTypeCost(0.3), 20.0)
+
+
+class TestIndividualOfferings:
+    def test_blended_is_one_bundle(self, linear_market):
+        bundles = BlendedRateOffering().bundle(
+            linear_market.bundling_inputs(), 1
+        )
+        assert len(bundles) == 1
+        assert bundles[0].size == linear_market.n_flows
+
+    def test_paid_peering_splits_on_off_net(self, onnet_market):
+        bundles = PaidPeeringOffering().bundle(
+            onnet_market.bundling_inputs(), 2
+        )
+        assert len(bundles) == 2
+        for members in bundles:
+            labels = {onnet_market.classes[int(i)] for i in members}
+            assert len(labels) == 1
+
+    def test_paid_peering_needs_classes(self, linear_market):
+        with pytest.raises(BundlingError, match="destination-type"):
+            PaidPeeringOffering().bundle(linear_market.bundling_inputs(), 2)
+
+    def test_paid_peering_discounts_on_net(self, onnet_market):
+        bundles = PaidPeeringOffering().bundle(
+            onnet_market.bundling_inputs(), 2
+        )
+        prices = onnet_market.demand_model.bundle_prices(
+            onnet_market.valuations, onnet_market.costs, bundles
+        )
+        by_class = {}
+        for members in bundles:
+            label = onnet_market.classes[int(members[0])]
+            by_class[label] = float(prices[members[0]])
+        assert by_class["on-net"] < by_class["off-net"]
+
+    def test_regional_pricing_one_bundle_per_region(self, regional_market):
+        bundles = RegionalPricingOffering().bundle(
+            regional_market.bundling_inputs(), 3
+        )
+        assert len(bundles) == len(set(regional_market.classes))
+
+    def test_backplane_split(self, linear_market):
+        bundles = backplane_bundles(linear_market, exchange_radius_miles=25.0)
+        assert len(bundles) == 2
+        distances = linear_market.flows.distances
+        assert distances[bundles[0]].max() <= 25.0
+        assert distances[bundles[1]].min() > 25.0
+
+    def test_backplane_degenerate_radius(self, linear_market):
+        with pytest.raises(BundlingError, match="degenerates"):
+            backplane_bundles(linear_market, exchange_radius_miles=1e9)
+        with pytest.raises(BundlingError, match="positive"):
+            backplane_bundles(linear_market, exchange_radius_miles=0.0)
+
+
+class TestComparison:
+    def test_blended_captures_nothing(self, linear_market):
+        results = compare_offerings(linear_market)
+        blended = next(
+            r for r in results if r.offering == "conventional-transit"
+        )
+        assert blended.profit_capture == pytest.approx(0.0, abs=1e-9)
+        assert blended.n_tiers == 1
+
+    def test_taxonomy_ordering_on_distance_costs(self, linear_market):
+        """§2.2's argument: ad-hoc offerings improve on blended rates, and
+        demand+cost aware tiers improve on the ad-hoc offerings."""
+        results = {r.offering: r for r in compare_offerings(linear_market)}
+        blended = results["conventional-transit"].profit
+        backplane = results["backplane-peering"].profit
+        proposal = results["profit-weighted-3-tiers"].profit
+        assert backplane > blended
+        assert proposal > backplane
+
+    def test_regional_offering_appears_with_region_classes(
+        self, regional_market
+    ):
+        results = {r.offering for r in compare_offerings(regional_market)}
+        assert "regional-pricing" in results
+
+    def test_paid_peering_appears_with_type_classes(self, onnet_market):
+        results = {r.offering: r for r in compare_offerings(onnet_market)}
+        assert "paid-peering" in results
+        # Two flat cost classes: paid peering is already optimal (Fig 13).
+        assert results["paid-peering"].profit_capture == pytest.approx(
+            1.0, abs=1e-6
+        )
+
+    def test_results_fields(self, linear_market):
+        for result in compare_offerings(linear_market):
+            assert result.n_tiers == len(result.tier_prices) or (
+                result.n_tiers >= len(result.tier_prices)
+            )
+            assert result.profit > 0
+
+    def test_works_under_logit(self, flows):
+        market = Market(flows, LogitDemand(1.1, s0=0.2), LinearDistanceCost(0.2), 20.0)
+        results = {r.offering: r for r in compare_offerings(market)}
+        assert results["profit-weighted-3-tiers"].profit_capture > 0.5
+
+    def test_render(self, linear_market):
+        text = render_offerings(compare_offerings(linear_market))
+        assert "conventional-transit" in text
+        assert "capture" in text

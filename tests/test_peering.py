@@ -1,0 +1,144 @@
+"""Tests for the peering economics (Figures 1 and 2)."""
+
+import pytest
+
+from repro.errors import ModelParameterError
+from repro.peering.bypass import (
+    BypassScenario,
+    failure_window,
+    sweep_direct_costs,
+)
+from repro.peering.worked_example import figure1_example
+
+
+class TestFigure1Example:
+    @pytest.fixture(scope="class")
+    def example(self):
+        return figure1_example()
+
+    def test_blended_rate_is_1_20(self, example):
+        assert example.blended.prices == pytest.approx((1.2, 1.2))
+
+    def test_tiered_prices_are_2_and_1(self, example):
+        assert example.tiered.prices == pytest.approx((2.0, 1.0))
+
+    def test_paper_profit_numbers(self, example):
+        assert example.blended.profit == pytest.approx(25.0 / 12.0)  # $2.08
+        assert example.tiered.profit == pytest.approx(2.25)
+
+    def test_paper_surplus_numbers(self, example):
+        assert example.blended.consumer_surplus == pytest.approx(25.0 / 6.0)
+        assert example.tiered.consumer_surplus == pytest.approx(4.5)
+
+    def test_both_sides_gain(self, example):
+        assert example.profit_gain > 0
+        assert example.surplus_gain > 0
+        assert example.welfare_gain == pytest.approx(
+            example.profit_gain + example.surplus_gain
+        )
+
+    def test_figure1_quantities(self, example):
+        # Blended: q = (v/1.2)^2 -> (0.694, 2.778); tiered: (0.25, 4).
+        assert example.blended.quantities == pytest.approx((25 / 36, 25 / 9))
+        assert example.tiered.quantities == pytest.approx((0.25, 4.0))
+
+    def test_custom_parameters(self):
+        example = figure1_example(alpha=3.0, valuations=(1.0, 1.0), costs=(1.0, 1.0))
+        # Identical flows: tiering cannot help.
+        assert example.profit_gain == pytest.approx(0.0, abs=1e-12)
+
+
+class TestBypassScenario:
+    def test_customer_stays_when_link_expensive(self):
+        s = BypassScenario(
+            blended_rate=10.0, isp_unit_cost=4.0, direct_unit_cost=12.0
+        )
+        assert not s.customer_bypasses
+        assert s.outcome() == "stays"
+        assert s.efficiency_loss_per_mbps == 0.0
+
+    def test_efficient_bypass(self):
+        s = BypassScenario(
+            blended_rate=10.0, isp_unit_cost=4.0, direct_unit_cost=3.0
+        )
+        assert s.customer_bypasses and not s.is_market_failure
+        assert s.outcome() == "efficient-bypass"
+
+    def test_market_failure_window(self):
+        # tiered price = 1.25 * 4 + 0.5 = 5.5; failure for c in (5.5, 10).
+        s = BypassScenario(
+            blended_rate=10.0,
+            isp_unit_cost=4.0,
+            direct_unit_cost=7.0,
+            margin=0.25,
+            accounting_overhead=0.5,
+        )
+        assert s.tiered_price == pytest.approx(5.5)
+        assert s.is_market_failure
+        assert s.efficiency_loss_per_mbps == pytest.approx(1.5)
+
+    def test_failure_condition_formula(self):
+        # c_direct > (M+1)c_isp + A, per §2.2.2.
+        s = BypassScenario(
+            blended_rate=10.0,
+            isp_unit_cost=4.0,
+            direct_unit_cost=5.5,
+            margin=0.25,
+            accounting_overhead=0.5,
+        )
+        assert not s.is_market_failure  # boundary is not a failure
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"blended_rate": 0.0, "isp_unit_cost": 1.0, "direct_unit_cost": 1.0},
+            {"blended_rate": 1.0, "isp_unit_cost": -1.0, "direct_unit_cost": 1.0},
+            {"blended_rate": 1.0, "isp_unit_cost": 1.0, "direct_unit_cost": 0.0},
+            {
+                "blended_rate": 1.0,
+                "isp_unit_cost": 1.0,
+                "direct_unit_cost": 1.0,
+                "margin": -0.5,
+            },
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ModelParameterError):
+            BypassScenario(**kwargs)
+
+
+class TestSweep:
+    def test_regimes_in_order(self):
+        points = sweep_direct_costs(
+            blended_rate=10.0,
+            isp_unit_cost=4.0,
+            direct_unit_costs=[1.0, 6.0, 9.9, 10.1, 20.0],
+            margin=0.25,
+            accounting_overhead=0.0,
+        )
+        assert [p.outcome for p in points] == [
+            "efficient-bypass",
+            "market-failure",
+            "market-failure",
+            "stays",
+            "stays",
+        ]
+
+    def test_loss_only_in_failure_regime(self):
+        points = sweep_direct_costs(
+            blended_rate=10.0,
+            isp_unit_cost=4.0,
+            direct_unit_costs=[1.0, 7.0, 15.0],
+        )
+        assert points[0].efficiency_loss_per_mbps == 0.0
+        assert points[1].efficiency_loss_per_mbps > 0.0
+        assert points[2].efficiency_loss_per_mbps == 0.0
+
+    def test_failure_window(self):
+        lo, hi = failure_window(10.0, 4.0, margin=0.25, accounting_overhead=0.5)
+        assert (lo, hi) == (pytest.approx(5.5), 10.0)
+
+    def test_window_can_be_empty(self):
+        # Blended rate already at cost: tiering cannot retain the traffic.
+        lo, hi = failure_window(5.0, 4.0, margin=0.25)
+        assert lo >= hi

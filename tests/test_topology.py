@@ -1,0 +1,186 @@
+"""Tests for the topology substrate (PoPs, links, routing, builders)."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.geo.coords import EUROPEAN_CITIES, GeoPoint, City
+from repro.topology.builders import (
+    build_cdn_topology,
+    build_eu_isp_topology,
+    build_internet2_topology,
+)
+from repro.topology.ixp import IXP
+from repro.topology.network import Topology
+from repro.topology.pop import Link, PoP
+
+
+def city(name):
+    return next(c for c in EUROPEAN_CITIES if c.name == name)
+
+
+@pytest.fixture
+def triangle():
+    """AMS - BRU - PAR chain plus direct AMS - PAR link."""
+    topo = Topology("triangle")
+    topo.add_pop("AMS", city("Amsterdam"))
+    topo.add_pop("BRU", city("Brussels"))
+    topo.add_pop("PAR", city("Paris"))
+    topo.add_link("AMS", "BRU")
+    topo.add_link("BRU", "PAR")
+    topo.add_link("AMS", "PAR")
+    return topo
+
+
+class TestPoPAndLink:
+    def test_pop_distance(self):
+        a = PoP(code="AMS", city=city("Amsterdam"))
+        b = PoP(code="PAR", city=city("Paris"))
+        assert 250 < a.distance_to(b) < 290
+
+    def test_empty_code_rejected(self):
+        with pytest.raises(TopologyError):
+            PoP(code="", city=city("Paris"))
+
+    def test_link_self_loop_rejected(self):
+        with pytest.raises(TopologyError):
+            Link(a="AMS", b="AMS", length_miles=1.0)
+
+    def test_link_negative_length_rejected(self):
+        with pytest.raises(TopologyError):
+            Link(a="AMS", b="PAR", length_miles=-5.0)
+
+    def test_link_capacity_validated(self):
+        with pytest.raises(TopologyError):
+            Link(a="A", b="B", length_miles=1.0, capacity_gbps=0.0)
+
+    def test_link_key_is_unordered(self):
+        assert Link(a="B", b="A", length_miles=1.0).key == ("A", "B")
+
+
+class TestTopology:
+    def test_requires_name(self):
+        with pytest.raises(TopologyError):
+            Topology("")
+
+    def test_duplicate_pop_rejected(self, triangle):
+        with pytest.raises(TopologyError, match="duplicate"):
+            triangle.add_pop("AMS", city("Amsterdam"))
+
+    def test_unknown_pop_lookup(self, triangle):
+        with pytest.raises(TopologyError, match="unknown"):
+            triangle.pop("NYC")
+
+    def test_link_defaults_to_geographic_length(self, triangle):
+        links = {link.key: link for link in triangle.links}
+        direct = links[("AMS", "PAR")]
+        assert direct.length_miles == pytest.approx(
+            triangle.geographic_distance("AMS", "PAR")
+        )
+
+    def test_contains_and_len(self, triangle):
+        assert "AMS" in triangle
+        assert "NYC" not in triangle
+        assert len(triangle) == 3
+
+    def test_shortest_path_prefers_direct_link(self, triangle):
+        assert triangle.shortest_path("AMS", "PAR") == ["AMS", "PAR"]
+
+    def test_routed_equals_geographic_on_direct_link(self, triangle):
+        assert triangle.routed_distance("AMS", "PAR") == pytest.approx(
+            triangle.geographic_distance("AMS", "PAR")
+        )
+
+    def test_routed_distance_via_detour(self):
+        topo = Topology("chain")
+        topo.add_pop("AMS", city("Amsterdam"))
+        topo.add_pop("BRU", city("Brussels"))
+        topo.add_pop("PAR", city("Paris"))
+        topo.add_link("AMS", "BRU")
+        topo.add_link("BRU", "PAR")
+        routed = topo.routed_distance("AMS", "PAR")
+        direct = topo.geographic_distance("AMS", "PAR")
+        assert routed > direct  # the chain detours through Brussels
+
+    def test_no_route_raises(self):
+        topo = Topology("split")
+        topo.add_pop("AMS", city("Amsterdam"))
+        topo.add_pop("PAR", city("Paris"))
+        with pytest.raises(TopologyError, match="no route"):
+            topo.routed_distance("AMS", "PAR")
+        assert not topo.is_connected()
+
+    def test_path_links(self, triangle):
+        links = triangle.path_links(["AMS", "BRU", "PAR"])
+        assert [link.key for link in links] == [("AMS", "BRU"), ("BRU", "PAR")]
+
+    def test_path_links_rejects_non_adjacent(self, triangle):
+        topo = Topology("chain2")
+        topo.add_pop("AMS", city("Amsterdam"))
+        topo.add_pop("PAR", city("Paris"))
+        with pytest.raises(TopologyError):
+            topo.path_links(["AMS", "PAR"])
+
+    def test_diameter(self, triangle):
+        assert triangle.diameter_miles() >= triangle.geographic_distance(
+            "AMS", "PAR"
+        )
+
+    def test_repr(self, triangle):
+        assert "triangle" in repr(triangle)
+
+
+class TestBuilders:
+    @pytest.mark.parametrize(
+        "builder", [build_eu_isp_topology, build_internet2_topology, build_cdn_topology]
+    )
+    def test_all_reference_topologies_connected(self, builder):
+        topo = builder()
+        assert topo.is_connected()
+        assert len(topo) >= 10
+
+    def test_internet2_is_abilene(self):
+        topo = build_internet2_topology()
+        assert len(topo) == 12
+        assert topo.routed_distance("SEA", "NYC") > 2000
+
+    def test_eu_isp_scale_is_regional(self):
+        topo = build_eu_isp_topology()
+        # Benelux core distances are tens of miles.
+        assert topo.geographic_distance("AMS", "UTR") < 40
+
+    def test_cdn_spans_continents(self):
+        topo = build_cdn_topology()
+        assert topo.diameter_miles() > 8000
+
+    def test_eu_isp_paths_follow_backbone(self):
+        topo = build_eu_isp_topology()
+        path = topo.shortest_path("STO", "MAD")
+        assert path[0] == "STO" and path[-1] == "MAD"
+        assert len(path) >= 3
+
+
+class TestIXP:
+    def test_members(self):
+        ixp = IXP(name="AMS-IX", city=city("Amsterdam"), members=("AS1",))
+        assert ixp.has_member("AS1")
+        assert not ixp.has_member("AS2")
+
+    def test_with_member_is_idempotent(self):
+        ixp = IXP(name="AMS-IX", city=city("Amsterdam"))
+        grown = ixp.with_member("AS9").with_member("AS9")
+        assert grown.members == ("AS9",)
+
+    def test_requires_name(self):
+        with pytest.raises(TopologyError):
+            IXP(name="", city=city("Amsterdam"))
+
+    def test_distance_to_city(self):
+        ixp = IXP(name="AMS-IX", city=city("Amsterdam"))
+        assert ixp.distance_to_city(city("Paris")) > 200
+
+
+def test_custom_city_pop():
+    custom = City(name="Reykjavik", country="IS", location=GeoPoint(64.15, -21.94))
+    topo = Topology("north")
+    topo.add_pop("REK", custom)
+    assert topo.pop("REK").city.country == "IS"

@@ -1,0 +1,124 @@
+"""Tests for the multi-year price-decline trajectory simulator."""
+
+import pytest
+
+from repro.core.cost import RegionalCost
+from repro.core.trajectory import (
+    YearOutcome,
+    render_trajectory,
+    simulate_price_decline,
+)
+from repro.errors import ModelParameterError
+from repro.synth.datasets import load_dataset
+
+
+@pytest.fixture(scope="module")
+def flows():
+    return load_dataset("eu_isp", n_flows=60, seed=11)
+
+
+class TestSimulation:
+    def test_year_zero_matches_inputs(self, flows):
+        outcomes = simulate_price_decline(flows, years=1, initial_rate=20.0)
+        assert len(outcomes) == 1
+        assert outcomes[0].year == 0
+        assert outcomes[0].blended_rate == 20.0
+        assert outcomes[0].total_demand_mbps == pytest.approx(
+            float(flows.demands.sum())
+        )
+
+    def test_rate_declines_thirty_percent(self, flows):
+        outcomes = simulate_price_decline(
+            flows, years=4, initial_rate=20.0, annual_price_decline=0.30
+        )
+        rates = [o.blended_rate for o in outcomes]
+        for before, after in zip(rates, rates[1:]):
+            assert after == pytest.approx(before * 0.7)
+
+    def test_demand_grows_from_elasticity_and_growth(self, flows):
+        outcomes = simulate_price_decline(
+            flows,
+            years=3,
+            annual_price_decline=0.30,
+            annual_demand_growth=0.25,
+            alpha=1.1,
+        )
+        demands = [o.total_demand_mbps for o in outcomes]
+        # Elastic response (0.7^-1.1 ~ 1.48) times 1.25 growth ~ 1.85x/yr.
+        for before, after in zip(demands, demands[1:]):
+            assert after / before == pytest.approx(
+                (1.0 / 0.7) ** 1.1 * 1.25, rel=1e-9
+            )
+
+    def test_no_decline_is_a_fixed_point(self, flows):
+        outcomes = simulate_price_decline(
+            flows, years=3, annual_price_decline=0.0, annual_demand_growth=0.0
+        )
+        profits = [o.blended_profit for o in outcomes]
+        assert profits[0] == pytest.approx(profits[1])
+        assert profits[1] == pytest.approx(profits[2])
+
+    def test_capture_stays_meaningful_across_years(self, flows):
+        outcomes = simulate_price_decline(flows, years=5)
+        for outcome in outcomes:
+            assert 0.5 < outcome.profit_capture <= 1.0
+            assert outcome.tiering_premium >= 0.0
+            assert len(outcome.tier_prices) <= 3
+
+    def test_tier_prices_scale_with_the_rate(self, flows):
+        outcomes = simulate_price_decline(flows, years=3)
+        first, last = outcomes[0], outcomes[-1]
+        assert max(last.tier_prices) < max(first.tier_prices)
+
+    def test_cost_decline_compresses_relative_spread(self, flows):
+        stable = simulate_price_decline(flows, years=4, cost_decline=0.0)
+        # Distance decline alone does not change *relative* costs under a
+        # pure-distance model (gamma rescales), so use theta > 0 where the
+        # base cost gains weight as distances shrink.
+        compressed = simulate_price_decline(flows, years=4, cost_decline=0.4)
+        # Premium should not explode when the cost spread compresses.
+        assert (
+            compressed[-1].tiering_premium
+            <= stable[-1].tiering_premium + 1e-9
+        )
+
+    def test_custom_cost_model(self, flows):
+        outcomes = simulate_price_decline(
+            flows, years=2, cost_model=RegionalCost(theta=1.1)
+        )
+        assert len(outcomes) == 2
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"years": 0},
+            {"annual_price_decline": 1.0},
+            {"annual_price_decline": -0.1},
+            {"annual_demand_growth": -0.2},
+            {"cost_decline": 1.0},
+        ],
+    )
+    def test_validation(self, flows, kwargs):
+        with pytest.raises(ModelParameterError):
+            simulate_price_decline(flows, **kwargs)
+
+
+class TestRender:
+    def test_render_contains_each_year(self, flows):
+        outcomes = simulate_price_decline(flows, years=3)
+        text = render_trajectory(outcomes)
+        assert text.count("\n") >= 4
+        assert "premium" in text
+
+
+def test_year_outcome_premium_guard():
+    outcome = YearOutcome(
+        year=0,
+        blended_rate=1.0,
+        total_demand_mbps=1.0,
+        blended_profit=0.0,
+        tiered_profit=1.0,
+        profit_capture=1.0,
+        tier_prices=(1.0,),
+    )
+    assert outcome.tiering_premium == 0.0

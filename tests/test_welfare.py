@@ -1,0 +1,81 @@
+"""Tests for the welfare analysis (extension of §2.2.1 to full markets)."""
+
+import pytest
+
+from repro.core.bundling import OptimalBundling, ProfitWeightedBundling
+from repro.core.welfare import (
+    WelfareBreakdown,
+    render_welfare_table,
+    welfare_comparison,
+    welfare_curve,
+)
+
+
+class TestBreakdown:
+    def test_welfare_is_sum(self):
+        breakdown = WelfareBreakdown(label="x", profit=10.0, consumer_surplus=4.0)
+        assert breakdown.welfare == 14.0
+
+
+class TestComparison:
+    def test_gains_are_differences(self, ced_market):
+        comparison = welfare_comparison(ced_market, OptimalBundling(), 3)
+        assert comparison.profit_gain == pytest.approx(
+            comparison.tiered.profit - comparison.blended.profit
+        )
+        assert comparison.welfare_gain == pytest.approx(
+            comparison.profit_gain + comparison.surplus_gain
+        )
+
+    def test_blended_matches_market_baseline(self, any_market):
+        comparison = welfare_comparison(any_market, OptimalBundling(), 2)
+        assert comparison.blended.profit == pytest.approx(
+            any_market.blended_profit()
+        )
+        assert comparison.blended.consumer_surplus == pytest.approx(
+            any_market.blended_surplus()
+        )
+
+    def test_per_flow_profit_is_ceiling(self, any_market):
+        comparison = welfare_comparison(any_market, OptimalBundling(), 2)
+        assert comparison.per_flow.profit == pytest.approx(
+            any_market.max_profit()
+        )
+        assert comparison.tiered.profit <= comparison.per_flow.profit + 1e-9
+
+    def test_profit_gain_nonnegative_for_optimal(self, any_market):
+        comparison = welfare_comparison(any_market, OptimalBundling(), 3)
+        assert comparison.profit_gain >= -1e-9
+
+    def test_tiering_is_pareto_improvement_under_ced(self, ced_market):
+        """The Figure 1 phenomenon survives on a calibrated full market."""
+        comparison = welfare_comparison(ced_market, OptimalBundling(), 4)
+        assert comparison.pareto_improvement
+        assert comparison.welfare_gain > 0
+
+    def test_surplus_capture_defined(self, any_market):
+        comparison = welfare_comparison(any_market, ProfitWeightedBundling(), 3)
+        assert isinstance(comparison.surplus_capture, float)
+
+
+class TestCurve:
+    def test_curve_length(self, ced_market):
+        curve = welfare_curve(ced_market, OptimalBundling(), (1, 2, 3))
+        assert len(curve) == 3
+
+    def test_one_tier_equals_blended(self, any_market):
+        curve = welfare_curve(any_market, OptimalBundling(), (1,))
+        assert curve[0].profit_gain == pytest.approx(0.0, abs=1e-6)
+        assert curve[0].surplus_gain == pytest.approx(0.0, abs=1e-6)
+
+    def test_profit_monotone_in_tiers_for_optimal(self, ced_market):
+        curve = welfare_curve(ced_market, OptimalBundling(), (1, 2, 3, 4))
+        profits = [comparison.tiered.profit for comparison in curve]
+        assert all(b >= a - 1e-9 for a, b in zip(profits, profits[1:]))
+
+    def test_render_table(self, ced_market):
+        curve = welfare_curve(ced_market, OptimalBundling(), (1, 2))
+        text = render_welfare_table(curve)
+        assert "blended (baseline)" in text
+        assert "per-flow (ceiling)" in text
+        assert "optimal" in text

@@ -1,0 +1,141 @@
+"""Tests for workload shaping (time series, elephants/mice)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DataError
+from repro.synth.workloads import (
+    diurnal_profile,
+    elephants_and_mice,
+    expand_to_time_series,
+)
+
+
+class TestDiurnalProfile:
+    def test_mean_is_one(self):
+        profile = diurnal_profile(288, peak_to_trough=3.0)
+        assert profile.mean() == pytest.approx(1.0)
+
+    def test_peak_to_trough_ratio(self):
+        profile = diurnal_profile(2880, peak_to_trough=4.0)
+        assert profile.max() / profile.min() == pytest.approx(4.0, rel=1e-3)
+
+    def test_peaks_at_requested_hour(self):
+        profile = diurnal_profile(24, peak_to_trough=3.0, peak_hour=20.0)
+        assert int(np.argmax(profile)) == 20
+
+    def test_flat_profile(self):
+        profile = diurnal_profile(10, peak_to_trough=1.0)
+        assert np.allclose(profile, 1.0)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n_intervals": 0},
+            {"n_intervals": 5, "peak_to_trough": 0.5},
+            {"n_intervals": 5, "peak_hour": 24.0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(DataError):
+            diurnal_profile(**kwargs)
+
+
+class TestTimeSeries:
+    def test_shape(self, small_flows):
+        series = expand_to_time_series(small_flows, n_intervals=48)
+        assert series.rates_mbps.shape == (48, len(small_flows))
+        assert series.n_intervals == 48
+
+    def test_window_average_close_to_matrix(self, small_flows):
+        series = expand_to_time_series(
+            small_flows, n_intervals=288, noise_cv=0.05, seed=2
+        )
+        means = series.rates_mbps.mean(axis=0)
+        assert means == pytest.approx(small_flows.demands, rel=0.05)
+
+    def test_noiseless_series_is_profile_scaled(self, small_flows):
+        series = expand_to_time_series(
+            small_flows, n_intervals=24, noise_cv=0.0, peak_to_trough=2.0
+        )
+        ratio = series.rates_mbps[:, 0] / small_flows.demands[0]
+        for j in range(1, len(small_flows)):
+            assert series.rates_mbps[:, j] / small_flows.demands[j] == (
+                pytest.approx(ratio)
+            )
+
+    def test_percentile_rate_above_mean(self, small_flows):
+        series = expand_to_time_series(
+            small_flows, n_intervals=288, peak_to_trough=3.0, seed=1
+        )
+        for j in range(len(small_flows)):
+            assert series.percentile_rate(j, 95.0) > small_flows.demands[j]
+
+    def test_octets_roundtrip(self, small_flows):
+        series = expand_to_time_series(
+            small_flows, n_intervals=12, interval_seconds=300.0, noise_cv=0.0
+        )
+        total = series.total_octets(0)
+        expected = small_flows.demands[0] * 1e6 / 8.0 * series.window_seconds()
+        assert total == pytest.approx(expected, rel=0.01)
+
+    def test_determinism(self, small_flows):
+        a = expand_to_time_series(small_flows, n_intervals=24, seed=5)
+        b = expand_to_time_series(small_flows, n_intervals=24, seed=5)
+        assert np.array_equal(a.rates_mbps, b.rates_mbps)
+
+    def test_validation(self, small_flows):
+        with pytest.raises(DataError):
+            expand_to_time_series(small_flows, interval_seconds=0.0)
+        with pytest.raises(DataError):
+            expand_to_time_series(small_flows, noise_cv=-0.1)
+
+
+class TestElephantsAndMice:
+    def test_aggregate_and_split(self):
+        flows = elephants_and_mice(
+            50, aggregate_mbps=10_000.0, elephant_fraction=0.1, elephant_share=0.8
+        )
+        assert len(flows) == 50
+        assert flows.demands.sum() == pytest.approx(10_000.0)
+        elephants = np.sort(flows.demands)[-5:]
+        assert elephants.sum() == pytest.approx(8_000.0, rel=0.01)
+
+    def test_heavy_tail_visible_in_cv(self):
+        flows = elephants_and_mice(100, 1000.0, 0.05, 0.9)
+        assert flows.demand_cv() > 2.0
+
+    def test_custom_distances(self):
+        flows = elephants_and_mice(
+            4, 100.0, 0.25, 0.5, distances_miles=[1.0, 2.0, 3.0, 4.0]
+        )
+        assert flows.distances.tolist() == [1.0, 2.0, 3.0, 4.0]
+
+    def test_determinism(self):
+        a = elephants_and_mice(20, 100.0, seed=3)
+        b = elephants_and_mice(20, 100.0, seed=3)
+        assert np.array_equal(a.demands, b.demands)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"elephant_fraction": 0.0},
+            {"elephant_fraction": 1.0},
+            {"elephant_share": 1.0},
+            {"aggregate_mbps": 0.0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        base = {
+            "n_flows": 10,
+            "aggregate_mbps": 100.0,
+            "elephant_fraction": 0.2,
+            "elephant_share": 0.7,
+        }
+        base.update(kwargs)
+        with pytest.raises(DataError):
+            elephants_and_mice(**base)
+
+    def test_distance_length_validated(self):
+        with pytest.raises(DataError):
+            elephants_and_mice(4, 100.0, distances_miles=[1.0, 2.0])
