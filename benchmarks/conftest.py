@@ -4,25 +4,46 @@ Every bench regenerates one paper table/figure, times it with
 pytest-benchmark, prints the series, and archives the rendered text under
 ``benchmarks/output/`` so paper-vs-measured comparisons (EXPERIMENTS.md)
 can cite a concrete artifact.
+
+Since the runtime refactor each bench also leaves a structured-JSON perf
+record (``<name>.metrics.json``) next to its text artifact: wall time of
+the timed driver call plus the run's :data:`repro.runtime.METRICS`
+snapshot — markets built, datasets generated, cache hits/misses, workers
+used, and per-stage timings.  Committed records are the repo's perf
+trajectory: diffs show when a driver got slower or started rebuilding
+state it used to cache.
 """
 
 from __future__ import annotations
 
 import pathlib
+import time
 
 import pytest
+
+from repro.runtime.metrics import METRICS
 
 OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
 
 
+@pytest.fixture(autouse=True)
+def _fresh_metrics():
+    """Each bench's metrics JSON covers that bench alone."""
+    METRICS.reset()
+    yield
+
+
 @pytest.fixture
 def save_output():
-    """Write a rendered figure/table to benchmarks/output/<name>.txt."""
+    """Write a rendered figure/table (plus the run's metrics JSON) to
+    ``benchmarks/output/<name>.txt`` / ``<name>.metrics.json``."""
 
     def _save(name: str, text: str) -> pathlib.Path:
         OUTPUT_DIR.mkdir(exist_ok=True)
         path = OUTPUT_DIR / f"{name}.txt"
         path.write_text(text + "\n")
+        metrics_path = OUTPUT_DIR / f"{name}.metrics.json"
+        metrics_path.write_text(METRICS.to_json(artifact=name) + "\n")
         print(text)
         return path
 
@@ -32,9 +53,16 @@ def save_output():
 @pytest.fixture
 def run_once(benchmark):
     """Benchmark a driver with a single timed round (drivers are heavy
-    and deterministic; statistical repetition adds nothing)."""
+    and deterministic; statistical repetition adds nothing).  The driver
+    call is also timed under the ``bench`` metrics stage so the emitted
+    JSON carries its wall time."""
 
     def _run(fn, *args, **kwargs):
-        return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+        start = time.perf_counter()
+        result = benchmark.pedantic(
+            fn, args=args, kwargs=kwargs, rounds=1, iterations=1
+        )
+        METRICS.observe("bench", time.perf_counter() - start)
+        return result
 
     return _run

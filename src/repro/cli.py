@@ -10,7 +10,10 @@ Commands:
   card (prices, destinations, demand) plus profit capture.
 
 Everything honors ``--flows`` and ``--seed`` so results are reproducible
-and fast to experiment with.
+and fast to experiment with.  Every subcommand additionally honors the
+runtime flags ``--jobs`` (parallel fan-out), ``--no-cache`` (disable the
+dataset/market/result cache), and ``--metrics`` (emit a structured-JSON
+run report) — none of which change the computed output.
 """
 
 from __future__ import annotations
@@ -18,12 +21,16 @@ from __future__ import annotations
 import argparse
 import dataclasses
 import sys
+import time
 from collections.abc import Sequence
 
 from repro.core.bundling import strategy_by_name
 from repro.experiments import figures, render, sweeps, tables
 from repro.experiments.config import DEFAULT_CONFIG
 from repro.experiments.runner import build_market
+from repro.runtime import cache as runtime_cache
+from repro.runtime.metrics import METRICS
+from repro.runtime.parallel import resolve_jobs
 from repro.synth.datasets import DATASET_NAMES, DATASETS
 
 #: Figure number -> (driver factory, renderer) wiring.
@@ -90,16 +97,53 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--seed", type=int, default=DEFAULT_CONFIG.seed, help="dataset RNG seed"
     )
+
+    # Runtime flags, shared by every subcommand (so they can be written
+    # after it: ``python -m repro figure 14 --jobs 4``).  They steer how
+    # the work runs, never what it computes.
+    runtime = argparse.ArgumentParser(add_help=False)
+    runtime.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "worker processes for experiment fan-out "
+            "(default: $REPRO_JOBS, else 1 = serial; 0 = all cores)"
+        ),
+    )
+    runtime.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the content-addressed dataset/market/result cache",
+    )
+    runtime.add_argument(
+        "--metrics",
+        default=None,
+        metavar="PATH",
+        help=(
+            "after the command, write a structured-JSON run report "
+            "(wall time, cache hits/misses, workers, markets built) "
+            "to PATH ('-' for stderr)"
+        ),
+    )
+
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("table1", help="regenerate Table 1")
+    sub.add_parser("table1", help="regenerate Table 1", parents=[runtime])
 
-    fig = sub.add_parser("figure", help="regenerate one figure")
+    fig = sub.add_parser(
+        "figure", help="regenerate one figure", parents=[runtime]
+    )
     fig.add_argument("number", type=int, choices=sorted(_FIGURES))
 
-    sub.add_parser("datasets", help="list synthetic datasets")
+    sub.add_parser(
+        "datasets", help="list synthetic datasets", parents=[runtime]
+    )
 
-    design = sub.add_parser("design", help="design pricing tiers")
+    design = sub.add_parser(
+        "design", help="design pricing tiers", parents=[runtime]
+    )
     design.add_argument(
         "dataset", choices=DATASET_NAMES, help="which network to design for"
     )
@@ -114,14 +158,18 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     report = sub.add_parser(
-        "report", help="run every table/figure and emit a markdown report"
+        "report",
+        help="run every table/figure and emit a markdown report",
+        parents=[runtime],
     )
     report.add_argument(
         "--output", default="-", help="file to write ('-' for stdout)"
     )
 
     export = sub.add_parser(
-        "export", help="write a synthetic dataset as a flow CSV"
+        "export",
+        help="write a synthetic dataset as a flow CSV",
+        parents=[runtime],
     )
     export.add_argument("dataset", choices=DATASET_NAMES)
     export.add_argument("output", help="CSV path to write")
@@ -129,6 +177,7 @@ def build_parser() -> argparse.ArgumentParser:
     offerings = sub.add_parser(
         "offerings",
         help="price the §2.1 product taxonomy on one dataset",
+        parents=[runtime],
     )
     offerings.add_argument("dataset", choices=DATASET_NAMES)
     offerings.add_argument(
@@ -140,6 +189,7 @@ def build_parser() -> argparse.ArgumentParser:
     drift = sub.add_parser(
         "drift",
         help="score a saved tier design against a flow CSV",
+        parents=[runtime],
     )
     drift.add_argument("design", help="tier-design JSON (from save_design)")
     drift.add_argument("matrix", help="flow CSV with dst addresses")
@@ -149,7 +199,11 @@ def build_parser() -> argparse.ArgumentParser:
 
 def _config(args: argparse.Namespace):
     return dataclasses.replace(
-        DEFAULT_CONFIG, n_flows=args.flows, seed=args.seed
+        DEFAULT_CONFIG,
+        n_flows=args.flows,
+        seed=args.seed,
+        jobs=getattr(args, "jobs", None),
+        cache=not getattr(args, "no_cache", False),
     )
 
 
@@ -288,14 +342,45 @@ _COMMANDS = {
 }
 
 
+def _emit_metrics(
+    args: argparse.Namespace, wall_time_s: float, cache_enabled: bool
+) -> None:
+    """Write the run's structured-JSON report where ``--metrics`` asked."""
+    payload = METRICS.to_json(
+        command=args.command,
+        wall_time_s=wall_time_s,
+        jobs=resolve_jobs(getattr(args, "jobs", None)),
+        cache_enabled=cache_enabled,
+    )
+    if args.metrics == "-":
+        print(payload, file=sys.stderr)
+    else:
+        import pathlib
+
+        pathlib.Path(args.metrics).write_text(payload + "\n")
+
+
 def main(argv: "Sequence[str] | None" = None) -> int:
     args = build_parser().parse_args(argv)
+    cache_was_enabled = runtime_cache.cache_enabled()
+    if getattr(args, "no_cache", False):
+        # Disable all cache layers (results, markets, datasets), not just
+        # the driver-level result cache the config threads through.
+        runtime_cache.configure(enabled=False)
+    run_cache_enabled = runtime_cache.cache_enabled()
+    started = time.perf_counter()
     try:
         print(_COMMANDS[args.command](args))
     except BrokenPipeError:
         # Output was piped into a pager/head that closed early; not an error.
         sys.stderr.close()
         return 0
+    finally:
+        # main() is also called in-process (tests, embedding); don't let
+        # one --no-cache run disable caching for the rest of the process.
+        runtime_cache.configure(enabled=cache_was_enabled)
+    if getattr(args, "metrics", None):
+        _emit_metrics(args, time.perf_counter() - started, run_cache_enabled)
     return 0
 
 

@@ -34,6 +34,7 @@ from repro.core.cost import CostModel
 from repro.core.demand import DemandModel, as_price_vector, validate_positive
 from repro.core.flow import FlowSet
 from repro.errors import ModelParameterError
+from repro.runtime.metrics import METRICS
 
 #: Treat a max-vs-blended profit gap below this relative size as "no gap".
 _CAPTURE_EPS = 1e-12
@@ -105,6 +106,7 @@ class Market:
         cost_model: CostModel,
         blended_rate: float = 20.0,
     ) -> None:
+        METRICS.incr("markets_built")
         self.blended_rate = validate_positive(blended_rate, "blended_rate")
         self.demand_model = demand_model
         self.cost_model = cost_model
@@ -127,6 +129,10 @@ class Market:
         else:
             self.flows_below_cost = 0
         self._scale = demand_model.population(demands)
+        # Per-market memo for the shared aggregates every counterfactual
+        # re-reads (blended/max profit, bundling inputs).  The calibrated
+        # market is immutable after construction, so these never go stale.
+        self._memo: dict = {}
 
     # ------------------------------------------------------------------
     # Reference profits
@@ -140,17 +146,29 @@ class Market:
         return as_price_vector(self.blended_rate, self.n_flows)
 
     def blended_profit(self) -> float:
-        """ISP profit at the current blended rate (``pi_original``)."""
-        return self._scale * self.demand_model.profit(
-            self.valuations, self.costs, self.blended_prices()
-        )
+        """ISP profit at the current blended rate (``pi_original``).
+
+        Memoized: every :meth:`tiered_outcome` re-reads it via
+        :meth:`profit_capture`, and the market never changes.
+        """
+        if "blended_profit" not in self._memo:
+            self._memo["blended_profit"] = self._scale * self.demand_model.profit(
+                self.valuations, self.costs, self.blended_prices()
+            )
+        return self._memo["blended_profit"]
 
     def max_profit(self) -> float:
-        """Profit with per-flow optimal prices (``pi_max``, infinite tiers)."""
-        prices = self.demand_model.optimal_prices(self.valuations, self.costs)
-        return self._scale * self.demand_model.profit(
-            self.valuations, self.costs, prices
-        )
+        """Profit with per-flow optimal prices (``pi_max``, infinite tiers).
+
+        Memoized — the per-flow price optimization (a fixed point under
+        logit demand) is the most expensive shared aggregate.
+        """
+        if "max_profit" not in self._memo:
+            prices = self.demand_model.optimal_prices(self.valuations, self.costs)
+            self._memo["max_profit"] = self._scale * self.demand_model.profit(
+                self.valuations, self.costs, prices
+            )
+        return self._memo["max_profit"]
 
     def optimal_flow_prices(self) -> np.ndarray:
         """The per-flow profit-maximizing price vector."""
@@ -186,17 +204,23 @@ class Market:
     # ------------------------------------------------------------------
 
     def bundling_inputs(self) -> BundlingInputs:
-        """Snapshot consumed by bundling strategies."""
-        return BundlingInputs(
-            model=self.demand_model,
-            demands=self.flows.demands,
-            valuations=self.valuations,
-            costs=self.costs,
-            potential_profits=self.demand_model.potential_profits(
-                self.valuations, self.costs
-            ),
-            classes=self.classes,
-        )
+        """Snapshot consumed by bundling strategies.
+
+        Memoized: the potential-profit vector is shared by every strategy
+        and bundle count, and the snapshot's arrays are read-only.
+        """
+        if "bundling_inputs" not in self._memo:
+            self._memo["bundling_inputs"] = BundlingInputs(
+                model=self.demand_model,
+                demands=self.flows.demands,
+                valuations=self.valuations,
+                costs=self.costs,
+                potential_profits=self.demand_model.potential_profits(
+                    self.valuations, self.costs
+                ),
+                classes=self.classes,
+            )
+        return self._memo["bundling_inputs"]
 
     def tiered_outcome(
         self, strategy: BundlingStrategy, n_bundles: int

@@ -55,6 +55,7 @@ from repro.experiments.runner import (
     capture_by_strategy,
     demand_model,
     render_series_table,
+    spec_for,
 )
 from repro.experiments.sweeps import (
     THETA_VALUES,
@@ -103,6 +104,7 @@ __all__ = [
     "render_series_table",
     "render_table1",
     "robustness_summary",
+    "spec_for",
     "table1_data",
     "theta_sweep",
 ]

@@ -22,7 +22,6 @@ superior to the cost-weighted heuristic").  These drivers probe them:
 
 from __future__ import annotations
 
-import dataclasses
 import time
 from collections.abc import Sequence
 
@@ -41,6 +40,9 @@ from repro.core.cost import LinearDistanceCost
 from repro.core.flow import FlowSet
 from repro.core.market import Market
 from repro.experiments.config import DEFAULT_CONFIG, ExperimentConfig
+from repro.experiments.runner import spec_for
+from repro.runtime.parallel import ParallelMap
+from repro.runtime.spec import run_specs
 from repro.synth.datasets import load_dataset
 from repro.synth.distributions import (
     calibrate_positive,
@@ -131,6 +133,10 @@ def weighting_ablation(
     capture at a fixed tier budget, plus the optimal reference.  Strongly
     negative rho (heavy local traffic) is where weight-based heuristics
     shine, because demand rank then predicts cost rank.
+
+    Deliberately serial: the rho points consume one shared RNG stream in
+    order, so fanning them out would change the generated markets (unlike
+    the granularity/sampling ablations, whose points are self-seeded).
     """
     rng = np.random.default_rng(seed)
     strategies = (
@@ -160,26 +166,26 @@ def granularity_ablation(
     """Profit capture vs measurement granularity (destination aggregates).
 
     The paper aggregates flows for tractability; this checks the tiering
-    conclusions are not an artifact of the aggregation level.
+    conclusions are not an artifact of the aggregation level.  Each
+    aggregation level is an independent work unit, so the whole ablation
+    is one runtime fan-out.
     """
-    strategy = ProfitWeightedBundling()
-    captures = []
-    for n_flows in flow_counts:
-        cfg = dataclasses.replace(config, n_flows=n_flows)
-        flows = load_dataset(dataset, n_flows=n_flows, seed=cfg.seed)
-        market = Market(
-            flows,
-            CEDDemand(cfg.alpha),
-            LinearDistanceCost(cfg.theta),
-            blended_rate=cfg.blended_rate,
+    specs = [
+        spec_for(
+            config,
+            dataset,
+            family="ced",
+            n_flows=n_flows,
+            strategies=("profit-weighted",),
+            bundle_counts=(n_bundles,),
         )
-        captures.append(
-            market.tiered_outcome(strategy, n_bundles).profit_capture
-        )
+        for n_flows in flow_counts
+    ]
+    results = run_specs(specs, jobs=config.jobs, use_cache=config.cache)
     return {
         "flow_counts": list(flow_counts),
         "n_bundles": n_bundles,
-        "capture": captures,
+        "capture": [r["capture"]["profit-weighted"][0] for r in results],
     }
 
 
@@ -189,6 +195,7 @@ def sampling_ablation(
     n_flows: int = 80,
     n_bundles: int = 3,
     seed: int = 19,
+    jobs: "int | None" = None,
 ) -> dict:
     """How NetFlow sampling coarseness affects tier design and billing.
 
@@ -200,36 +207,54 @@ def sampling_ablation(
     export practice (§4.1.1) can be pushed before pricing decisions
     degrade.
     """
+    points = [
+        {
+            "dataset": dataset,
+            "n_flows": n_flows,
+            "seed": seed,
+            "interval": int(interval),
+            "n_bundles": n_bundles,
+        }
+        for interval in intervals
+    ]
+    rows = ParallelMap(jobs).map(_sampling_point, points)
+    return {"dataset": dataset, "n_bundles": n_bundles, "rows": rows}
+
+
+def _sampling_point(point: dict) -> dict:
+    """One sampling interval of :func:`sampling_ablation` (a work unit).
+
+    Module-level (and dict-argumented) so the runtime can ship it to a
+    worker process; each point regenerates its own trace, so points are
+    fully independent and order-insensitive.
+    """
     from repro.synth.trace import generate_network_trace
 
-    rows = []
-    for interval in intervals:
-        trace = generate_network_trace(
-            dataset,
-            n_flows=n_flows,
-            seed=seed,
-            sampling_interval=int(interval),
-        )
-        truth_mbps = sum(flow.demand_mbps for flow in trace.ground_truth)
-        flows = trace.to_flowset()
-        measured_mbps = float(flows.demands.sum())
-        market = Market(
-            flows,
-            CEDDemand(1.1),
-            LinearDistanceCost(0.2),
-            blended_rate=20.0,
-        )
-        outcome = market.tiered_outcome(ProfitWeightedBundling(), n_bundles)
-        rows.append(
-            {
-                "interval": int(interval),
-                "flows_measured": market.n_flows,
-                "flows_true": len(trace.ground_truth),
-                "volume_error": abs(measured_mbps - truth_mbps) / truth_mbps,
-                "capture": outcome.profit_capture,
-            }
-        )
-    return {"dataset": dataset, "n_bundles": n_bundles, "rows": rows}
+    trace = generate_network_trace(
+        point["dataset"],
+        n_flows=point["n_flows"],
+        seed=point["seed"],
+        sampling_interval=point["interval"],
+    )
+    truth_mbps = sum(flow.demand_mbps for flow in trace.ground_truth)
+    flows = trace.to_flowset()
+    measured_mbps = float(flows.demands.sum())
+    market = Market(
+        flows,
+        CEDDemand(1.1),
+        LinearDistanceCost(0.2),
+        blended_rate=20.0,
+    )
+    outcome = market.tiered_outcome(
+        ProfitWeightedBundling(), point["n_bundles"]
+    )
+    return {
+        "interval": point["interval"],
+        "flows_measured": market.n_flows,
+        "flows_true": len(trace.ground_truth),
+        "volume_error": abs(measured_mbps - truth_mbps) / truth_mbps,
+        "capture": outcome.profit_capture,
+    }
 
 
 def billing_ablation(

@@ -30,7 +30,15 @@ DEFAULT_SEED = 7
 
 @dataclasses.dataclass(frozen=True)
 class ExperimentConfig:
-    """Bundle of knobs shared by the figure drivers."""
+    """Bundle of knobs shared by the figure drivers.
+
+    The last two fields steer the runtime, not the model: ``jobs`` is the
+    worker-process count for driver fan-out (``None`` defers to
+    ``$REPRO_JOBS``, then serial; ``0`` means all cores) and ``cache``
+    toggles the content-addressed result/market/dataset cache.  Neither
+    affects results — serial/parallel and cold/warm runs are
+    byte-identical (asserted by ``tests/test_runtime.py``).
+    """
 
     alpha: float = DEFAULT_ALPHA
     blended_rate: float = DEFAULT_BLENDED_RATE
@@ -39,6 +47,8 @@ class ExperimentConfig:
     n_flows: int = DEFAULT_N_FLOWS
     seed: int = DEFAULT_SEED
     bundle_counts: tuple = BUNDLE_COUNTS
+    jobs: "int | None" = None
+    cache: bool = True
 
 
 DEFAULT_CONFIG = ExperimentConfig()

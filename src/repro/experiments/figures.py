@@ -15,10 +15,14 @@ from repro.core.ced import CEDDemand
 from repro.core.cost import fit_concave_price_curve
 from repro.core.logit import LogitDemand
 from repro.experiments.config import DEFAULT_CONFIG, ExperimentConfig
-from repro.experiments.runner import build_market, capture_by_strategy
+from repro.experiments.runner import spec_for
 from repro.peering.bypass import failure_window, sweep_direct_costs
 from repro.peering.worked_example import figure1_example
+from repro.runtime.spec import run_specs
 from repro.synth.datasets import DATASET_NAMES
+
+#: Figure-legend names of the six strategies, in plot order.
+PAPER_STRATEGY_NAMES = tuple(s.name for s in paper_strategies())
 
 #: Display names used in the paper's panels.
 DATASET_TITLES = {
@@ -222,14 +226,19 @@ def figure9_data(config: ExperimentConfig = DEFAULT_CONFIG) -> dict:
 
 
 def _strategy_panels(family: str, config: ExperimentConfig) -> dict:
-    panels = {}
-    for dataset in DATASET_NAMES:
-        market = build_market(dataset, family=family, config=config)
-        panels[dataset] = {
+    """One spec per dataset (all six strategies), fanned out together."""
+    specs = [
+        spec_for(
+            config, dataset, family=family, strategies=PAPER_STRATEGY_NAMES
+        )
+        for dataset in DATASET_NAMES
+    ]
+    results = run_specs(specs, jobs=config.jobs, use_cache=config.cache)
+    return {
+        dataset: {
             "title": DATASET_TITLES[dataset],
             "bundle_counts": list(config.bundle_counts),
-            "capture": capture_by_strategy(
-                market, paper_strategies(), config.bundle_counts
-            ),
+            "capture": result["capture"],
         }
-    return panels
+        for dataset, result in zip(DATASET_NAMES, results)
+    }

@@ -1,8 +1,10 @@
 """The Figure 7 pipeline: dataset -> demand + cost -> bundling -> profit.
 
-These helpers assemble calibrated :class:`~repro.core.market.Market`
-objects from experiment configuration and format result series as the
-aligned text tables the benchmarks print.
+Since the runtime refactor this module is a thin adapter between the
+figure/sweep drivers' ``ExperimentConfig`` world and the declarative
+:class:`~repro.runtime.spec.ExperimentSpec` engine that actually builds
+markets (with caching and parallelism).  It also keeps the aligned-text
+table renderer the benchmarks print.
 """
 
 from __future__ import annotations
@@ -11,24 +13,25 @@ from collections.abc import Mapping, Sequence
 from typing import Optional
 
 from repro.core.bundling import BundlingStrategy
-from repro.core.ced import CEDDemand
-from repro.core.cost import CostModel, LinearDistanceCost
+from repro.core.cost import CostModel
 from repro.core.demand import DemandModel
-from repro.core.logit import LogitDemand
-from repro.core.market import Market
+from repro.core.market import Market, capture_table
 from repro.experiments.config import DEFAULT_CONFIG, ExperimentConfig
-from repro.synth.datasets import load_dataset
+from repro.runtime.spec import COST_FACTORIES, ExperimentSpec
 
 
 def demand_model(
     family: str, config: ExperimentConfig = DEFAULT_CONFIG
 ) -> DemandModel:
     """Instantiate ``"ced"`` or ``"logit"`` at the config's parameters."""
-    if family == "ced":
-        return CEDDemand(alpha=config.alpha)
-    if family == "logit":
-        return LogitDemand(alpha=config.alpha, s0=config.s0)
-    raise ValueError(f"unknown demand family {family!r}; use 'ced' or 'logit'")
+    return spec_for(config, "eu_isp", family=family).demand_model()
+
+
+def spec_for(
+    config: ExperimentConfig, dataset: str, **overrides
+) -> ExperimentSpec:
+    """An :class:`ExperimentSpec` for this config, dataset, and overrides."""
+    return ExperimentSpec.from_config(config, dataset, **overrides)
 
 
 def build_market(
@@ -37,10 +40,23 @@ def build_market(
     cost_model: Optional[CostModel] = None,
     config: ExperimentConfig = DEFAULT_CONFIG,
 ) -> Market:
-    """Load a synthetic dataset and calibrate a market on it."""
+    """Load a synthetic dataset and calibrate a market on it.
+
+    Goes through the runtime's spec engine, so repeated calls with the
+    same configuration return the same cached market.  A ``cost_model``
+    *instance* bypasses the spec path (the cache cannot key on arbitrary
+    objects); named cost models should be passed via spec overrides
+    instead.
+    """
+    if cost_model is None or _speccable_cost(cost_model):
+        overrides: dict = {"family": family}
+        if cost_model is not None:
+            overrides["cost_model"] = _COST_NAMES[type(cost_model)]
+            overrides["theta"] = cost_model.theta
+        return spec_for(config, dataset, **overrides).build_market()
+    from repro.synth.datasets import load_dataset
+
     flows = load_dataset(dataset, n_flows=config.n_flows, seed=config.seed)
-    if cost_model is None:
-        cost_model = LinearDistanceCost(theta=config.theta)
     return Market(
         flows,
         demand_model(family, config),
@@ -49,19 +65,35 @@ def build_market(
     )
 
 
+#: Cost-model classes the spec engine can name (and therefore cache).
+_COST_NAMES = {factory: name for name, factory in COST_FACTORIES.items()}
+
+
+def _speccable_cost(cost_model: CostModel) -> bool:
+    """Can this instance be expressed as (name, theta) in a spec?
+
+    Only a default construction at its theta is: subclasses or instances
+    with non-default extra knobs must take the uncached path.  Cost
+    models carry scalar attributes only, so ``vars`` comparison is exact.
+    """
+    if type(cost_model) not in _COST_NAMES:
+        return False
+    default = type(cost_model)(theta=cost_model.theta)
+    return vars(default) == vars(cost_model)
+
+
 def capture_by_strategy(
     market: Market,
     strategies: Sequence[BundlingStrategy],
     bundle_counts: Sequence[int],
 ) -> "dict[str, list[float]]":
-    """Profit-capture curves, one list per strategy."""
-    return {
-        strategy.name: [
-            market.tiered_outcome(strategy, b).profit_capture
-            for b in bundle_counts
-        ]
-        for strategy in strategies
-    }
+    """Profit-capture curves, one list per strategy.
+
+    A thin alias for :func:`repro.core.market.capture_table`, kept for
+    the drivers' vocabulary — both used to re-derive what
+    :meth:`Market.capture_curve` already computes.
+    """
+    return capture_table(market, strategies, bundle_counts)
 
 
 def render_series_table(

@@ -9,27 +9,21 @@ profit of the plot with highest profit in the figure").
 Figures 14-16 vary a model parameter over a range and plot, per bundle
 count, the worst (Figs 14-15) or best (Fig 16) profit capture observed
 across the whole range, using the profit-weighted strategy.
+
+Execution goes through :func:`repro.runtime.spec.run_specs`: each
+(family, theta) or (family, dataset, parameter-point) cell is one
+independent :class:`~repro.runtime.spec.ExperimentSpec`, so the sweeps
+fan out across worker processes (``config.jobs``) and memoize per-cell
+results (``config.cache``) with no change in output.
 """
 
 from __future__ import annotations
 
-import dataclasses
 from collections.abc import Sequence
 
-from repro.core.bundling import (
-    BundlingStrategy,
-    ClassAwareBundling,
-    ProfitWeightedBundling,
-)
-from repro.core.cost import (
-    ConcaveDistanceCost,
-    CostModel,
-    DestinationTypeCost,
-    LinearDistanceCost,
-    RegionalCost,
-)
 from repro.experiments.config import DEFAULT_CONFIG, ExperimentConfig
-from repro.experiments.runner import build_market
+from repro.experiments.runner import spec_for
+from repro.runtime.spec import COST_FACTORIES, run_specs
 from repro.synth.datasets import DATASET_NAMES
 
 #: theta values per cost model, as plotted in Figures 10-13.
@@ -40,25 +34,18 @@ THETA_VALUES = {
     "destination-type": (0.05, 0.1, 0.15),
 }
 
-_COST_FACTORIES = {
-    "linear": LinearDistanceCost,
-    "concave": ConcaveDistanceCost,
-    "regional": RegionalCost,
-    "destination-type": DestinationTypeCost,
-}
 
-
-def _strategy_for(cost_model_name: str) -> BundlingStrategy:
+def _strategy_fields(cost_model_name: str) -> dict:
     """Profit-weighted bundling; class-aware for the two-class cost model.
 
     §4.3.1: "the standard profit-weighting algorithm does not work well
     with the destination type-based cost model ... never group traffic
     from two different classes into the same bundle."
     """
-    strategy = ProfitWeightedBundling()
-    if cost_model_name == "destination-type":
-        return ClassAwareBundling(strategy)
-    return strategy
+    return {
+        "strategies": ("profit-weighted",),
+        "class_aware": cost_model_name == "destination-type",
+    }
 
 
 def theta_sweep(
@@ -73,30 +60,40 @@ def theta_sweep(
     This single driver regenerates Figures 10 (linear), 11 (concave),
     12 (regional), and 13 (destination-type) by name.
     """
-    if cost_model_name not in _COST_FACTORIES:
+    if cost_model_name not in COST_FACTORIES:
         raise ValueError(
             f"unknown cost model {cost_model_name!r}; "
-            f"expected one of {sorted(_COST_FACTORIES)}"
+            f"expected one of {sorted(COST_FACTORIES)}"
         )
     thetas = tuple(thetas) or THETA_VALUES[cost_model_name]
-    strategy = _strategy_for(cost_model_name)
+    fields = _strategy_fields(cost_model_name)
+
+    cells = [(family, theta) for family in families for theta in thetas]
+    specs = [
+        spec_for(
+            config,
+            dataset,
+            family=family,
+            cost_model=cost_model_name,
+            theta=theta,
+            **fields,
+        )
+        for family, theta in cells
+    ]
+    evaluated = dict(
+        zip(cells, run_specs(specs, jobs=config.jobs, use_cache=config.cache))
+    )
 
     result: dict = {"cost_model": cost_model_name, "dataset": dataset, "panels": {}}
     for family in families:
         gains: dict = {}
         max_gain = 0.0
         for theta in thetas:
-            cost_model: CostModel = _COST_FACTORIES[cost_model_name](theta=theta)
-            market = build_market(
-                dataset, family=family, cost_model=cost_model, config=config
-            )
-            original = market.blended_profit()
-            curve = [
-                market.tiered_outcome(strategy, b).profit - original
-                for b in config.bundle_counts
-            ]
-            gains[theta] = curve
-            max_gain = max(max_gain, market.max_profit() - original)
+            cell = evaluated[(family, theta)]
+            original = cell["blended_profit"]
+            (profits,) = cell["profit"].values()
+            gains[theta] = [p - original for p in profits]
+            max_gain = max(max_gain, cell["max_profit"] - original)
         if max_gain <= 0:
             raise ArithmeticError(
                 "no positive profit gap in any theta setting; nothing to normalize"
@@ -138,29 +135,56 @@ def figure13_data(config: ExperimentConfig = DEFAULT_CONFIG) -> dict:
 
 
 def _capture_envelope(
-    configs: Sequence[ExperimentConfig],
+    points: "Sequence[tuple]",
     families: Sequence[str],
     envelope: str,
+    config: ExperimentConfig,
 ) -> dict:
-    """Worst- or best-case capture per (family, dataset, #bundles)."""
+    """Worst- or best-case capture per (family, dataset, #bundles).
+
+    ``points`` is a sequence of ``(field, value)`` overrides — one per
+    swept parameter setting.  Every (family, dataset, point) cell is an
+    independent spec, fanned out together.
+    """
     if envelope not in ("min", "max"):
         raise ValueError(f"envelope must be 'min' or 'max', got {envelope!r}")
     pick = min if envelope == "min" else max
-    strategy = ProfitWeightedBundling()
-    bundle_counts = configs[0].bundle_counts
+    bundle_counts = tuple(config.bundle_counts)
+
+    cells = [
+        (family, dataset, overrides)
+        for family in families
+        for dataset in DATASET_NAMES
+        for overrides in points
+    ]
+    specs = [
+        spec_for(
+            config,
+            dataset,
+            family=family,
+            strategies=("profit-weighted",),
+            **dict([overrides]),
+        )
+        for family, dataset, overrides in cells
+    ]
+    evaluated = dict(
+        zip(
+            [(family, dataset, overrides) for family, dataset, overrides in cells],
+            run_specs(specs, jobs=config.jobs, use_cache=config.cache),
+        )
+    )
+
     result: dict = {"bundle_counts": list(bundle_counts), "panels": {}}
     for family in families:
         panel: dict = {}
         for dataset in DATASET_NAMES:
             envelope_curve = None
-            for config in configs:
-                market = build_market(dataset, family=family, config=config)
-                curve = [
-                    market.tiered_outcome(strategy, b).profit_capture
-                    for b in bundle_counts
+            for overrides in points:
+                curve = evaluated[(family, dataset, overrides)]["capture"][
+                    "profit-weighted"
                 ]
                 if envelope_curve is None:
-                    envelope_curve = curve
+                    envelope_curve = list(curve)
                 else:
                     envelope_curve = [
                         pick(prev, new)
@@ -180,8 +204,8 @@ def figure14_data(
     (The paper sweeps "between 1 and 10"; CED needs alpha > 1 for a
     finite monopoly price, so the grid starts just above — see DESIGN.md.)
     """
-    configs = [dataclasses.replace(config, alpha=a) for a in alphas]
-    data = _capture_envelope(configs, ("ced", "logit"), "min")
+    points = [("alpha", a) for a in alphas]
+    data = _capture_envelope(points, ("ced", "logit"), "min", config)
     data["alphas"] = list(alphas)
     return data
 
@@ -191,10 +215,8 @@ def figure15_data(
     config: ExperimentConfig = DEFAULT_CONFIG,
 ) -> dict:
     """Minimum capture over blended rates P0 in [5, 30]."""
-    configs = [
-        dataclasses.replace(config, blended_rate=p0) for p0 in blended_rates
-    ]
-    data = _capture_envelope(configs, ("ced", "logit"), "min")
+    points = [("blended_rate", p0) for p0 in blended_rates]
+    data = _capture_envelope(points, ("ced", "logit"), "min", config)
     data["blended_rates"] = list(blended_rates)
     return data
 
@@ -214,8 +236,8 @@ def figure16_data(
                 f"s0={s0} violates alpha*P0*s0 > 1 at alpha={config.alpha}, "
                 f"P0={config.blended_rate}; calibration would fail"
             )
-    configs = [dataclasses.replace(config, s0=s0) for s0 in s0_values]
-    data = _capture_envelope(configs, ("logit",), "max")
+    points = [("s0", s0) for s0 in s0_values]
+    data = _capture_envelope(points, ("logit",), "max", config)
     data["s0_values"] = list(s0_values)
     return data
 

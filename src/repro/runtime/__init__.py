@@ -1,0 +1,78 @@
+"""The experiment-execution engine: parallelism, caching, metrics.
+
+Every sweep, figure, and benchmark in this repo reduces to evaluating a
+list of independent, fully-determined work units — "calibrate *this*
+dataset under *this* demand family and cost model, bundle it *these*
+ways, and score the outcomes".  This package owns that execution, in
+three pillars:
+
+* :mod:`repro.runtime.parallel` — :class:`ParallelMap`: ordered,
+  deterministic fan-out over a process pool (``--jobs`` / ``REPRO_JOBS``),
+  falling back to inline serial execution.
+* :mod:`repro.runtime.cache` — content-addressed memoization of datasets,
+  calibrated markets, and spec results: in-memory always, mirrored to
+  disk under ``.repro_cache/`` when configured (``REPRO_CACHE_DIR``).
+* :mod:`repro.runtime.metrics` — the process-global :data:`METRICS`
+  registry of counters and stage timers every layer reports into, and
+  which benchmarks serialize as structured JSON.
+
+The declarative tie-in is :class:`~repro.runtime.spec.ExperimentSpec` +
+:func:`~repro.runtime.spec.run_specs`: drivers build spec lists and the
+runtime decides what is cached, what fans out, and what gets counted.
+"""
+
+# Exports resolve lazily (PEP 562): the model layer imports
+# ``repro.runtime.metrics`` for instrumentation, and an eager package
+# init would close an import cycle back through ``repro.runtime.spec``
+# (which imports the model layer).
+_EXPORTS = {
+    "CacheStore": "repro.runtime.cache",
+    "cache_enabled": "repro.runtime.cache",
+    "cached": "repro.runtime.cache",
+    "config_hash": "repro.runtime.cache",
+    "configure": "repro.runtime.cache",
+    "METRICS": "repro.runtime.metrics",
+    "Metrics": "repro.runtime.metrics",
+    "collect": "repro.runtime.metrics",
+    "JOBS_ENV": "repro.runtime.parallel",
+    "ParallelMap": "repro.runtime.parallel",
+    "resolve_jobs": "repro.runtime.parallel",
+    "COST_FACTORIES": "repro.runtime.spec",
+    "ExperimentSpec": "repro.runtime.spec",
+    "evaluate_spec": "repro.runtime.spec",
+    "run_specs": "repro.runtime.spec",
+}
+
+
+def __getattr__(name: str):
+    if name in _EXPORTS:
+        import importlib
+
+        module = importlib.import_module(_EXPORTS[name])
+        value = getattr(module, name)
+        globals()[name] = value
+        return value
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_EXPORTS))
+
+
+__all__ = [
+    "CacheStore",
+    "COST_FACTORIES",
+    "ExperimentSpec",
+    "JOBS_ENV",
+    "METRICS",
+    "Metrics",
+    "ParallelMap",
+    "cache_enabled",
+    "cached",
+    "collect",
+    "config_hash",
+    "configure",
+    "evaluate_spec",
+    "resolve_jobs",
+    "run_specs",
+]

@@ -1,0 +1,129 @@
+"""Lightweight stage timers and counters for the experiment runtime.
+
+Every driver (and the benchmark harness) funnels its bookkeeping through
+the process-global :data:`METRICS` registry: how many markets were built,
+how many datasets were generated, how often the result cache hit, how
+many workers a fan-out used, and how long each named stage took.  The
+registry serializes to structured JSON so benchmark runs leave a
+machine-readable perf trail under ``benchmarks/output/``.
+
+The registry is deliberately tiny — a dict of counters and a dict of
+``{seconds, calls}`` stage timers behind one lock — so instrumenting a
+hot path costs nanoseconds, not milliseconds.  Worker processes report
+their own deltas back to the parent (see :mod:`repro.runtime.parallel`),
+which merges them with :meth:`Metrics.merge`, so a parallel run's JSON
+accounts for work done everywhere.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import threading
+import time
+from collections.abc import Iterator, Mapping
+
+
+class Metrics:
+    """A thread-safe registry of counters and cumulative stage timers."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: "dict[str, int]" = {}
+        self._stages: "dict[str, dict]" = {}
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+
+    def incr(self, name: str, amount: int = 1) -> None:
+        """Add ``amount`` to the named counter (creating it at zero)."""
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + amount
+
+    def observe(self, name: str, seconds: float) -> None:
+        """Record one timed call of the named stage."""
+        with self._lock:
+            stage = self._stages.setdefault(name, {"seconds": 0.0, "calls": 0})
+            stage["seconds"] += seconds
+            stage["calls"] += 1
+
+    @contextlib.contextmanager
+    def stage(self, name: str) -> Iterator[None]:
+        """Time a ``with``-block as one call of the named stage."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.observe(name, time.perf_counter() - start)
+
+    # ------------------------------------------------------------------
+    # Reading / merging
+    # ------------------------------------------------------------------
+
+    def counter(self, name: str) -> int:
+        with self._lock:
+            return self._counters.get(name, 0)
+
+    def stage_seconds(self, name: str) -> float:
+        with self._lock:
+            stage = self._stages.get(name)
+            return float(stage["seconds"]) if stage else 0.0
+
+    def snapshot(self) -> dict:
+        """A deep copy of the current state (counters + stages)."""
+        with self._lock:
+            return {
+                "counters": dict(self._counters),
+                "stages": {k: dict(v) for k, v in self._stages.items()},
+            }
+
+    def merge(self, other: Mapping) -> None:
+        """Fold another snapshot's counters and stage times into this one.
+
+        Used by the parallel backend to account for work done in worker
+        processes, whose registries the parent cannot see directly.
+        """
+        for name, amount in other.get("counters", {}).items():
+            self.incr(name, amount)
+        for name, stage in other.get("stages", {}).items():
+            with self._lock:
+                mine = self._stages.setdefault(name, {"seconds": 0.0, "calls": 0})
+                mine["seconds"] += stage.get("seconds", 0.0)
+                mine["calls"] += stage.get("calls", 0)
+
+    def reset(self) -> None:
+        with self._lock:
+            self._counters.clear()
+            self._stages.clear()
+
+    def to_json(self, **extra) -> str:
+        """The snapshot (plus any extra key/values) as pretty JSON."""
+        payload = self.snapshot()
+        payload.update(extra)
+        return json.dumps(payload, indent=2, sort_keys=True)
+
+
+#: The process-global registry every runtime layer records into.
+METRICS = Metrics()
+
+
+@contextlib.contextmanager
+def collect(label: str) -> Iterator[dict]:
+    """Time a block and yield a report dict filled in on exit.
+
+    >>> with collect("figure14") as report:
+    ...     run_driver()
+    >>> report["wall_time_s"]  # doctest: +SKIP
+
+    The yielded dict is populated *after* the block exits with the wall
+    time, the label, and a full metrics snapshot — handy for drivers that
+    want to emit one structured-JSON record per run.
+    """
+    report: dict = {"label": label}
+    start = time.perf_counter()
+    try:
+        yield report
+    finally:
+        report["wall_time_s"] = time.perf_counter() - start
+        report.update(METRICS.snapshot())

@@ -1,0 +1,127 @@
+"""Parallel fan-out for independent experiment work units.
+
+The sweeps and figure drivers all reduce to the same shape: a list of
+independent (dataset, family, parameter-point) work units, each mapping
+to one calibrated market and a handful of counterfactuals.
+:class:`ParallelMap` runs such a list either serially (the default — the
+work units are sub-second, so workers only pay off for real sweeps) or
+across a :class:`concurrent.futures.ProcessPoolExecutor`.
+
+Determinism is non-negotiable: results come back in submission order and
+every work unit is a pure function of its (picklable) argument, so the
+serial and parallel backends produce byte-identical driver output — the
+test suite asserts this.
+
+Worker-side metrics are not lost: each call runs inside a wrapper that
+diffs the worker process's :data:`~repro.runtime.metrics.METRICS` around
+the call and ships the delta back with the result, where the parent
+merges it.  A parallel run's metrics JSON therefore still counts every
+market built and every cache hit, wherever it happened.
+
+Worker counts resolve, in priority order: explicit ``jobs`` argument >
+``REPRO_JOBS`` environment variable > 1 (serial).  ``0`` or a negative
+value means "all cores".
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import os
+from collections.abc import Callable, Sequence
+from typing import Any, Optional
+
+from repro.runtime.metrics import METRICS
+
+#: Environment variable consulted when no explicit job count is given.
+JOBS_ENV = "REPRO_JOBS"
+
+
+def resolve_jobs(jobs: "Optional[int]" = None) -> int:
+    """Resolve a worker count from the argument, environment, or default.
+
+    ``None`` falls back to ``$REPRO_JOBS`` (then 1); zero or negative
+    means one worker per CPU core.
+    """
+    if jobs is None:
+        env = os.environ.get(JOBS_ENV, "").strip()
+        if not env:
+            return 1
+        try:
+            jobs = int(env)
+        except ValueError:
+            raise ValueError(
+                f"{JOBS_ENV} must be an integer, got {env!r}"
+            ) from None
+    if jobs <= 0:
+        return os.cpu_count() or 1
+    return jobs
+
+
+def _instrumented_call(fn: Callable, item: Any) -> "tuple[Any, dict]":
+    """Run one work unit in a worker, returning (result, metrics delta).
+
+    Pool workers are reused across calls, and under the fork start method
+    they also inherit the parent's registry, so the delta is computed
+    against a snapshot taken at call entry rather than against zero.
+    """
+    before = METRICS.snapshot()
+    result = fn(item)
+    after = METRICS.snapshot()
+    delta = {
+        "counters": {
+            name: amount - before["counters"].get(name, 0)
+            for name, amount in after["counters"].items()
+            if amount - before["counters"].get(name, 0)
+        },
+        "stages": {
+            name: {
+                "seconds": stage["seconds"]
+                - before["stages"].get(name, {}).get("seconds", 0.0),
+                "calls": stage["calls"]
+                - before["stages"].get(name, {}).get("calls", 0),
+            }
+            for name, stage in after["stages"].items()
+            if stage["calls"] - before["stages"].get(name, {}).get("calls", 0)
+        },
+    }
+    return result, delta
+
+
+class ParallelMap:
+    """Ordered map over independent work units, serial or multi-process.
+
+    Args:
+        jobs: Worker processes; see :func:`resolve_jobs` for resolution.
+            One worker runs everything inline (no pool, no pickling).
+    """
+
+    def __init__(self, jobs: "Optional[int]" = None) -> None:
+        self.jobs = resolve_jobs(jobs)
+
+    def map(self, fn: Callable[[Any], Any], items: Sequence) -> list:
+        """Apply ``fn`` to every item, preserving order.
+
+        ``fn`` and the items must be picklable when more than one worker
+        is in play (module-level functions and frozen dataclasses are).
+        """
+        items = list(items)
+        workers = min(self.jobs, len(items)) or 1
+        METRICS.incr("map_calls")
+        if workers <= 1:
+            with METRICS.stage("map.serial"):
+                return [fn(item) for item in items]
+        # "workers_used" reports the widest pool of the run (a max, not a sum).
+        METRICS.incr("workers_used", max(0, workers - METRICS.counter("workers_used")))
+        with METRICS.stage("map.parallel"):
+            with concurrent.futures.ProcessPoolExecutor(
+                max_workers=workers
+            ) as pool:
+                futures = [
+                    pool.submit(_instrumented_call, fn, item) for item in items
+                ]
+                results = []
+                for future in futures:
+                    result, delta = future.result()
+                    METRICS.merge(delta)
+                    results.append(result)
+        return results

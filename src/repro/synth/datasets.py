@@ -36,6 +36,8 @@ import numpy as np
 from repro.core.flow import FlowSet
 from repro.errors import DataError
 from repro.geo.regions import classify_by_distance
+from repro.runtime.cache import cached
+from repro.runtime.metrics import METRICS
 from repro.synth.distributions import (
     calibrate_positive,
     calibrate_total,
@@ -143,6 +145,10 @@ def load_dataset(name: str, n_flows: int = 200, seed: int = 0) -> FlowSet:
     demand-weighted distance CV match Table 1 exactly.  Region labels are
     attached with the network's distance thresholds.
 
+    Generation is memoized through the runtime cache: ``(name, n_flows,
+    seed)`` fully determines the flows, and :class:`FlowSet` is
+    immutable, so every caller shares one instance per configuration.
+
     Args:
         name: ``eu_isp``, ``cdn``, or ``internet2``.
         n_flows: Number of destination aggregates (the paper's model also
@@ -150,6 +156,17 @@ def load_dataset(name: str, n_flows: int = 200, seed: int = 0) -> FlowSet:
         seed: RNG seed; the same (name, n_flows, seed) always yields the
             same flows.
     """
+    dataset_spec(name)  # fail fast on unknown names, even on a cache hit
+    return cached(
+        "dataset",
+        {"name": name, "n_flows": n_flows, "seed": seed},
+        lambda: _generate_dataset(name, n_flows, seed),
+    )
+
+
+def _generate_dataset(name: str, n_flows: int, seed: int) -> FlowSet:
+    """The uncached generation path behind :func:`load_dataset`."""
+    METRICS.incr("datasets_generated")
     spec = dataset_spec(name)
     # A finite sample of n positive values has CV strictly below
     # sqrt(n - 1) (all mass on one point), so matching the dataset's

@@ -84,6 +84,66 @@ class TestCommands:
         assert "n=25" in out
 
 
+class TestRuntimeFlags:
+    def test_jobs_flag_output_matches_serial(self, capsys):
+        """--jobs exercises the process pool without changing the output.
+
+        The parallel run also passes --no-cache so it cannot reuse the
+        serial run's cached results: every work unit really crosses the
+        process boundary.
+        """
+        serial = run_cli(capsys, "--flows", "24", "figure", "14")
+        parallel = run_cli(
+            capsys, "--flows", "24", "figure", "14", "--jobs", "2", "--no-cache"
+        )
+        assert parallel == serial
+
+    def test_jobs_help_text(self):
+        parser = build_parser()
+        args = parser.parse_args(["figure", "14", "--jobs", "4"])
+        assert args.jobs == 4
+        assert parser.parse_args(["figure", "14"]).jobs is None
+
+    def test_no_cache_flag_output_matches_cached(self, capsys):
+        """--no-cache disables every cache layer but changes nothing."""
+        from repro.runtime import cache as runtime_cache
+        from repro.runtime.metrics import METRICS
+
+        cached_run = run_cli(capsys, "--flows", "24", "figure", "10")
+        before = METRICS.counter("cache_hits")
+        uncached_run = run_cli(
+            capsys, "--flows", "24", "figure", "10", "--no-cache"
+        )
+        assert uncached_run == cached_run
+        # No cache traffic happened during the --no-cache run...
+        assert METRICS.counter("cache_hits") == before
+        # ...and the global toggle was restored afterwards.
+        assert runtime_cache.cache_enabled()
+
+    def test_no_cache_parses(self):
+        args = build_parser().parse_args(["table1", "--no-cache"])
+        assert args.no_cache is True
+
+    def test_metrics_report_written(self, capsys, tmp_path):
+        import json
+
+        target = tmp_path / "metrics.json"
+        run_cli(
+            capsys,
+            "--flows",
+            "24",
+            "figure",
+            "10",
+            "--metrics",
+            str(target),
+        )
+        payload = json.loads(target.read_text())
+        assert payload["command"] == "figure"
+        assert payload["wall_time_s"] > 0
+        assert payload["jobs"] == 1
+        assert "counters" in payload and "stages" in payload
+
+
 class TestReportAndExport:
     def test_report_to_stdout(self, capsys):
         out = run_cli(capsys, "--flows", "24", "report")
