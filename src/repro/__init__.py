@@ -69,6 +69,7 @@ from repro.errors import (
     AccountingError,
     BundlingError,
     CalibrationError,
+    ConfigurationError,
     DataError,
     ModelParameterError,
     OptimizationError,
@@ -93,6 +94,7 @@ __all__ = [
     "CEDDemand",
     "CalibrationError",
     "ClassAwareBundling",
+    "ConfigurationError",
     "CommitContract",
     "CommitMarket",
     "CompetitionEquilibrium",

@@ -25,7 +25,11 @@ from repro.accounting.billing import (
     build_invoice,
     percentile_mbps,
 )
-from repro.accounting.drift import DriftReport, evaluate_drift
+from repro.accounting.drift import (
+    DriftReport,
+    evaluate_drift,
+    replay_design_prices,
+)
 from repro.accounting.flow_based import FlowBasedAccounting, TierUsage
 from repro.accounting.link_based import (
     CounterSample,
@@ -56,7 +60,9 @@ __all__ = [
     "average_mbps",
     "compression_ratio",
     "build_invoice",
+    "evaluate_drift",
     "make_route",
     "percentile_mbps",
+    "replay_design_prices",
     "tag_routes_with_tiers",
 ]

@@ -68,6 +68,40 @@ class DriftReport:
         return self.capture_drop > capture_drop_threshold
 
 
+def replay_design_prices(
+    design: TierDesign, market: Market
+) -> "tuple[np.ndarray, int, int]":
+    """Replay a design as a price vector on a (re)calibrated market.
+
+    Returns ``(prices, unknown, missing)``: per-flow prices where designed
+    destinations keep their tier's rate and unknown destinations fall back
+    to the market's blended rate; the count of destinations the design has
+    no tier for; and the count of designed destinations absent from the
+    market's traffic.
+
+    Raises:
+        AccountingError: If the market's flows carry no destination
+            addresses to join against the design.
+    """
+    if market.flows.dsts is None:
+        raise AccountingError(
+            "market flows carry no destination addresses; cannot replay "
+            "a tier design against them"
+        )
+    prices = np.full(market.n_flows, float(market.blended_rate))
+    unknown = 0
+    seen = set()
+    for i, dst in enumerate(market.flows.dsts):
+        tier = design.tier_of_destination.get(dst)
+        if tier is None:
+            unknown += 1
+        else:
+            prices[i] = design.rates[tier]
+            seen.add(dst)
+    missing = len(set(design.tier_of_destination) - seen)
+    return prices, unknown, missing
+
+
 def evaluate_drift(
     design: TierDesign,
     new_flows: FlowSet,
@@ -100,18 +134,7 @@ def evaluate_drift(
             "needs a non-splitting cost model"
         )
 
-    stale_prices = np.full(market.n_flows, float(blended_rate))
-    unknown = 0
-    seen = set()
-    for i, dst in enumerate(market.flows.dsts):
-        tier = design.tier_of_destination.get(dst)
-        if tier is None:
-            unknown += 1
-        else:
-            stale_prices[i] = design.rates[tier]
-            seen.add(dst)
-    missing = len(set(design.tier_of_destination) - seen)
-
+    stale_prices, unknown, missing = replay_design_prices(design, market)
     stale_profit = market.profit_at(stale_prices)
     strategy = strategy or ProfitWeightedBundling()
     refreshed = market.tiered_outcome(strategy, max(1, design.n_tiers))

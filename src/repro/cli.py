@@ -8,6 +8,9 @@ Commands:
 * ``datasets`` — list the synthetic datasets and their targets.
 * ``design`` — design pricing tiers for a dataset and print the tier
   card (prices, destinations, demand) plus profit capture.
+* ``stream`` — replay a synthetic trace through the streaming repricing
+  pipeline (windowed ingest, incremental calibration, drift-triggered
+  re-tiering) and print the window-by-window report.
 
 Everything honors ``--flows`` and ``--seed`` so results are reproducible
 and fast to experiment with.  Every subcommand additionally honors the
@@ -157,6 +160,96 @@ def build_parser() -> argparse.ArgumentParser:
         help="bundling strategy (figure-legend name)",
     )
 
+    stream = sub.add_parser(
+        "stream",
+        help="run the streaming repricing pipeline on a replayed trace",
+        parents=[runtime],
+    )
+    stream.add_argument(
+        "dataset", choices=DATASET_NAMES, help="which network's trace to replay"
+    )
+    stream.add_argument(
+        "--window",
+        type=float,
+        default=600.0,
+        metavar="SECONDS",
+        help="event-time window length (default 600)",
+    )
+    stream.add_argument(
+        "--slide",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="window slide for sliding windows (default: tumbling)",
+    )
+    stream.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help="out-of-order arrival tolerance (delays window closes)",
+    )
+    stream.add_argument(
+        "--drift-threshold",
+        type=float,
+        default=0.1,
+        metavar="GAP",
+        help="re-tier when refreshed-vs-stale profit capture exceeds this",
+    )
+    stream.add_argument("--tiers", type=int, default=3)
+    stream.add_argument(
+        "--demand", choices=("ced", "logit"), default="ced"
+    )
+    stream.add_argument(
+        "--duration",
+        type=float,
+        default=3600.0,
+        metavar="SECONDS",
+        help="length of the replayed capture",
+    )
+    stream.add_argument(
+        "--export-interval",
+        type=float,
+        default=60.0,
+        metavar="SECONDS",
+        help="router active timeout (re-export cadence) in the replay",
+    )
+    stream.add_argument(
+        "--queue",
+        type=int,
+        default=4096,
+        metavar="RECORDS",
+        help="bounded ingest queue capacity",
+    )
+    stream.add_argument(
+        "--policy",
+        choices=("block", "drop-oldest"),
+        default="block",
+        help="full-queue backpressure policy",
+    )
+    stream.add_argument(
+        "--checkpoint",
+        default=None,
+        metavar="PATH",
+        help="checkpoint file: written each window, resumed from if present",
+    )
+    stream.add_argument(
+        "--max-windows",
+        type=int,
+        default=None,
+        metavar="N",
+        help="stop (with a checkpoint) after N windows",
+    )
+    stream.add_argument(
+        "--shift-at",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="inject a structural demand shift at this instant",
+    )
+    stream.add_argument("--shift-factor", type=float, default=3.0)
+    stream.add_argument("--shift-fraction", type=float, default=0.5)
+
     report = sub.add_parser(
         "report",
         help="run every table/figure and emit a markdown report",
@@ -253,6 +346,62 @@ def cmd_design(args: argparse.Namespace) -> str:
     return "\n".join(lines)
 
 
+def cmd_stream(args: argparse.Namespace) -> str:
+    from repro.core.ced import CEDDemand
+    from repro.core.cost import LinearDistanceCost
+    from repro.core.logit import LogitDemand
+    from repro.stream import (
+        DemandShift,
+        StreamConfig,
+        StreamingPipeline,
+        TraceReplaySource,
+    )
+    from repro.synth.trace import generate_network_trace
+
+    trace = generate_network_trace(
+        args.dataset,
+        n_flows=args.flows,
+        seed=args.seed,
+        duration_seconds=args.duration,
+    )
+    shift = None
+    if args.shift_at is not None:
+        shift = DemandShift(
+            at_ms=int(args.shift_at * 1000),
+            factor=args.shift_factor,
+            fraction=args.shift_fraction,
+        )
+    source = TraceReplaySource(
+        trace,
+        export_interval_ms=int(args.export_interval * 1000),
+        shift=shift,
+    )
+    if args.demand == "ced":
+        demand = CEDDemand(alpha=DEFAULT_CONFIG.alpha)
+    else:
+        demand = LogitDemand(alpha=DEFAULT_CONFIG.alpha, s0=DEFAULT_CONFIG.s0)
+    config = StreamConfig(
+        window_ms=int(args.window * 1000),
+        slide_ms=None if args.slide is None else int(args.slide * 1000),
+        reorder_tolerance_ms=int(args.tolerance * 1000),
+        queue_capacity=args.queue,
+        queue_policy=args.policy,
+        n_tiers=args.tiers,
+        drift_threshold=args.drift_threshold,
+        blended_rate=DEFAULT_CONFIG.blended_rate,
+    )
+    pipeline = StreamingPipeline(
+        source,
+        distance_fn=trace.distance_for,
+        demand_model=demand,
+        cost_model=LinearDistanceCost(theta=DEFAULT_CONFIG.theta),
+        config=config,
+        checkpoint_path=args.checkpoint,
+    )
+    report = pipeline.run(max_windows=args.max_windows)
+    return report.render()
+
+
 def cmd_report(args: argparse.Namespace) -> str:
     from repro.experiments.report import generate_report
 
@@ -335,6 +484,7 @@ _COMMANDS = {
     "figure": cmd_figure,
     "datasets": cmd_datasets,
     "design": cmd_design,
+    "stream": cmd_stream,
     "report": cmd_report,
     "export": cmd_export,
     "offerings": cmd_offerings,

@@ -42,6 +42,14 @@ class OptimizationError(ReproError, RuntimeError):
     """A price-optimization routine failed to converge."""
 
 
+class ConfigurationError(ReproError, ValueError):
+    """A runtime/environment setting is malformed.
+
+    Examples: a non-integer ``REPRO_JOBS`` value, or a checkpoint file
+    written with incompatible pipeline settings.
+    """
+
+
 class DataError(ReproError, ValueError):
     """Raw measurement data (NetFlow records, GeoIP entries, topology
     elements) is malformed or inconsistent."""

@@ -88,6 +88,53 @@ class FlowCollector:
         }
         return max(per_router, key=lambda router: (per_router[router], router))
 
+    def iter_records(self) -> "Iterable[NetFlowRecord]":
+        """All buffered records, in deterministic (time, key, router) order."""
+        records = [
+            record
+            for by_router in self._records.values()
+            for group in by_router.values()
+            for record in group
+        ]
+        records.sort(key=_record_sort)
+        return records
+
+    def drain(self, older_than_ms: "int | None" = None) -> "list[NetFlowRecord]":
+        """Remove and return buffered records, oldest first.
+
+        Args:
+            older_than_ms: Only records whose ``last_ms`` is strictly below
+                this cutoff are evicted; ``None`` drains everything.
+
+        The streaming windower calls this after closing a window so the
+        collector does not grow without bound over an unbounded record
+        stream.  Dedup semantics are untouched: records that remain keep
+        their (key, router) grouping, and :attr:`records_seen` stays a
+        cumulative ingest count.  Returned records are sorted by
+        ``(last_ms, first_ms, key, router)`` so replays are deterministic.
+        """
+        drained = []
+        for key in list(self._records):
+            by_router = self._records[key]
+            for router in list(by_router):
+                group = by_router[router]
+                if older_than_ms is None:
+                    keep: "list[NetFlowRecord]" = []
+                    drained.extend(group)
+                else:
+                    keep = [r for r in group if r.last_ms >= older_than_ms]
+                    drained.extend(
+                        r for r in group if r.last_ms < older_than_ms
+                    )
+                if keep:
+                    by_router[router] = keep
+                else:
+                    del by_router[router]
+            if not by_router:
+                del self._records[key]
+        drained.sort(key=_record_sort)
+        return drained
+
     def time_span_ms(self) -> "tuple[int, int]":
         """(earliest first_ms, latest last_ms) across all records."""
         if not self._records:
@@ -105,3 +152,17 @@ class FlowCollector:
             for r in records
         )
         return first, last
+
+
+def _record_sort(record: NetFlowRecord) -> tuple:
+    key = record.key
+    return (
+        record.last_ms,
+        record.first_ms,
+        key.src_addr,
+        key.dst_addr,
+        key.src_port,
+        key.dst_port,
+        key.protocol,
+        record.router,
+    )

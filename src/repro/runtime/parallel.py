@@ -30,6 +30,7 @@ import os
 from collections.abc import Callable, Sequence
 from typing import Any, Optional
 
+from repro.errors import ConfigurationError
 from repro.runtime.metrics import METRICS
 
 #: Environment variable consulted when no explicit job count is given.
@@ -49,8 +50,9 @@ def resolve_jobs(jobs: "Optional[int]" = None) -> int:
         try:
             jobs = int(env)
         except ValueError:
-            raise ValueError(
-                f"{JOBS_ENV} must be an integer, got {env!r}"
+            raise ConfigurationError(
+                f"{JOBS_ENV} must be an integer worker count "
+                f"(0 or negative = all cores), got {env!r}"
             ) from None
     if jobs <= 0:
         return os.cpu_count() or 1

@@ -1,0 +1,347 @@
+"""The streaming pipeline: source → queue → windows → repricer.
+
+:class:`StreamingPipeline` runs the paper's full measure→model→design
+loop continuously instead of once over a 24-hour batch:
+
+1. records are pulled from a source (trace replay or decoded wire
+   packets) into a :class:`~repro.stream.queue.BoundedQueue` with an
+   explicit backpressure policy;
+2. the queue drains into a :class:`~repro.stream.window.Windower` whenever
+   it fills or a window boundary passes, closing tumbling/sliding
+   event-time windows;
+3. each closed window is aggregated into a flow set and handed to the
+   :class:`~repro.stream.repricer.OnlineRepricer`, which recalibrates the
+   market and re-derives tiers only when the stale-vs-refreshed profit
+   gap crosses the drift threshold;
+4. after every ``checkpoint_every`` windows the whole pipeline state is
+   checkpointed, so a killed run resumes mid-stream with bit-identical
+   results.
+
+The run is deterministic: the same source yields the same window results,
+re-tier events, and final design, with or without a kill/restore in the
+middle, serial every time (there is no cross-window parallelism — each
+window's pricing depends on the design the previous windows left in
+force).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Optional
+
+from repro.core.bundling import BundlingStrategy, ProfitWeightedBundling
+from repro.core.cost import CostModel
+from repro.core.demand import DemandModel
+from repro.errors import DataError
+from repro.runtime.cache import config_hash
+from repro.runtime.metrics import METRICS
+from repro.stream.checkpoint import (
+    PipelineCheckpoint,
+    load_checkpoint,
+    save_checkpoint,
+)
+from repro.stream.queue import BoundedQueue
+from repro.stream.repricer import (
+    OnlineRepricer,
+    STATUS_PRICED,
+    WindowResult,
+)
+from repro.stream.window import ClosedWindow, Windower
+from repro.accounting.tier_designer import TierDesign
+
+
+@dataclasses.dataclass(frozen=True)
+class StreamConfig:
+    """Knobs of one streaming run (hashed into checkpoint digests).
+
+    Attributes:
+        window_ms: Event-time window length.
+        slide_ms: Window start spacing; ``None`` = tumbling.
+        reorder_tolerance_ms: Out-of-order arrival tolerance (delays
+            window closes by the same amount).
+        queue_capacity / queue_policy: Ingest buffer size and full-queue
+            behavior (``block`` or ``drop-oldest``).
+        n_tiers: Tier budget for derived designs.
+        drift_threshold: Re-tier when the refreshed design's profit
+            capture beats the stale design's by more than this.
+        blended_rate: The blended reference price ``P0`` ($/Mbps/month).
+        min_demand_mbps: Per-window demand floor (sampling dust filter).
+        checkpoint_every: Windows between checkpoint writes.
+        provider_asn: ASN stamped into derived designs.
+    """
+
+    window_ms: int
+    slide_ms: "Optional[int]" = None
+    reorder_tolerance_ms: int = 0
+    queue_capacity: int = 4096
+    queue_policy: str = "block"
+    n_tiers: int = 3
+    drift_threshold: float = 0.1
+    blended_rate: float = 20.0
+    min_demand_mbps: float = 0.0
+    checkpoint_every: int = 1
+    provider_asn: int = 64500
+
+    def digest(self, demand_model: DemandModel, cost_model: CostModel) -> str:
+        """Configuration fingerprint guarding checkpoint compatibility.
+
+        The record *source* is not (and cannot be) hashed — resuming a
+        checkpoint against a different stream is the operator's contract.
+        """
+        payload = dataclasses.asdict(self)
+        payload["demand_model"] = repr(demand_model)
+        payload["cost_model"] = repr(cost_model)
+        return config_hash(payload)
+
+
+@dataclasses.dataclass
+class StreamReport:
+    """Everything one :meth:`StreamingPipeline.run` produced."""
+
+    results: "list[WindowResult]"
+    design: "Optional[TierDesign]"
+    records_consumed: int
+    queue_dropped: int
+    queue_blocked: int
+    late_dropped: int
+    wall_time_s: float
+
+    @property
+    def windows_priced(self) -> int:
+        return sum(1 for r in self.results if r.status == STATUS_PRICED)
+
+    @property
+    def retier_events(self) -> int:
+        return sum(1 for r in self.results if r.retier)
+
+    @property
+    def records_per_second(self) -> float:
+        return self.records_consumed / max(self.wall_time_s, 1e-9)
+
+    def profit_series(self) -> "list[tuple[int, float]]":
+        """(window start, realized profit) per priced window.
+
+        Realized profit is what the design actually in force during the
+        window earns: the refreshed design's profit when the window
+        re-tiered, the replayed stale design's otherwise.
+        """
+        series = []
+        for r in self.results:
+            if r.status != STATUS_PRICED:
+                continue
+            profit = r.refreshed_profit if r.retier else r.stale_profit
+            series.append((r.start_ms, float(profit)))
+        return series
+
+    def render(self) -> str:
+        lines = [
+            f"{'window':>21} {'status':>8} {'records':>8} {'dsts':>6} "
+            f"{'profit $/mo':>12} {'cap drop':>9}  event",
+        ]
+        for r in self.results:
+            span = f"[{r.start_ms / 1000:>8.0f},{r.end_ms / 1000:>8.0f})s"
+            profit = r.refreshed_profit if r.retier else r.stale_profit
+            lines.append(
+                f"{span:>21} {r.status:>8} {r.n_records:>8} {r.n_flows:>6} "
+                f"{'' if profit is None else format(profit, ',.0f'):>12} "
+                f"{'' if r.capture_drop is None else format(r.capture_drop, '.3f'):>9}"
+                f"  {'RE-TIER' if r.retier else ''}"
+            )
+        lines.append(
+            f"windows: {len(self.results)} total, {self.windows_priced} priced, "
+            f"{self.retier_events} re-tier events; "
+            f"records: {self.records_consumed} "
+            f"({self.records_per_second:,.0f}/s), "
+            f"{self.queue_dropped} dropped, {self.late_dropped} late"
+        )
+        if self.design is not None:
+            lines.append(self.design.describe())
+        return "\n".join(lines)
+
+
+class StreamingPipeline:
+    """Drives records from a source through windows into the repricer.
+
+    Args:
+        source: Iterable of :class:`~repro.netflow.records.NetFlowRecord`
+            in rough export order (see :mod:`repro.stream.source`).
+        distance_fn: Flow key -> miles, the per-network cost proxy.
+        demand_model / cost_model: The market model for every window.
+        config: Streaming knobs (:class:`StreamConfig`).
+        region_fn: Optional flow key -> region label.
+        strategy: Bundling strategy (default profit-weighted).
+        checkpoint_path: When set, state is written there every
+            ``config.checkpoint_every`` windows, and an existing file is
+            restored from before consuming any records.
+    """
+
+    def __init__(
+        self,
+        source,
+        distance_fn: Callable,
+        demand_model: DemandModel,
+        cost_model: CostModel,
+        config: StreamConfig,
+        region_fn: "Callable | None" = None,
+        strategy: "BundlingStrategy | None" = None,
+        checkpoint_path=None,
+    ) -> None:
+        self.source = source
+        self.distance_fn = distance_fn
+        self.region_fn = region_fn
+        self.config = config
+        self.checkpoint_path = checkpoint_path
+        self._digest = config.digest(demand_model, cost_model)
+
+        self.queue = BoundedQueue(config.queue_capacity, config.queue_policy)
+        self.windower = Windower(
+            config.window_ms,
+            config.slide_ms,
+            config.reorder_tolerance_ms,
+        )
+        self.repricer = OnlineRepricer(
+            demand_model,
+            cost_model,
+            blended_rate=config.blended_rate,
+            strategy=strategy or ProfitWeightedBundling(),
+            n_tiers=config.n_tiers,
+            drift_threshold=config.drift_threshold,
+            provider_asn=config.provider_asn,
+        )
+        self.results: "list[WindowResult]" = []
+        self.records_consumed = 0
+        self._skip = 0
+        self._close_hint: "Optional[int]" = None
+        self._windows_since_checkpoint = 0
+
+        if checkpoint_path is not None:
+            import pathlib
+
+            if pathlib.Path(checkpoint_path).exists():
+                self._restore(load_checkpoint(checkpoint_path, self._digest))
+
+    # ------------------------------------------------------------------
+    # Checkpoint plumbing
+    # ------------------------------------------------------------------
+
+    def _restore(self, checkpoint: PipelineCheckpoint) -> None:
+        self.records_consumed = checkpoint.records_consumed
+        self._skip = checkpoint.records_consumed
+        self.windower.restore(checkpoint.windower_state)
+        self.queue.restore(checkpoint.queued_records, checkpoint.queue_counters)
+        self.repricer.design = checkpoint.design
+        self.results = list(checkpoint.results)
+        METRICS.incr("stream.restores")
+
+    def _write_checkpoint(self) -> None:
+        if self.checkpoint_path is None:
+            return
+        save_checkpoint(
+            PipelineCheckpoint(
+                config_digest=self._digest,
+                records_consumed=self.records_consumed,
+                windower_state=self.windower.state(),
+                queued_records=self.queue.snapshot(),
+                queue_counters=self.queue.counters(),
+                design=self.repricer.design,
+                results=self.results,
+            ),
+            self.checkpoint_path,
+        )
+        self._windows_since_checkpoint = 0
+        METRICS.incr("stream.checkpoints")
+
+    # ------------------------------------------------------------------
+    # Streaming
+    # ------------------------------------------------------------------
+
+    def run(self, max_windows: "Optional[int]" = None) -> StreamReport:
+        """Consume the source (or resume a checkpoint) to completion.
+
+        Args:
+            max_windows: Stop (with a checkpoint) once this many windows
+                have been emitted — the hook the kill/restore tests and
+                bounded smoke runs use.  ``None`` runs the stream dry and
+                flushes the remaining open windows.
+        """
+        import time
+
+        start = time.perf_counter()
+        stopped_early = False
+        with METRICS.stage("stream.run"):
+            for record in self.source:
+                if self._skip > 0:
+                    # Fast-forward over records a restored checkpoint
+                    # already accounted for.
+                    self._skip -= 1
+                    continue
+                self.records_consumed += 1
+                METRICS.incr("stream.records")
+                if not self.queue.offer(record):
+                    # Full queue under the block policy: the "producer"
+                    # waits by letting the consumer catch up first.
+                    self._process_queue()
+                    self.queue.offer(record)
+                if self._boundary_passed(record.last_ms):
+                    self._process_queue()
+                if max_windows is not None and len(self.results) >= max_windows:
+                    stopped_early = True
+                    break
+            if not stopped_early:
+                self._process_queue()
+                for window in self.windower.flush():
+                    self._handle_window(window)
+            self._write_checkpoint()
+        return StreamReport(
+            results=list(self.results),
+            design=self.repricer.design,
+            records_consumed=self.records_consumed,
+            queue_dropped=self.queue.dropped,
+            queue_blocked=self.queue.blocked,
+            late_dropped=self.windower.late_dropped,
+            wall_time_s=time.perf_counter() - start,
+        )
+
+    def _boundary_passed(self, ts_ms: int) -> bool:
+        """Has event time moved past the next window close?"""
+        next_close = self.windower.next_close_ms
+        if next_close is None:
+            if self._close_hint is None:
+                self._close_hint = self.windower.first_close_for(ts_ms)
+            next_close = self._close_hint
+        return ts_ms - self.config.reorder_tolerance_ms >= next_close
+
+    def _process_queue(self) -> None:
+        self._close_hint = None
+        for record in self.queue.drain():
+            for window in self.windower.ingest(record):
+                self._handle_window(window)
+
+    def _handle_window(self, window: ClosedWindow) -> None:
+        if not window.records:
+            result = self.repricer.empty_window(window)
+        else:
+            try:
+                with METRICS.stage("stream.aggregate"):
+                    flows = window.flowset(
+                        self.distance_fn,
+                        self.region_fn,
+                        self.config.min_demand_mbps,
+                    )
+            except DataError as exc:
+                METRICS.incr("stream.windows_skipped")
+                result = WindowResult.skipped(
+                    window.bounds,
+                    window.n_records,
+                    f"DataError: {exc}",
+                    self.repricer.current_tiers,
+                )
+            else:
+                result = self.repricer.price_window(window, flows)
+        self.results.append(result)
+        self._windows_since_checkpoint += 1
+        if (
+            self.checkpoint_path is not None
+            and self._windows_since_checkpoint >= self.config.checkpoint_every
+        ):
+            self._write_checkpoint()

@@ -1,0 +1,116 @@
+"""Bounded ingest queue with an explicit backpressure policy.
+
+The queue sits between a record source and the windower, bounding how
+much raw NetFlow the pipeline buffers between window closes.  Two
+policies govern a full queue:
+
+* ``block`` — the producer must wait: :meth:`offer` refuses the record
+  (returns ``False``) and the caller drains the queue downstream before
+  retrying.  Nothing is ever lost; in the in-process replay harness
+  "waiting" degenerates to draining immediately, while a socket-fed
+  deployment would stop reading from the exporter (TCP/SCTP backpressure).
+* ``drop-oldest`` — bounded memory wins over completeness: the oldest
+  buffered record is evicted (and counted) to make room, the way a
+  fixed-size kernel socket buffer sheds load.
+
+Every drop and forced drain is counted locally and in the global
+:data:`~repro.runtime.metrics.METRICS` registry, so lossy runs are
+visible in the run report rather than silent.
+"""
+
+from __future__ import annotations
+
+import collections
+
+from repro.errors import ConfigurationError
+from repro.netflow.records import NetFlowRecord
+from repro.runtime.metrics import METRICS
+
+#: Accepted backpressure policies.
+POLICIES = ("block", "drop-oldest")
+
+
+class BoundedQueue:
+    """A FIFO of records with a hard capacity and a full-queue policy."""
+
+    def __init__(self, capacity: int, policy: str = "block") -> None:
+        if capacity < 1:
+            raise ConfigurationError(
+                f"queue capacity must be >= 1, got {capacity}"
+            )
+        if policy not in POLICIES:
+            raise ConfigurationError(
+                f"unknown backpressure policy {policy!r}; expected one of "
+                f"{POLICIES}"
+            )
+        self.capacity = int(capacity)
+        self.policy = policy
+        self._queue: "collections.deque[NetFlowRecord]" = collections.deque()
+        self.dropped = 0
+        self.blocked = 0
+        self.high_watermark = 0
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    @property
+    def full(self) -> bool:
+        return len(self._queue) >= self.capacity
+
+    def offer(self, record: NetFlowRecord) -> bool:
+        """Try to enqueue one record.
+
+        Returns ``False`` only under the ``block`` policy with a full
+        queue — the caller must drain downstream and retry.  Under
+        ``drop-oldest`` the record is always accepted, evicting the
+        oldest buffered record when full.
+        """
+        if self.full:
+            if self.policy == "block":
+                self.blocked += 1
+                METRICS.incr("stream.queue_blocked")
+                return False
+            self._queue.popleft()
+            self.dropped += 1
+            METRICS.incr("stream.queue_dropped")
+        self._queue.append(record)
+        self.high_watermark = max(self.high_watermark, len(self._queue))
+        return True
+
+    def drain(self) -> "list[NetFlowRecord]":
+        """Remove and return everything buffered, in arrival order."""
+        out = list(self._queue)
+        self._queue.clear()
+        return out
+
+    # ------------------------------------------------------------------
+    # Checkpoint support
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> "list[NetFlowRecord]":
+        """The buffered records, in order, without removing them."""
+        return list(self._queue)
+
+    def counters(self) -> dict:
+        return {
+            "dropped": self.dropped,
+            "blocked": self.blocked,
+            "high_watermark": self.high_watermark,
+        }
+
+    def restore(
+        self, records: "list[NetFlowRecord]", counters: "dict | None" = None
+    ) -> None:
+        """Refill the queue from a checkpoint snapshot."""
+        if len(records) > self.capacity:
+            raise ConfigurationError(
+                f"checkpoint holds {len(records)} queued records but the "
+                f"queue capacity is {self.capacity}"
+            )
+        self._queue = collections.deque(records)
+        counters = counters or {}
+        self.dropped = int(counters.get("dropped", 0))
+        self.blocked = int(counters.get("blocked", 0))
+        self.high_watermark = max(
+            int(counters.get("high_watermark", 0)), len(self._queue)
+        )

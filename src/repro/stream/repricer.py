@@ -1,0 +1,245 @@
+"""Incremental market recalibration and drift-triggered re-tiering.
+
+Each closed window becomes one run of the paper's pipeline in miniature:
+the window's flow set recalibrates the market (same demand family, cost
+model, and blended reference as the design in force), the current tier
+design is replayed as a price vector through the drift machinery
+(:func:`~repro.accounting.drift.replay_design_prices`), and a refreshed
+design is derived for comparison.  Tiers are *re-derived* — the design in
+force replaced and a re-tier event recorded — only when the stale-vs-
+refreshed profit-capture gap crosses the configured threshold, so a
+stationary stream keeps its tiers and only genuine structural drift
+forces repricing.
+
+Destinations are first aggregated (one flow per destination address,
+demand-summed, demand-weighted distance) because a tier design prices
+*destinations*: two 5-tuples toward the same address must land in the
+same tier.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+import numpy as np
+
+from repro.accounting.drift import replay_design_prices
+from repro.accounting.tier_designer import TierDesign
+from repro.core.bundling import BundlingStrategy, ProfitWeightedBundling
+from repro.core.cost import CostModel
+from repro.core.demand import DemandModel
+from repro.core.flow import FlowSet
+from repro.core.market import Market
+from repro.errors import ReproError
+from repro.runtime.metrics import METRICS
+from repro.stream.window import ClosedWindow, WindowBounds
+
+#: Window statuses a :class:`WindowResult` can report.
+STATUS_PRICED = "priced"
+STATUS_EMPTY = "empty"
+STATUS_SKIPPED = "skipped"
+
+
+@dataclasses.dataclass(frozen=True)
+class WindowResult:
+    """What happened to one window.
+
+    ``stale_profit``/``refreshed_profit`` are $/month at the window's
+    demand rates; ``capture_drop`` is the profit-capture gap between
+    replaying the prior design and re-deriving tiers (the re-tier
+    trigger).  On the first priced window there is no prior design, so
+    the stale-side fields are ``None`` and ``retier`` is ``True`` with
+    reason ``"initial design"``.
+    """
+
+    start_ms: int
+    end_ms: int
+    status: str
+    n_records: int
+    n_flows: int
+    retier: bool
+    reason: str
+    stale_profit: "Optional[float]" = None
+    refreshed_profit: "Optional[float]" = None
+    capture_drop: "Optional[float]" = None
+    n_tiers: int = 0
+
+    @classmethod
+    def empty(cls, bounds: WindowBounds, n_tiers: int) -> "WindowResult":
+        return cls(
+            start_ms=bounds.start_ms,
+            end_ms=bounds.end_ms,
+            status=STATUS_EMPTY,
+            n_records=0,
+            n_flows=0,
+            retier=False,
+            reason="no traffic",
+            n_tiers=n_tiers,
+        )
+
+    @classmethod
+    def skipped(
+        cls, bounds: WindowBounds, n_records: int, reason: str, n_tiers: int
+    ) -> "WindowResult":
+        return cls(
+            start_ms=bounds.start_ms,
+            end_ms=bounds.end_ms,
+            status=STATUS_SKIPPED,
+            n_records=n_records,
+            n_flows=0,
+            retier=False,
+            reason=reason,
+            n_tiers=n_tiers,
+        )
+
+
+def aggregate_by_destination(flows: FlowSet) -> FlowSet:
+    """One flow per destination: demand summed, distance demand-weighted.
+
+    Flow sets without destination addresses pass through unchanged.
+    Output order is sorted by destination, so repeated runs over the same
+    window are bit-identical.
+    """
+    if flows.dsts is None:
+        return flows
+    by_dst: dict = {}
+    for i, dst in enumerate(flows.dsts):
+        by_dst.setdefault(dst, []).append(i)
+    if all(len(members) == 1 for members in by_dst.values()):
+        return flows
+    demands, distances, regions, dsts = [], [], [], []
+    for dst in sorted(by_dst):
+        members = by_dst[dst]
+        weight = float(sum(flows.demands[i] for i in members))
+        demands.append(weight)
+        distances.append(
+            float(sum(flows.demands[i] * flows.distances[i] for i in members))
+            / weight
+        )
+        if flows.regions is not None:
+            # The region of the destination's dominant flow.
+            best = max(members, key=lambda i: (flows.demands[i], -i))
+            regions.append(flows.regions[best])
+        else:
+            regions.append(None)
+        dsts.append(dst)
+    return FlowSet(
+        demands_mbps=demands,
+        distances_miles=distances,
+        regions=regions,
+        dsts=dsts,
+    )
+
+
+class OnlineRepricer:
+    """Holds the design in force and reprices it window by window.
+
+    Args:
+        demand_model / cost_model / blended_rate: The market model every
+            window is recalibrated under (keep them fixed across the
+            stream, as the drift comparison assumes).
+        strategy: Bundling strategy for derived designs.
+        n_tiers: Tier budget for derived designs.
+        drift_threshold: Re-tier when the refreshed design's profit
+            capture exceeds the stale design's by more than this.
+        provider_asn: ASN stamped into derived designs.
+    """
+
+    def __init__(
+        self,
+        demand_model: DemandModel,
+        cost_model: CostModel,
+        blended_rate: float = 20.0,
+        strategy: "BundlingStrategy | None" = None,
+        n_tiers: int = 3,
+        drift_threshold: float = 0.1,
+        provider_asn: int = 64500,
+    ) -> None:
+        self.demand_model = demand_model
+        self.cost_model = cost_model
+        self.blended_rate = float(blended_rate)
+        self.strategy = strategy or ProfitWeightedBundling()
+        self.n_tiers = int(n_tiers)
+        self.drift_threshold = float(drift_threshold)
+        self.provider_asn = int(provider_asn)
+        #: The tier design currently in force (``None`` before the first
+        #: successfully priced window).
+        self.design: "Optional[TierDesign]" = None
+
+    @property
+    def current_tiers(self) -> int:
+        return 0 if self.design is None else self.design.n_tiers
+
+    def price_window(self, window: ClosedWindow, flows: FlowSet) -> WindowResult:
+        """Recalibrate on one window's flows and decide whether to re-tier.
+
+        Model-layer failures (calibration on degenerate windows, bundling
+        on too-few flows) mark the window ``skipped`` rather than killing
+        the stream — live traffic does not get to crash the pricer.
+        """
+        flows = aggregate_by_destination(flows)
+        try:
+            with METRICS.stage("stream.calibrate"):
+                market = Market(
+                    flows, self.demand_model, self.cost_model, self.blended_rate
+                )
+            with METRICS.stage("stream.rebundle"):
+                refreshed = market.tiered_outcome(self.strategy, self.n_tiers)
+            if self.design is None:
+                stale_profit = None
+                capture_drop = None
+                retier = True
+                reason = "initial design"
+            else:
+                prices, unknown, missing = replay_design_prices(
+                    self.design, market
+                )
+                stale_profit = market.profit_at(prices)
+                capture_drop = market.profit_capture(
+                    refreshed.profit
+                ) - market.profit_capture(stale_profit)
+                retier = capture_drop > self.drift_threshold
+                reason = (
+                    f"capture drop {capture_drop:.3f} "
+                    f"{'>' if retier else '<='} threshold "
+                    f"{self.drift_threshold:.3f} "
+                    f"({unknown} unknown / {missing} churned destinations)"
+                )
+            if retier:
+                with METRICS.stage("stream.retier"):
+                    self.design = TierDesign.from_outcome(
+                        market, refreshed, provider_asn=self.provider_asn
+                    )
+                METRICS.incr("stream.retier_events")
+        except ReproError as exc:
+            METRICS.incr("stream.windows_skipped")
+            return WindowResult.skipped(
+                window.bounds,
+                window.n_records,
+                f"{type(exc).__name__}: {exc}",
+                self.current_tiers,
+            )
+        METRICS.incr("stream.windows_priced")
+        return WindowResult(
+            start_ms=window.bounds.start_ms,
+            end_ms=window.bounds.end_ms,
+            status=STATUS_PRICED,
+            n_records=window.n_records,
+            n_flows=len(flows),
+            retier=retier,
+            reason=reason,
+            stale_profit=_opt_float(stale_profit),
+            refreshed_profit=float(refreshed.profit),
+            capture_drop=_opt_float(capture_drop),
+            n_tiers=self.current_tiers,
+        )
+
+    def empty_window(self, window: ClosedWindow) -> WindowResult:
+        """Record a window with no (surviving) traffic: never a re-tier."""
+        METRICS.incr("stream.windows_empty")
+        return WindowResult.empty(window.bounds, self.current_tiers)
+
+
+def _opt_float(value: "float | np.floating | None") -> "Optional[float]":
+    return None if value is None else float(value)

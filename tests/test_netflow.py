@@ -191,6 +191,58 @@ class TestFlowCollector:
         assert collector.deduplicated_octets()[key()] == 100_000
 
 
+class TestFlowCollectorDrain:
+    """Time-based eviction added for the streaming windower."""
+
+    def _loaded(self):
+        collector = FlowCollector()
+        collector.ingest(record(key(1), octets=100, first=0, last=50))
+        collector.ingest(record(key(1), octets=200, router="R2", first=0, last=60))
+        collector.ingest(record(key(2), octets=300, first=100, last=150))
+        collector.ingest(record(key(2), octets=400, first=160, last=260))
+        return collector
+
+    def test_drain_all(self):
+        collector = self._loaded()
+        drained = collector.drain()
+        assert len(drained) == 4
+        assert len(collector) == 0
+        assert collector.deduplicated_octets() == {}
+        # records_seen is a cumulative ingest counter, not a gauge.
+        assert collector.records_seen == 4
+
+    def test_drain_is_time_ordered(self):
+        drained = self._loaded().drain()
+        assert [r.last_ms for r in drained] == sorted(r.last_ms for r in drained)
+
+    def test_time_cutoff_evicts_only_old_records(self):
+        collector = self._loaded()
+        drained = collector.drain(older_than_ms=100)
+        assert {r.last_ms for r in drained} == {50, 60}
+        # key(1)'s group is gone entirely; key(2) keeps both records.
+        assert len(collector) == 1
+        assert collector.deduplicated_octets() == {key(2): 700}
+
+    def test_cutoff_splits_within_a_router_group(self):
+        collector = self._loaded()
+        drained = collector.drain(older_than_ms=160)
+        assert {r.octets for r in drained} == {100, 200, 300}
+        # The surviving record still dedups correctly on its own.
+        assert collector.deduplicated_octets() == {key(2): 400}
+        assert collector.routers_for(key(2)) == ["R1"]
+
+    def test_dedup_semantics_survive_reingest(self):
+        # Drain and re-ingest: per-router max semantics are unchanged.
+        collector = self._loaded()
+        drained = collector.drain()
+        collector.ingest_many(drained)
+        assert collector.deduplicated_octets() == {key(1): 200, key(2): 700}
+
+    def test_drain_empty_collector(self):
+        assert FlowCollector().drain() == []
+        assert FlowCollector().drain(older_than_ms=10) == []
+
+
 class TestAggregation:
     def test_rates_and_distances(self):
         collector = FlowCollector()

@@ -103,6 +103,26 @@ class TestParallelMap:
         with pytest.raises(ValueError):
             resolve_jobs(None)
 
+    def test_resolve_jobs_garbage_env_is_named_error(self, monkeypatch):
+        from repro.errors import ConfigurationError, ReproError
+
+        monkeypatch.setenv("REPRO_JOBS", "auto")
+        with pytest.raises(ConfigurationError, match="REPRO_JOBS.*'auto'"):
+            resolve_jobs(None)
+        # The named error is part of the library hierarchy, so callers
+        # catching ReproError see it too.
+        with pytest.raises(ReproError):
+            resolve_jobs(None)
+
+    def test_resolve_jobs_whitespace_env(self, monkeypatch):
+        # Pure whitespace counts as unset; padded integers still parse.
+        monkeypatch.setenv("REPRO_JOBS", "   ")
+        assert resolve_jobs(None) == 1
+        monkeypatch.setenv("REPRO_JOBS", "  4  ")
+        assert resolve_jobs(None) == 4
+        monkeypatch.setenv("REPRO_JOBS", "\t2\n")
+        assert resolve_jobs(None) == 2
+
     def test_zero_means_all_cores(self):
         import os
 
