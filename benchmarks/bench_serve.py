@@ -1,0 +1,125 @@
+"""Serving-path bench: quote throughput baseline and batching payoff.
+
+Warms a :class:`~repro.serve.registry.SnapshotRegistry` the honest way —
+replaying a seeded trace through the streaming repricer so accepted
+re-tierings hot-swap snapshots in — then drives the quote server with the
+same seeded load generator the CLI self-test uses.  The committed JSON is
+the serving throughput trajectory: diffs show when the quote path got
+slower, started degrading, or lost its latency tail.
+
+A second bench pins down *why* the engine is batch-shaped: pricing the
+same requests through the vectorized batch path must beat the per-flow
+Python loop by an order of magnitude.
+"""
+
+import json
+import time
+
+from repro.core.ced import CEDDemand
+from repro.core.cost import LinearDistanceCost
+from repro.serve import (
+    QuoteEngine,
+    QuoteServer,
+    SnapshotRegistry,
+    generate_requests,
+    run_load,
+)
+from repro.stream import StreamConfig, StreamingPipeline, TraceReplaySource
+from repro.synth.trace import generate_network_trace
+
+from conftest import OUTPUT_DIR
+
+P0 = 20.0
+
+
+def warm_registry(n_flows=80, seed=17, duration_s=7200.0):
+    """Stream a trace into a registry; return (registry, engine)."""
+    trace = generate_network_trace(
+        "eu_isp", n_flows=n_flows, seed=seed, duration_seconds=duration_s
+    )
+    source = TraceReplaySource(trace, export_interval_ms=60_000)
+    cost_model = LinearDistanceCost(0.2)
+    registry = SnapshotRegistry()
+    pipeline = StreamingPipeline(
+        source,
+        distance_fn=trace.distance_for,
+        demand_model=CEDDemand(1.1),
+        cost_model=cost_model,
+        config=StreamConfig(window_ms=600_000, blended_rate=P0),
+    )
+    pipeline.repricer.on_design_published = registry.subscriber(
+        pipeline.config_digest
+    )
+    pipeline.run()
+    return registry, QuoteEngine(registry, cost_model, fallback_blended_rate=P0)
+
+
+def serve_study(n_requests=5000):
+    registry, engine = warm_registry()
+    snapshot = registry.current()
+    requests = generate_requests(
+        n_requests, seed=23, snapshot=snapshot, unknown_fraction=0.2
+    )
+    with QuoteServer(
+        engine, workers=2, queue_depth=512, timeout_ms=5000.0
+    ) as server:
+        report = run_load(server, requests)
+        stats = server.stats()
+    return report, stats, registry
+
+
+def test_serve_throughput(run_once, save_output):
+    report, stats, registry = run_once(serve_study)
+    save_output("serve_throughput", report.render())
+    baseline = {
+        "n_requests": report.n_requests,
+        "answered": report.answered,
+        "priced": report.priced,
+        "degraded": report.degraded,
+        "timed_out": report.timed_out,
+        "shed": report.shed,
+        "snapshot_swaps": registry.swaps,
+        "quotes_per_second": round(report.quotes_per_second, -2),
+        "request_p99_ms": round(report.latency_ms.get("p99", 0.0), 1),
+    }
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    (OUTPUT_DIR / "serve_throughput.baseline.json").write_text(
+        json.dumps(baseline, indent=2, sort_keys=True) + "\n"
+    )
+    # The stream must have published something to serve from, and the
+    # whole load must come back priced: no degradation, no timeouts, no
+    # shedding at this queue depth.
+    assert registry.swaps >= 1
+    assert report.answered == report.n_requests
+    assert report.degraded == 0 and report.timed_out == 0 and report.shed == 0
+    assert stats["served"] == report.n_requests
+    assert report.quotes_per_second > 1000
+
+
+def batching_payoff(n_requests=2000):
+    """Seconds for (vectorized batch, per-flow Python loop) on one load."""
+    registry, engine = warm_registry()
+    requests = generate_requests(
+        n_requests, seed=29, snapshot=registry.current(), unknown_fraction=0.2
+    )
+    start = time.perf_counter()
+    batched = engine.quote_batch(requests)
+    batch_s = time.perf_counter() - start
+    start = time.perf_counter()
+    looped = [engine.quote(request) for request in requests]
+    loop_s = time.perf_counter() - start
+    assert [q.unit_price for q in batched] == [q.unit_price for q in looped]
+    return batch_s, loop_s
+
+
+def test_batched_quoting_beats_per_flow_loop(run_once, save_output):
+    batch_s, loop_s = run_once(batching_payoff)
+    speedup = loop_s / max(batch_s, 1e-9)
+    save_output(
+        "serve_batching",
+        f"batched: {batch_s * 1000:.2f} ms, per-flow loop: "
+        f"{loop_s * 1000:.2f} ms ({speedup:.1f}x speedup)",
+    )
+    # The acceptance bar: vectorized batch quoting is at least an order
+    # of magnitude faster than quoting the same requests one at a time.
+    assert speedup >= 10

@@ -11,6 +11,10 @@ Commands:
 * ``stream`` — replay a synthetic trace through the streaming repricing
   pipeline (windowed ingest, incremental calibration, drift-triggered
   re-tiering) and print the window-by-window report.
+* ``serve`` — stand up the online quote service: run a short replayed
+  stream that publishes tier designs into the snapshot registry, then
+  serve a seeded self-test load through the thread-pool quote server and
+  report quotes/sec plus the latency tail.
 
 Everything honors ``--flows`` and ``--seed`` so results are reproducible
 and fast to experiment with.  Every subcommand additionally honors the
@@ -250,6 +254,79 @@ def build_parser() -> argparse.ArgumentParser:
     stream.add_argument("--shift-factor", type=float, default=3.0)
     stream.add_argument("--shift-fraction", type=float, default=0.5)
 
+    serve = sub.add_parser(
+        "serve",
+        help="run the online quote service and a built-in self-test load",
+        parents=[runtime],
+    )
+    serve.add_argument(
+        "dataset",
+        choices=DATASET_NAMES,
+        help="which network's trace warms up the snapshot registry",
+    )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        metavar="N",
+        help="quote-server worker threads (default 2)",
+    )
+    serve.add_argument(
+        "--queue-depth",
+        type=int,
+        default=256,
+        metavar="N",
+        help="admission-queue capacity; full queues shed the oldest request",
+    )
+    serve.add_argument(
+        "--timeout-ms",
+        type=float,
+        default=1000.0,
+        metavar="MS",
+        help="per-request deadline (default 1000 ms)",
+    )
+    serve.add_argument(
+        "--max-batch",
+        type=int,
+        default=64,
+        metavar="N",
+        help="largest request batch one worker prices at once",
+    )
+    serve.add_argument(
+        "--selftest",
+        type=int,
+        default=2000,
+        metavar="N",
+        help="self-test load size in requests (default 2000)",
+    )
+    serve.add_argument(
+        "--unknown-fraction",
+        type=float,
+        default=0.2,
+        metavar="F",
+        help="fraction of load aimed at destinations outside the design",
+    )
+    serve.add_argument(
+        "--tiers", type=int, default=3, help="tier budget for published designs"
+    )
+    serve.add_argument(
+        "--demand", choices=("ced", "logit"), default="ced"
+    )
+    serve.add_argument(
+        "--window",
+        type=float,
+        default=600.0,
+        metavar="SECONDS",
+        help="warm-up stream window length (default 600)",
+    )
+    serve.add_argument(
+        "--duration",
+        type=float,
+        default=1800.0,
+        metavar="SECONDS",
+        help="warm-up stream capture length (default 1800)",
+    )
+
     report = sub.add_parser(
         "report",
         help="run every table/figure and emit a markdown report",
@@ -402,6 +479,90 @@ def cmd_stream(args: argparse.Namespace) -> str:
     return report.render()
 
 
+def cmd_serve(args: argparse.Namespace) -> str:
+    import json
+
+    from repro.core.ced import CEDDemand
+    from repro.core.cost import LinearDistanceCost
+    from repro.core.logit import LogitDemand
+    from repro.serve import (
+        QuoteEngine,
+        QuoteServer,
+        SnapshotRegistry,
+        generate_requests,
+        run_load,
+    )
+    from repro.stream import StreamConfig, StreamingPipeline, TraceReplaySource
+    from repro.synth.trace import generate_network_trace
+
+    # 1. Warm the registry with genuinely streamed designs: replay a short
+    #    trace and let every accepted re-tiering hot-swap a snapshot in.
+    trace = generate_network_trace(
+        args.dataset,
+        n_flows=args.flows,
+        seed=args.seed,
+        duration_seconds=args.duration,
+    )
+    source = TraceReplaySource(trace, export_interval_ms=60_000)
+    if args.demand == "ced":
+        demand = CEDDemand(alpha=DEFAULT_CONFIG.alpha)
+    else:
+        demand = LogitDemand(alpha=DEFAULT_CONFIG.alpha, s0=DEFAULT_CONFIG.s0)
+    cost_model = LinearDistanceCost(theta=DEFAULT_CONFIG.theta)
+    config = StreamConfig(
+        window_ms=int(args.window * 1000),
+        n_tiers=args.tiers,
+        blended_rate=DEFAULT_CONFIG.blended_rate,
+    )
+    registry = SnapshotRegistry()
+    pipeline = StreamingPipeline(
+        source,
+        distance_fn=trace.distance_for,
+        demand_model=demand,
+        cost_model=cost_model,
+        config=config,
+    )
+    pipeline.repricer.on_design_published = registry.subscriber(
+        pipeline.config_digest
+    )
+    stream_report = pipeline.run()
+    snapshot = registry.current()
+
+    # 2. Serve the self-test load against whatever the stream published.
+    engine = QuoteEngine(
+        registry, cost_model, fallback_blended_rate=DEFAULT_CONFIG.blended_rate
+    )
+    requests = generate_requests(
+        args.selftest,
+        seed=args.seed,
+        snapshot=snapshot,
+        unknown_fraction=args.unknown_fraction,
+    )
+    with QuoteServer(
+        engine,
+        workers=args.workers,
+        queue_depth=args.queue_depth,
+        timeout_ms=args.timeout_ms,
+        max_batch=args.max_batch,
+    ) as server:
+        load = run_load(server, requests)
+        stats = server.stats()
+    lines = [
+        f"stream warm-up: {len(stream_report.results)} windows, "
+        f"{stream_report.windows_priced} priced, "
+        f"{stream_report.retier_events} re-tier events, "
+        f"{registry.swaps} snapshot swaps",
+        (
+            "active snapshot: none (degraded serving)"
+            if snapshot is None
+            else f"active {snapshot.describe()}"
+        ),
+        load.render(),
+        "server: " + json.dumps(stats, sort_keys=True),
+    ]
+    return "\n".join(lines)
+
+
 def cmd_report(args: argparse.Namespace) -> str:
     from repro.experiments.report import generate_report
 
@@ -485,6 +646,7 @@ _COMMANDS = {
     "datasets": cmd_datasets,
     "design": cmd_design,
     "stream": cmd_stream,
+    "serve": cmd_serve,
     "report": cmd_report,
     "export": cmd_export,
     "offerings": cmd_offerings,

@@ -93,8 +93,35 @@ class CostModel(abc.ABC):
     def prepare(self, flows: FlowSet) -> CostedFlows:
         """Compute relative costs (and possibly transform the flow set)."""
 
+    def prepare_quotes(
+        self, flows: FlowSet, reference_distance_miles: "Optional[float]" = None
+    ) -> CostedFlows:
+        """Relative costs in a *pinned* normalization frame.
+
+        :meth:`prepare` normalizes against the flow set itself (the
+        distance models set their base cost from the batch's longest
+        haul), which is right for calibration but wrong for quoting: a
+        quote's cost must be batch-independent and expressed in the same
+        frame the design's ``gamma`` was calibrated under.  Passing the
+        calibration set's maximum distance as
+        ``reference_distance_miles`` reproduces that frame exactly;
+        models whose costs never depend on the rest of the batch (the
+        regional model) ignore it.
+        """
+        del reference_distance_miles  # batch-independent models ignore it
+        return self.prepare(flows)
+
     def _floored_distances(self, flows: FlowSet) -> np.ndarray:
         return np.maximum(flows.distances, self.min_distance_miles)
+
+    def _floored_reference(self, reference_distance_miles: float) -> float:
+        reference = float(reference_distance_miles)
+        if not math.isfinite(reference) or reference <= 0:
+            raise ModelParameterError(
+                f"reference distance must be finite and positive, got "
+                f"{reference_distance_miles!r}"
+            )
+        return max(reference, self.min_distance_miles)
 
     def describe(self) -> str:
         return f"{self.name} cost model (theta={self.theta})"
@@ -116,6 +143,15 @@ class LinearDistanceCost(CostModel):
     def prepare(self, flows: FlowSet) -> CostedFlows:
         d = self._floored_distances(flows)
         beta = self.theta * float(d.max())
+        return CostedFlows(flows=flows, relative_costs=d + beta)
+
+    def prepare_quotes(
+        self, flows: FlowSet, reference_distance_miles: "Optional[float]" = None
+    ) -> CostedFlows:
+        if reference_distance_miles is None:
+            return self.prepare(flows)
+        d = self._floored_distances(flows)
+        beta = self.theta * self._floored_reference(reference_distance_miles)
         return CostedFlows(flows=flows, relative_costs=d + beta)
 
 
@@ -148,14 +184,35 @@ class ConcaveDistanceCost(CostModel):
 
     def prepare(self, flows: FlowSet) -> CostedFlows:
         d = self._floored_distances(flows)
-        g = self.a * np.log(d) / math.log(self.b) + self.c
+        g = self._shape(d)
+        beta = self.theta * float(g.max())
+        return CostedFlows(flows=flows, relative_costs=g + beta)
+
+    def prepare_quotes(
+        self, flows: FlowSet, reference_distance_miles: "Optional[float]" = None
+    ) -> CostedFlows:
+        if reference_distance_miles is None:
+            return self.prepare(flows)
+        d = self._floored_distances(flows)
+        g = self._shape(d)
+        reference = self._floored_reference(reference_distance_miles)
+        beta = self.theta * float(self._shape(np.array([reference]))[0])
+        costs = g + beta
+        if np.any(costs <= 0):
+            raise ModelParameterError(
+                "concave quote cost is non-positive at the shortest "
+                "distance; raise min_distance_miles or the intercept c"
+            )
+        return CostedFlows(flows=flows, relative_costs=costs)
+
+    def _shape(self, distances: np.ndarray) -> np.ndarray:
+        g = self.a * np.log(distances) / math.log(self.b) + self.c
         if np.any(g <= 0):
             raise ModelParameterError(
                 "concave cost is non-positive at the shortest distance; "
                 "raise min_distance_miles or the intercept c"
             )
-        beta = self.theta * float(g.max())
-        return CostedFlows(flows=flows, relative_costs=g + beta)
+        return g
 
 
 class RegionalCost(CostModel):

@@ -63,3 +63,21 @@ class TopologyError(ReproError, ValueError):
 class AccountingError(ReproError, RuntimeError):
     """Tier accounting failed (unknown tier tag, no matching route, or an
     inconsistent billing window)."""
+
+
+class SnapshotUnavailableError(ReproError, RuntimeError):
+    """No pricing snapshot is ready to answer quotes.
+
+    Raised by the strict quoting paths when the snapshot registry is empty
+    (nothing published yet, or the registry was deliberately cleared).  The
+    lenient paths degrade to the blended rate instead of raising.
+    """
+
+
+class QuoteTimeoutError(ReproError, TimeoutError):
+    """A quote request missed its deadline.
+
+    Raised to the submitting caller when the quote server could not answer
+    within the request's timeout — either the response never arrived, or
+    the request expired in the admission queue before a worker reached it.
+    """

@@ -7,9 +7,13 @@ many workers a fan-out used, and how long each named stage took.  The
 registry serializes to structured JSON so benchmark runs leave a
 machine-readable perf trail under ``benchmarks/output/``.
 
-The registry is deliberately tiny — a dict of counters and a dict of
-``{seconds, calls}`` stage timers behind one lock — so instrumenting a
-hot path costs nanoseconds, not milliseconds.  Worker processes report
+The registry is deliberately tiny — a dict of counters, a dict of
+``{seconds, calls}`` stage timers, and a dict of bounded latency
+reservoirs behind one lock — so instrumenting a hot path costs
+nanoseconds, not milliseconds.  Reservoirs keep the most recent
+:data:`RESERVOIR_CAPACITY` samples per series, enough to export stable
+p50/p95/p99 tails for the serving and streaming stages without unbounded
+memory.  Worker processes report
 their own deltas back to the parent (see :mod:`repro.runtime.parallel`),
 which merges them with :meth:`Metrics.merge`, so a parallel run's JSON
 accounts for work done everywhere.
@@ -21,16 +25,61 @@ import contextlib
 import json
 import threading
 import time
-from collections.abc import Iterator, Mapping
+from collections.abc import Iterator, Mapping, Sequence
+
+#: Samples kept per latency reservoir (ring buffer; oldest overwritten).
+RESERVOIR_CAPACITY = 1024
+
+#: Quantiles exported for every latency reservoir.
+LATENCY_QUANTILES = (0.5, 0.95, 0.99)
+
+
+class _Reservoir:
+    """A bounded ring of the most recent samples for one latency series.
+
+    Cumulative stage timers answer "how much time went where" but flatten
+    the distribution; serving paths care about tails.  The reservoir keeps
+    the last :data:`RESERVOIR_CAPACITY` observations (bounded memory, no
+    matter how long the server runs) and computes nearest-rank quantiles
+    over them on demand.
+    """
+
+    __slots__ = ("samples", "count")
+
+    def __init__(self) -> None:
+        self.samples: "list[float]" = []
+        self.count = 0
+
+    def add(self, value: float) -> None:
+        if len(self.samples) < RESERVOIR_CAPACITY:
+            self.samples.append(value)
+        else:
+            self.samples[self.count % RESERVOIR_CAPACITY] = value
+        self.count += 1
+
+    def quantiles(
+        self, qs: Sequence[float] = LATENCY_QUANTILES
+    ) -> "dict[str, float]":
+        """Nearest-rank quantiles (plus max) over the retained samples."""
+        ordered = sorted(self.samples)
+        n = len(ordered)
+        out = {}
+        for q in qs:
+            rank = max(0, min(n - 1, int(q * n + 0.999999) - 1))
+            out[f"p{int(q * 100)}"] = ordered[rank]
+        out["max"] = ordered[-1]
+        return out
 
 
 class Metrics:
-    """A thread-safe registry of counters and cumulative stage timers."""
+    """A thread-safe registry of counters, stage timers, and latency
+    reservoirs."""
 
     def __init__(self) -> None:
         self._lock = threading.Lock()
         self._counters: "dict[str, int]" = {}
         self._stages: "dict[str, dict]" = {}
+        self._latencies: "dict[str, _Reservoir]" = {}
 
     # ------------------------------------------------------------------
     # Recording
@@ -57,6 +106,26 @@ class Metrics:
         finally:
             self.observe(name, time.perf_counter() - start)
 
+    def observe_latency(self, name: str, seconds: float) -> None:
+        """Record one sample in the named bounded latency reservoir.
+
+        Unlike :meth:`observe`, which only accumulates totals, reservoir
+        samples feed tail quantiles (:meth:`latency_quantiles`, and the
+        ``latencies`` section of :meth:`to_json`).
+        """
+        with self._lock:
+            reservoir = self._latencies.setdefault(name, _Reservoir())
+            reservoir.add(float(seconds))
+
+    @contextlib.contextmanager
+    def latency(self, name: str) -> Iterator[None]:
+        """Time a ``with``-block as one reservoir sample of ``name``."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.observe_latency(name, time.perf_counter() - start)
+
     # ------------------------------------------------------------------
     # Reading / merging
     # ------------------------------------------------------------------
@@ -70,16 +139,45 @@ class Metrics:
             stage = self._stages.get(name)
             return float(stage["seconds"]) if stage else 0.0
 
+    def latency_count(self, name: str) -> int:
+        """Total samples ever observed for the named reservoir."""
+        with self._lock:
+            reservoir = self._latencies.get(name)
+            return reservoir.count if reservoir else 0
+
+    def latency_quantiles(
+        self, name: str, qs: Sequence[float] = LATENCY_QUANTILES
+    ) -> "dict[str, float]":
+        """``{"p50": ..., "p95": ..., "p99": ..., "max": ...}`` in seconds.
+
+        Empty for a reservoir that never saw a sample.
+        """
+        with self._lock:
+            reservoir = self._latencies.get(name)
+            if reservoir is None or not reservoir.samples:
+                return {}
+            return reservoir.quantiles(qs)
+
     def snapshot(self) -> dict:
-        """A deep copy of the current state (counters + stages)."""
+        """A deep copy of the current state (counters + stages + latencies).
+
+        Latency reservoirs serialize as their retained samples so a
+        snapshot round-trips through :meth:`merge` without losing tail
+        information (beyond the reservoir bound itself).
+        """
         with self._lock:
             return {
                 "counters": dict(self._counters),
                 "stages": {k: dict(v) for k, v in self._stages.items()},
+                "latencies": {
+                    k: {"count": r.count, "samples": list(r.samples)}
+                    for k, r in self._latencies.items()
+                },
             }
 
     def merge(self, other: Mapping) -> None:
-        """Fold another snapshot's counters and stage times into this one.
+        """Fold another snapshot's counters, stage times, and latency
+        samples into this one.
 
         Used by the parallel backend to account for work done in worker
         processes, whose registries the parent cannot see directly.
@@ -91,17 +189,45 @@ class Metrics:
                 mine = self._stages.setdefault(name, {"seconds": 0.0, "calls": 0})
                 mine["seconds"] += stage.get("seconds", 0.0)
                 mine["calls"] += stage.get("calls", 0)
+        for name, payload in other.get("latencies", {}).items():
+            samples = payload.get("samples", [])
+            with self._lock:
+                reservoir = self._latencies.setdefault(name, _Reservoir())
+                for sample in samples:
+                    reservoir.add(float(sample))
+                # Keep the true observation count even when the ring
+                # already dropped some of the other side's samples.
+                reservoir.count += max(0, payload.get("count", 0) - len(samples))
 
     def reset(self) -> None:
         with self._lock:
             self._counters.clear()
             self._stages.clear()
+            self._latencies.clear()
 
     def to_json(self, **extra) -> str:
-        """The snapshot (plus any extra key/values) as pretty JSON."""
+        """The snapshot (plus any extra key/values) as pretty JSON.
+
+        Latency reservoirs export as quantile summaries (count, p50, p95,
+        p99, max seconds) rather than raw samples, so the JSON stays small
+        and diffs stay readable.
+        """
         payload = self.snapshot()
+        payload["latencies"] = {
+            name: {"count": entry["count"], **_summarize(entry["samples"])}
+            for name, entry in payload["latencies"].items()
+        }
         payload.update(extra)
         return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def _summarize(samples: "list[float]") -> "dict[str, float]":
+    """Quantile summary of a raw sample list (empty dict when empty)."""
+    if not samples:
+        return {}
+    reservoir = _Reservoir()
+    reservoir.samples = list(samples)
+    return reservoir.quantiles()
 
 
 #: The process-global registry every runtime layer records into.

@@ -1,0 +1,51 @@
+"""Online quote serving: answering pricing questions at traffic scale.
+
+The batch runtime computes tier designs; the streaming repricer keeps
+them fresh.  This package is the piece that *answers* with them: an
+in-process concurrent quote service built from
+
+* :class:`PricingSnapshot` — an immutable, versioned, digest-stamped view
+  of one published design (tier rate card + vectorized destination→tier
+  index + calibration scale);
+* :class:`SnapshotRegistry` — atomic hot-swap of the active snapshot;
+  readers never see a torn state, writers never block readers;
+* :class:`QuoteEngine` — single and batched pricing queries ("flow of
+  ``v`` Mbps over ``d`` miles to ``dst`` → tier, unit price, profit
+  contribution"), vectorized through the same cost plumbing the designs
+  were calibrated with;
+* :class:`QuoteServer` — thread-pool workers over a bounded admission
+  queue: per-request timeouts, drop-oldest load shedding, and graceful
+  degradation to the blended rate ``P0`` whenever no snapshot can answer;
+* :mod:`~repro.serve.loadgen` — the seeded load generator behind
+  ``python -m repro serve --selftest`` and the serve benchmark.
+
+Wiring it to a live stream is one argument::
+
+    registry = SnapshotRegistry()
+    pipeline = StreamingPipeline(
+        ..., on_design_published=registry.subscriber(digest)
+    )
+
+Every accepted re-tiering then hot-swaps the active snapshot, and
+subsequent quotes reflect the new tier prices.
+"""
+
+from repro.serve.engine import Quote, QuoteEngine, QuoteRequest
+from repro.serve.loadgen import LoadReport, generate_requests, run_load
+from repro.serve.registry import SnapshotRegistry
+from repro.serve.server import PendingQuote, QuoteServer
+from repro.serve.snapshot import PricingSnapshot, UNKNOWN_TIER
+
+__all__ = [
+    "LoadReport",
+    "PendingQuote",
+    "PricingSnapshot",
+    "Quote",
+    "QuoteEngine",
+    "QuoteRequest",
+    "QuoteServer",
+    "SnapshotRegistry",
+    "UNKNOWN_TIER",
+    "generate_requests",
+    "run_load",
+]

@@ -1,0 +1,249 @@
+"""Answering pricing questions against the active snapshot.
+
+The engine turns "a flow of ``v`` Mbps over ``d`` miles toward
+destination ``dst``" into "tier ``t`` at ``p`` $/Mbps, expected profit
+contribution ``(p - c) * v`` $/month", where the unit cost ``c`` comes
+from the same cost-model plumbing the batch pipeline calibrates with
+(``c = gamma * f``, :class:`~repro.core.cost.CostModel` relative costs
+scaled by the snapshot's calibration).
+
+Batches are the native shape: one snapshot grab, one vectorized
+destination→tier lookup, one cost-model pass over the whole batch — no
+per-flow Python loop.  :meth:`QuoteEngine.quote` is the one-element
+special case.
+
+Degradation, not exceptions, is the failure mode: with no snapshot
+published (or a request pinned to a different regime than the active
+snapshot), the quote comes back at the blended rate ``P0`` with
+``degraded=True`` — the operator's safe default, the same fallback the
+drift replay uses for unknown destinations.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from collections.abc import Sequence
+from typing import Optional
+
+import numpy as np
+
+from repro.core.cost import CostModel
+from repro.core.flow import FlowSet, VALID_REGIONS
+from repro.errors import ConfigurationError, DataError
+from repro.runtime.metrics import METRICS
+from repro.serve.registry import SnapshotRegistry
+from repro.serve.snapshot import PricingSnapshot, UNKNOWN_TIER
+
+
+@dataclasses.dataclass(frozen=True)
+class QuoteRequest:
+    """One pricing question.
+
+    Attributes:
+        dst: Destination address the flow heads toward (``None`` quotes
+            an anonymous flow: always the blended fallback tier).
+        volume_mbps: Flow volume (must be positive).
+        distance_miles: Haul distance, the delivery-cost proxy.
+        region: Optional region label for regional cost models.
+        regime: Optional pinned configuration digest; a mismatch with the
+            active snapshot's regime degrades the quote instead of pricing
+            it off the wrong market model.
+    """
+
+    dst: Optional[str] = None
+    volume_mbps: float = 1.0
+    distance_miles: float = 1.0
+    region: Optional[str] = None
+    regime: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if not math.isfinite(self.volume_mbps) or self.volume_mbps <= 0:
+            raise DataError(
+                f"quote volume must be positive, got {self.volume_mbps!r}"
+            )
+        if not math.isfinite(self.distance_miles) or self.distance_miles < 0:
+            raise DataError(
+                f"quote distance must be non-negative, got "
+                f"{self.distance_miles!r}"
+            )
+        if self.region is not None and self.region not in VALID_REGIONS:
+            raise DataError(
+                f"unknown region {self.region!r}; expected one of "
+                f"{VALID_REGIONS}"
+            )
+
+
+@dataclasses.dataclass(frozen=True)
+class Quote:
+    """One pricing answer.
+
+    ``degraded`` quotes price at the blended rate with no tier, cost, or
+    profit attribution (there is no calibrated snapshot to attribute
+    against).  ``known`` is ``False`` when the destination is absent from
+    the design (quoted at the blended fallback, but *not* degraded — the
+    snapshot itself answered).
+    """
+
+    unit_price: float
+    tier: Optional[int]
+    known: bool
+    degraded: bool
+    unit_cost: Optional[float] = None
+    profit_contribution: Optional[float] = None
+    snapshot_version: Optional[int] = None
+    snapshot_digest: Optional[str] = None
+    reason: Optional[str] = None
+
+
+class QuoteEngine:
+    """Prices quote requests against a registry's active snapshot.
+
+    Args:
+        registry: Where published snapshots are read from.
+        cost_model: The delivery-cost model quotes attribute costs with;
+            must match the model the designs were calibrated under and
+            must not split flows (destination-type models do).
+        fallback_blended_rate: ``P0`` used for degraded quotes when not
+            even a snapshot is available to supply one.
+    """
+
+    def __init__(
+        self,
+        registry: SnapshotRegistry,
+        cost_model: CostModel,
+        fallback_blended_rate: float = 20.0,
+    ) -> None:
+        if fallback_blended_rate <= 0:
+            raise ConfigurationError(
+                f"fallback blended rate must be positive, got "
+                f"{fallback_blended_rate}"
+            )
+        self.registry = registry
+        self.cost_model = cost_model
+        self.fallback_blended_rate = float(fallback_blended_rate)
+
+    # ------------------------------------------------------------------
+    # Quoting
+    # ------------------------------------------------------------------
+
+    def quote(self, request: QuoteRequest, strict: bool = False) -> Quote:
+        """Price one request.
+
+        ``strict=True`` raises
+        :class:`~repro.errors.SnapshotUnavailableError` instead of
+        degrading when nothing is published.
+        """
+        if strict:
+            self.registry.require()
+        return self.quote_batch([request])[0]
+
+    def quote_batch(self, requests: "Sequence[QuoteRequest]") -> "list[Quote]":
+        """Price a batch under one consistent snapshot.
+
+        The snapshot reference is grabbed once, so every quote in the
+        batch is answered by the same published state even if swaps land
+        mid-batch.
+        """
+        requests = list(requests)
+        if not requests:
+            return []
+        snapshot = self.registry.current()
+        METRICS.incr("serve.quotes", len(requests))
+        if snapshot is None:
+            METRICS.incr("serve.degraded", len(requests))
+            return [
+                self.degraded_quote(r, reason="no snapshot published")
+                for r in requests
+            ]
+
+        # Requests pinned to a different regime degrade individually; the
+        # rest price on the active snapshot.
+        quotes: "list[Optional[Quote]]" = [None] * len(requests)
+        live = []
+        for i, request in enumerate(requests):
+            if request.regime is not None and request.regime != snapshot.config_digest:
+                quotes[i] = self.degraded_quote(
+                    request,
+                    snapshot=snapshot,
+                    reason=(
+                        f"regime mismatch: request pinned "
+                        f"{request.regime[:12]}, active "
+                        f"{snapshot.config_digest[:12]}"
+                    ),
+                )
+                METRICS.incr("serve.degraded")
+            else:
+                live.append(i)
+        if live:
+            for i, quote in zip(live, self._price(snapshot, [requests[i] for i in live])):
+                quotes[i] = quote
+        return quotes  # type: ignore[return-value]
+
+    def _price(
+        self, snapshot: PricingSnapshot, requests: "list[QuoteRequest]"
+    ) -> "list[Quote]":
+        """The vectorized hot path: lookup, cost, margin in numpy."""
+        with METRICS.stage("serve.lookup"):
+            dsts = ["" if r.dst is None else r.dst for r in requests]
+            tiers = snapshot.tiers_for(dsts)
+            prices = snapshot.prices_for_tiers(tiers)
+        with METRICS.stage("serve.cost"):
+            flows = FlowSet(
+                demands_mbps=[r.volume_mbps for r in requests],
+                distances_miles=[r.distance_miles for r in requests],
+                regions=(
+                    [r.region for r in requests]
+                    if all(r.region is not None for r in requests)
+                    else None
+                ),
+            )
+            costed = self.cost_model.prepare_quotes(
+                flows, snapshot.reference_distance_miles
+            )
+            if len(costed.flows) != len(requests):
+                raise ConfigurationError(
+                    f"cost model {self.cost_model.name!r} splits flows "
+                    f"({len(requests)} requests became "
+                    f"{len(costed.flows)}); quote serving needs a "
+                    "non-splitting cost model"
+                )
+            unit_costs = snapshot.unit_costs(costed.relative_costs)
+            volumes = flows.demands
+            profits = (prices - unit_costs) * volumes
+        return [
+            Quote(
+                unit_price=float(prices[i]),
+                tier=None if tiers[i] == UNKNOWN_TIER else int(tiers[i]),
+                known=bool(tiers[i] != UNKNOWN_TIER),
+                degraded=False,
+                unit_cost=float(unit_costs[i]),
+                profit_contribution=float(profits[i]),
+                snapshot_version=snapshot.version,
+                snapshot_digest=snapshot.digest,
+            )
+            for i in range(len(requests))
+        ]
+
+    def degraded_quote(
+        self,
+        request: QuoteRequest,
+        snapshot: "Optional[PricingSnapshot]" = None,
+        reason: str = "degraded",
+    ) -> Quote:
+        """The blended-rate safe answer (no tier/cost attribution)."""
+        del request
+        blended = (
+            self.fallback_blended_rate
+            if snapshot is None
+            else snapshot.blended_rate
+        )
+        return Quote(
+            unit_price=float(blended),
+            tier=None,
+            known=False,
+            degraded=True,
+            snapshot_version=None if snapshot is None else snapshot.version,
+            snapshot_digest=None if snapshot is None else snapshot.digest,
+            reason=reason,
+        )

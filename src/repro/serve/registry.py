@@ -1,0 +1,153 @@
+"""Atomic hot-swap of the active pricing snapshot.
+
+The registry is the rendezvous between the producer side (the streaming
+repricer publishing re-tiered designs) and the consumer side (quote
+engines answering traffic).  It holds at most one *active*
+:class:`~repro.serve.snapshot.PricingSnapshot` behind a single reference.
+Because snapshots are immutable and the reference is swapped in one
+assignment (atomic under the interpreter), readers either see the old
+consistent snapshot or the new consistent snapshot — never a mix of old
+boundaries with new prices.  The writer lock only serializes *writers*
+(version assignment); readers never take it.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Optional
+
+from repro.accounting.tier_designer import TierDesign
+from repro.errors import SnapshotUnavailableError
+from repro.runtime.metrics import METRICS
+from repro.serve.snapshot import PricingSnapshot
+from repro.stream.repricer import DesignPublication
+
+
+class SnapshotRegistry:
+    """Holds the active snapshot and swaps it atomically on publish."""
+
+    def __init__(self) -> None:
+        self._writer_lock = threading.Lock()
+        self._active: "Optional[PricingSnapshot]" = None
+        self._version = 0
+        #: Lifetime counts, readable without a lock (monotonic ints).
+        self.swaps = 0
+        self.clears = 0
+
+    # ------------------------------------------------------------------
+    # Reader side
+    # ------------------------------------------------------------------
+
+    def current(self) -> "Optional[PricingSnapshot]":
+        """The active snapshot, or ``None`` when nothing is published.
+
+        Lock-free: one attribute read.  The returned snapshot stays valid
+        (and consistent) even if a swap lands immediately after.
+        """
+        return self._active
+
+    def require(self) -> PricingSnapshot:
+        """The active snapshot, or :class:`SnapshotUnavailableError`."""
+        snapshot = self._active
+        if snapshot is None:
+            raise SnapshotUnavailableError(
+                "no pricing snapshot is published; quotes can only degrade "
+                "to the blended rate"
+            )
+        return snapshot
+
+    @property
+    def version(self) -> int:
+        """Version of the last publish (0 before the first)."""
+        return self._version
+
+    # ------------------------------------------------------------------
+    # Writer side
+    # ------------------------------------------------------------------
+
+    def publish(
+        self,
+        design: TierDesign,
+        *,
+        config_digest: str,
+        blended_rate: float,
+        gamma: float,
+        reference_distance_miles: "Optional[float]" = None,
+        published_at_ms: int = 0,
+    ) -> PricingSnapshot:
+        """Freeze a design into a snapshot and make it active."""
+        with self._writer_lock:
+            version = self._version + 1
+            snapshot = PricingSnapshot.build(
+                design,
+                version=version,
+                config_digest=config_digest,
+                blended_rate=blended_rate,
+                gamma=gamma,
+                reference_distance_miles=reference_distance_miles,
+                published_at_ms=published_at_ms,
+            )
+            self._install(snapshot, version)
+        return snapshot
+
+    def publish_snapshot(self, snapshot: PricingSnapshot) -> PricingSnapshot:
+        """Install an already-built snapshot, re-versioning it here."""
+        import dataclasses
+
+        with self._writer_lock:
+            version = self._version + 1
+            if snapshot.version != version:
+                snapshot = dataclasses.replace(snapshot, version=version)
+            self._install(snapshot, version)
+        return snapshot
+
+    def _install(self, snapshot: PricingSnapshot, version: int) -> None:
+        self._version = version
+        self._active = snapshot  # the atomic hot-swap
+        self.swaps += 1
+        METRICS.incr("serve.swaps")
+
+    def clear(self) -> None:
+        """Drop the active snapshot (quotes degrade until the next publish).
+
+        Operational escape hatch: pulled when the published design is
+        discovered to be wrong and blended-rate quoting is safer than
+        serving it.  Recovery is automatic on the next publish.
+        """
+        with self._writer_lock:
+            self._active = None
+            self.clears += 1
+            METRICS.incr("serve.clears")
+
+    # ------------------------------------------------------------------
+    # Producer wiring
+    # ------------------------------------------------------------------
+
+    def subscriber(
+        self, config_digest: str
+    ) -> "Callable[[DesignPublication], None]":
+        """A callback for ``on_design_published`` hooks.
+
+        Wire a streaming pipeline straight into the registry::
+
+            registry = SnapshotRegistry()
+            pipeline = StreamingPipeline(..., config=config)
+            pipeline.repricer.on_design_published = registry.subscriber(
+                pipeline.config_digest
+            )
+
+        (or pass ``on_design_published=`` to the pipeline constructor).
+        Every accepted re-tiering then hot-swaps the active snapshot.
+        """
+
+        def _on_publication(publication: DesignPublication) -> None:
+            with self._writer_lock:
+                version = self._version + 1
+                snapshot = PricingSnapshot.from_publication(
+                    publication,
+                    version=version,
+                    config_digest=config_digest,
+                )
+                self._install(snapshot, version)
+
+        return _on_publication

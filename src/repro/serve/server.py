@@ -1,0 +1,333 @@
+"""The in-process quote server: admission control, workers, timeouts.
+
+:class:`QuoteServer` fronts a :class:`~repro.serve.engine.QuoteEngine`
+with a fixed thread pool and a bounded admission queue (the streaming
+layer's :class:`~repro.stream.queue.BoundedQueue` under the drop-oldest
+policy).  The contract a caller gets:
+
+* **Admission** — a submitted request either gets an answer or is *shed*:
+  when the queue is full the oldest pending request is evicted, counted
+  (``serve.shed``), and answered immediately with the degraded
+  blended-rate quote.  Nothing blocks the submitter, nothing is silently
+  lost.
+* **Timeouts** — every request carries a deadline.  A request that
+  expires in the queue is answered with
+  :class:`~repro.errors.QuoteTimeoutError` by the worker that finds it;
+  a caller that stops waiting gets the same error from
+  :meth:`QuoteServer.quote`.
+* **Batching** — workers drain the queue in gulps and price each gulp
+  through one vectorized :meth:`~repro.serve.engine.QuoteEngine.quote_batch`
+  call, so a loaded server amortizes snapshot lookup and cost-model work
+  across the whole batch.
+* **No exceptions on the data path** — engine-side failures (including a
+  mid-flight snapshot clear) resolve to degraded quotes, never to an
+  exception leaking out of a worker.
+
+Latency is recorded per stage into the global metrics registry:
+``serve.request`` (submit→resolve) and ``serve.batch`` (one worker gulp)
+reservoirs export p50/p95/p99.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections.abc import Sequence
+from typing import Optional
+
+from repro.errors import ConfigurationError, QuoteTimeoutError, ReproError
+from repro.runtime.metrics import METRICS
+from repro.serve.engine import Quote, QuoteEngine, QuoteRequest
+from repro.stream.queue import BoundedQueue
+
+#: How long an idle worker sleeps between queue checks (seconds).
+_IDLE_WAIT_S = 0.05
+
+
+class PendingQuote:
+    """A submitted request's future answer."""
+
+    __slots__ = ("request", "submitted_at", "deadline", "_event", "_quote", "_error")
+
+    def __init__(self, request: QuoteRequest, timeout_s: float) -> None:
+        self.request = request
+        self.submitted_at = time.perf_counter()
+        self.deadline = self.submitted_at + timeout_s
+        self._event = threading.Event()
+        self._quote: "Optional[Quote]" = None
+        self._error: "Optional[BaseException]" = None
+
+    @property
+    def done(self) -> bool:
+        return self._event.is_set()
+
+    def _resolve(self, quote: Quote) -> None:
+        if self._event.is_set():
+            return
+        self._quote = quote
+        METRICS.observe_latency(
+            "serve.request", time.perf_counter() - self.submitted_at
+        )
+        self._event.set()
+
+    def _fail(self, error: BaseException) -> None:
+        if self._event.is_set():
+            return
+        self._error = error
+        self._event.set()
+
+    def result(self, timeout_s: "Optional[float]" = None) -> Quote:
+        """Wait for the answer (default: until the request's deadline).
+
+        Raises:
+            QuoteTimeoutError: When the deadline passes unanswered, or
+                the server itself timed the request out.
+        """
+        if timeout_s is None:
+            timeout_s = max(0.0, self.deadline - time.perf_counter()) + _IDLE_WAIT_S
+        if not self._event.wait(timeout_s):
+            METRICS.incr("serve.timeouts")
+            raise QuoteTimeoutError(
+                f"quote not answered within {timeout_s * 1000:.0f} ms"
+            )
+        if self._error is not None:
+            raise self._error
+        assert self._quote is not None
+        return self._quote
+
+
+class QuoteServer:
+    """Thread-pool quote service over a bounded admission queue.
+
+    Args:
+        engine: The quoting engine (registry + cost model).
+        workers: Worker threads pricing batches.
+        queue_depth: Admission-queue capacity; the oldest request is shed
+            (answered degraded) when a submit finds it full.
+        timeout_ms: Default per-request deadline.
+        max_batch: Largest batch one engine call prices.
+    """
+
+    def __init__(
+        self,
+        engine: QuoteEngine,
+        workers: int = 2,
+        queue_depth: int = 256,
+        timeout_ms: float = 1000.0,
+        max_batch: int = 64,
+    ) -> None:
+        if workers < 1:
+            raise ConfigurationError(f"workers must be >= 1, got {workers}")
+        if timeout_ms <= 0:
+            raise ConfigurationError(
+                f"timeout_ms must be positive, got {timeout_ms}"
+            )
+        if max_batch < 1:
+            raise ConfigurationError(f"max_batch must be >= 1, got {max_batch}")
+        self.engine = engine
+        self.n_workers = int(workers)
+        self.timeout_ms = float(timeout_ms)
+        self.max_batch = int(max_batch)
+        self._queue = BoundedQueue(queue_depth, policy="drop-oldest")
+        self._queue.on_evict = self._shed
+        self._lock = threading.Lock()
+        self._work_ready = threading.Condition(self._lock)
+        self._threads: "list[threading.Thread]" = []
+        self._running = False
+        # Lifetime counters (ints; reads need no lock).
+        self.served = 0
+        self.shed = 0
+        self.timed_out = 0
+        self.degraded = 0
+        self.batches = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def start(self) -> "QuoteServer":
+        with self._lock:
+            if self._running:
+                return self
+            self._running = True
+            self._threads = [
+                threading.Thread(
+                    target=self._worker_loop,
+                    name=f"quote-worker-{i}",
+                    daemon=True,
+                )
+                for i in range(self.n_workers)
+            ]
+        for thread in self._threads:
+            thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Stop workers; anything still queued resolves degraded."""
+        with self._work_ready:
+            if not self._running:
+                return
+            self._running = False
+            self._work_ready.notify_all()
+        for thread in self._threads:
+            thread.join()
+        self._threads = []
+        with self._lock:
+            leftovers = self._queue.drain()
+        for pending in leftovers:
+            self._resolve_degraded(pending, "server stopped")
+
+    def __enter__(self) -> "QuoteServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    @property
+    def running(self) -> bool:
+        return self._running
+
+    # ------------------------------------------------------------------
+    # Submitting
+    # ------------------------------------------------------------------
+
+    def submit(
+        self, request: QuoteRequest, timeout_ms: "Optional[float]" = None
+    ) -> PendingQuote:
+        """Enqueue one request; returns its pending answer immediately.
+
+        A full queue sheds the *oldest* pending request (degraded answer,
+        ``serve.shed``) to admit this one — fresh traffic beats stale.
+        """
+        if not self._running:
+            raise ConfigurationError(
+                "quote server is not running (call start() or use it as a "
+                "context manager)"
+            )
+        timeout_s = (self.timeout_ms if timeout_ms is None else timeout_ms) / 1000.0
+        pending = PendingQuote(request, timeout_s)
+        with self._work_ready:
+            self._queue.offer(pending)
+            self._work_ready.notify()
+        return pending
+
+    def quote(
+        self, request: QuoteRequest, timeout_ms: "Optional[float]" = None
+    ) -> Quote:
+        """Submit and wait: the synchronous single-quote call."""
+        return self.submit(request, timeout_ms).result()
+
+    def quote_many(
+        self,
+        requests: "Sequence[QuoteRequest]",
+        timeout_ms: "Optional[float]" = None,
+    ) -> "list[Quote]":
+        """Submit a burst and wait for every answer (in request order)."""
+        pendings = [self.submit(r, timeout_ms) for r in requests]
+        return [p.result() for p in pendings]
+
+    # ------------------------------------------------------------------
+    # Worker side
+    # ------------------------------------------------------------------
+
+    def _worker_loop(self) -> None:
+        while True:
+            with self._work_ready:
+                while self._running and len(self._queue) == 0:
+                    self._work_ready.wait(_IDLE_WAIT_S)
+                if not self._running and len(self._queue) == 0:
+                    return
+                batch = self._take_batch()
+            if batch:
+                self._serve_batch(batch)
+
+    def _take_batch(self) -> "list[PendingQuote]":
+        """Up to ``max_batch`` pending requests (caller holds the lock).
+
+        ``drain()`` empties the queue, so the overflow beyond ``max_batch``
+        is re-offered for other workers to gulp concurrently.
+        """
+        drained = self._queue.drain()
+        batch = drained[: self.max_batch]
+        for leftover in drained[self.max_batch :]:
+            self._queue.offer(leftover)
+        return batch
+
+    def _serve_batch(self, batch: "list[PendingQuote]") -> None:
+        now = time.perf_counter()
+        live = []
+        for pending in batch:
+            if pending.deadline <= now:
+                self.timed_out += 1
+                METRICS.incr("serve.expired")
+                pending._fail(
+                    QuoteTimeoutError(
+                        "request expired in the admission queue before a "
+                        "worker reached it"
+                    )
+                )
+            else:
+                live.append(pending)
+        if not live:
+            return
+        self.batches += 1
+        with METRICS.latency("serve.batch"):
+            try:
+                quotes = self.engine.quote_batch([p.request for p in live])
+            except ReproError as exc:
+                # The engine never raises for a missing snapshot (it
+                # degrades), so this is a config-level failure; still, the
+                # data path answers rather than leaks.
+                METRICS.incr("serve.errors")
+                for pending in live:
+                    self._resolve_degraded(
+                        pending, f"{type(exc).__name__}: {exc}"
+                    )
+                return
+        for pending, quote in zip(live, quotes):
+            self.served += 1
+            if quote.degraded:
+                self.degraded += 1
+            pending._resolve(quote)
+
+    # ------------------------------------------------------------------
+    # Degraded resolutions
+    # ------------------------------------------------------------------
+
+    def _shed(self, pending: PendingQuote) -> None:
+        """Eviction hook: the shed request still gets an answer."""
+        self.shed += 1
+        METRICS.incr("serve.shed")
+        self._resolve_degraded(pending, "shed by admission control")
+
+    def _resolve_degraded(self, pending: PendingQuote, reason: str) -> None:
+        self.degraded += 1
+        pending._resolve(
+            self.engine.degraded_quote(
+                pending.request,
+                snapshot=self.engine.registry.current(),
+                reason=reason,
+            )
+        )
+
+    # ------------------------------------------------------------------
+
+    def stats(self) -> dict:
+        """Operational counters plus request-latency quantiles (ms)."""
+        latency = {
+            name: round(seconds * 1000.0, 3)
+            for name, seconds in METRICS.latency_quantiles(
+                "serve.request"
+            ).items()
+        }
+        return {
+            "served": self.served,
+            "shed": self.shed,
+            "timed_out": self.timed_out,
+            "degraded": self.degraded,
+            "batches": self.batches,
+            "queue_depth": len(self._queue),
+            "queue_high_watermark": self._queue.high_watermark,
+            "workers": self.n_workers,
+            "request_latency_ms": latency,
+        }

@@ -25,6 +25,7 @@ from repro.stream.pipeline import (
 )
 from repro.stream.queue import BoundedQueue, POLICIES
 from repro.stream.repricer import (
+    DesignPublication,
     OnlineRepricer,
     STATUS_EMPTY,
     STATUS_PRICED,
@@ -46,6 +47,7 @@ __all__ = [
     "CHECKPOINT_FORMAT_VERSION",
     "ClosedWindow",
     "DemandShift",
+    "DesignPublication",
     "OnlineRepricer",
     "POLICIES",
     "PipelineCheckpoint",

@@ -173,6 +173,11 @@ class StreamingPipeline:
         checkpoint_path: When set, state is written there every
             ``config.checkpoint_every`` windows, and an existing file is
             restored from before consuming any records.
+        on_design_published: Optional subscriber invoked with a
+            :class:`~repro.stream.repricer.DesignPublication` after every
+            accepted re-tiering — the hook the quote-serving registry
+            hot-swaps snapshots from
+            (:meth:`repro.serve.SnapshotRegistry.subscriber`).
     """
 
     def __init__(
@@ -185,6 +190,7 @@ class StreamingPipeline:
         region_fn: "Callable | None" = None,
         strategy: "BundlingStrategy | None" = None,
         checkpoint_path=None,
+        on_design_published: "Callable | None" = None,
     ) -> None:
         self.source = source
         self.distance_fn = distance_fn
@@ -208,6 +214,7 @@ class StreamingPipeline:
             drift_threshold=config.drift_threshold,
             provider_asn=config.provider_asn,
         )
+        self.repricer.on_design_published = on_design_published
         self.results: "list[WindowResult]" = []
         self.records_consumed = 0
         self._skip = 0
@@ -219,6 +226,12 @@ class StreamingPipeline:
 
             if pathlib.Path(checkpoint_path).exists():
                 self._restore(load_checkpoint(checkpoint_path, self._digest))
+
+    @property
+    def config_digest(self) -> str:
+        """The run's configuration fingerprint (checkpoints and quote
+        snapshots both embed it, so mixed-regime state is detectable)."""
+        return self._digest
 
     # ------------------------------------------------------------------
     # Checkpoint plumbing

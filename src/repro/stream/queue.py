@@ -49,6 +49,10 @@ class BoundedQueue:
         self.dropped = 0
         self.blocked = 0
         self.high_watermark = 0
+        #: Optional hook invoked with each record evicted under
+        #: ``drop-oldest`` — the quote server uses it to answer shed
+        #: requests with a degraded quote instead of losing them silently.
+        self.on_evict = None
 
     def __len__(self) -> int:
         return len(self._queue)
@@ -70,9 +74,11 @@ class BoundedQueue:
                 self.blocked += 1
                 METRICS.incr("stream.queue_blocked")
                 return False
-            self._queue.popleft()
+            victim = self._queue.popleft()
             self.dropped += 1
             METRICS.incr("stream.queue_dropped")
+            if self.on_evict is not None:
+                self.on_evict(victim)
         self._queue.append(record)
         self.high_watermark = max(self.high_watermark, len(self._queue))
         return True

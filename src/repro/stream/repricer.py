@@ -20,7 +20,7 @@ same tier.
 from __future__ import annotations
 
 import dataclasses
-from typing import Optional
+from typing import Callable, Optional
 
 import numpy as np
 
@@ -92,6 +92,27 @@ class WindowResult:
             reason=reason,
             n_tiers=n_tiers,
         )
+
+
+@dataclasses.dataclass(frozen=True)
+class DesignPublication:
+    """One accepted re-tiering, as delivered to publish subscribers.
+
+    Carries everything a consumer needs to build a quote-ready view of the
+    design without holding a reference to the repricer: the frozen design,
+    the calibration scale of the market it was derived on (``gamma`` maps
+    relative costs to $/Mbps), the calibration set's maximum haul distance
+    (the cost-normalization frame quote costs must be computed in), the
+    blended reference rate, the event time the design took effect, and a
+    monotonically increasing sequence number.
+    """
+
+    design: TierDesign
+    gamma: float
+    blended_rate: float
+    window_end_ms: int
+    sequence: int
+    reference_distance_miles: "Optional[float]" = None
 
 
 def aggregate_by_destination(flows: FlowSet) -> FlowSet:
@@ -166,6 +187,15 @@ class OnlineRepricer:
         #: The tier design currently in force (``None`` before the first
         #: successfully priced window).
         self.design: "Optional[TierDesign]" = None
+        #: Optional subscriber invoked with a :class:`DesignPublication`
+        #: after every accepted re-tiering (the checkpoint write used to be
+        #: the only way to observe a new design; the serving layer
+        #: subscribes here instead of polling).  Publishing is best-effort:
+        #: a failing subscriber is counted, not allowed to kill the stream.
+        self.on_design_published: "Optional[Callable[[DesignPublication], None]]" = (
+            None
+        )
+        self._publications = 0
 
     @property
     def current_tiers(self) -> int:
@@ -220,6 +250,8 @@ class OnlineRepricer:
                 f"{type(exc).__name__}: {exc}",
                 self.current_tiers,
             )
+        if retier:
+            self._publish(market, window)
         METRICS.incr("stream.windows_priced")
         return WindowResult(
             start_ms=window.bounds.start_ms,
@@ -234,6 +266,26 @@ class OnlineRepricer:
             capture_drop=_opt_float(capture_drop),
             n_tiers=self.current_tiers,
         )
+
+    def _publish(self, market: Market, window: ClosedWindow) -> None:
+        """Deliver the design now in force to the publish subscriber."""
+        if self.on_design_published is None:
+            return
+        self._publications += 1
+        publication = DesignPublication(
+            design=self.design,
+            gamma=float(market.gamma),
+            blended_rate=self.blended_rate,
+            window_end_ms=window.bounds.end_ms,
+            sequence=self._publications,
+            reference_distance_miles=float(market.flows.distances.max()),
+        )
+        try:
+            self.on_design_published(publication)
+        except Exception:  # noqa: BLE001 - subscriber bugs must not kill the stream
+            METRICS.incr("stream.publish_errors")
+        else:
+            METRICS.incr("stream.designs_published")
 
     def empty_window(self, window: ClosedWindow) -> WindowResult:
         """Record a window with no (surviving) traffic: never a re-tier."""

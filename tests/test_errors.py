@@ -1,15 +1,21 @@
 """The exception hierarchy: everything catches as ReproError."""
 
+import inspect
+
 import pytest
 
+import repro.errors
 from repro.errors import (
     AccountingError,
     BundlingError,
     CalibrationError,
+    ConfigurationError,
     DataError,
     ModelParameterError,
     OptimizationError,
+    QuoteTimeoutError,
     ReproError,
+    SnapshotUnavailableError,
     TopologyError,
 )
 
@@ -17,9 +23,12 @@ ALL_ERRORS = [
     AccountingError,
     BundlingError,
     CalibrationError,
+    ConfigurationError,
     DataError,
     ModelParameterError,
     OptimizationError,
+    QuoteTimeoutError,
+    SnapshotUnavailableError,
     TopologyError,
 ]
 
@@ -29,14 +38,46 @@ def test_all_errors_derive_from_repro_error(exc_type):
     assert issubclass(exc_type, ReproError)
 
 
+def test_every_public_error_subclasses_the_package_base():
+    """Exhaustive: any exception the errors module exports — now or in a
+    future PR — must derive from ReproError, so ``except ReproError``
+    stays a complete catch for library failures."""
+    exported = [
+        obj
+        for name, obj in inspect.getmembers(repro.errors, inspect.isclass)
+        if issubclass(obj, Exception) and not name.startswith("_")
+    ]
+    assert ReproError in exported
+    for exc_type in exported:
+        assert issubclass(exc_type, ReproError), exc_type
+    # And this file's explicit list is in sync with the module.
+    assert set(ALL_ERRORS) <= set(exported)
+    assert len(exported) == len(ALL_ERRORS) + 1  # + ReproError itself
+
+
 def test_value_like_errors_are_value_errors():
-    for exc_type in (ModelParameterError, BundlingError, DataError, TopologyError):
+    for exc_type in (
+        ModelParameterError,
+        BundlingError,
+        ConfigurationError,
+        DataError,
+        TopologyError,
+    ):
         assert issubclass(exc_type, ValueError)
 
 
 def test_runtime_like_errors_are_runtime_errors():
-    for exc_type in (CalibrationError, OptimizationError, AccountingError):
+    for exc_type in (
+        CalibrationError,
+        OptimizationError,
+        AccountingError,
+        SnapshotUnavailableError,
+    ):
         assert issubclass(exc_type, RuntimeError)
+
+
+def test_quote_timeout_is_a_timeout_error():
+    assert issubclass(QuoteTimeoutError, TimeoutError)
 
 
 def test_catching_base_catches_subclass():

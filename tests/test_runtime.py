@@ -20,7 +20,7 @@ from repro.experiments.config import ExperimentConfig
 from repro.experiments.sweeps import figure14_data, theta_sweep
 from repro.runtime import cache as runtime_cache
 from repro.runtime.cache import CacheStore, config_hash
-from repro.runtime.metrics import METRICS, Metrics
+from repro.runtime.metrics import METRICS, RESERVOIR_CAPACITY, Metrics
 from repro.runtime.parallel import ParallelMap, resolve_jobs
 from repro.runtime.spec import ExperimentSpec, evaluate_spec, run_specs
 
@@ -165,6 +165,67 @@ class TestMetrics:
         ]
         run_specs(specs, jobs=2, use_cache=False)
         assert METRICS.counter("markets_built") >= 3
+
+
+class TestLatencyReservoirs:
+    def test_observe_and_quantiles(self):
+        m = Metrics()
+        for ms in range(1, 101):  # 1..100 ms
+            m.observe_latency("req", ms / 1000.0)
+        q = m.latency_quantiles("req")
+        assert q["p50"] == pytest.approx(0.050)
+        assert q["p95"] == pytest.approx(0.095)
+        assert q["p99"] == pytest.approx(0.099)
+        assert q["max"] == pytest.approx(0.100)
+        assert m.latency_count("req") == 100
+
+    def test_unseen_series_is_empty(self):
+        m = Metrics()
+        assert m.latency_quantiles("nope") == {}
+        assert m.latency_count("nope") == 0
+
+    def test_reservoir_is_bounded(self):
+        """Counts keep growing but memory does not: old samples rotate out."""
+        m = Metrics()
+        n = RESERVOIR_CAPACITY + 500
+        for i in range(n):
+            m.observe_latency("req", float(i))
+        assert m.latency_count("req") == n
+        snap = m.snapshot()
+        retained = snap["latencies"]["req"]["samples"]
+        assert len(retained) == RESERVOIR_CAPACITY
+        # The most recent sample is retained; the very first rotated out.
+        assert float(n - 1) in retained
+        assert 0.0 not in retained
+
+    def test_latency_context_manager_records_a_sample(self):
+        m = Metrics()
+        with m.latency("block"):
+            pass
+        assert m.latency_count("block") == 1
+        assert m.latency_quantiles("block")["max"] >= 0.0
+
+    def test_to_json_exports_quantile_summaries(self):
+        m = Metrics()
+        for ms in (1, 2, 3, 4, 5):
+            m.observe_latency("req", ms / 1000.0)
+        payload = json.loads(m.to_json())
+        entry = payload["latencies"]["req"]
+        assert entry["count"] == 5
+        assert set(entry) == {"count", "p50", "p95", "p99", "max"}
+        assert entry["p50"] == pytest.approx(0.003)
+        assert "samples" not in entry  # raw samples stay out of the JSON
+
+    def test_merge_folds_latency_samples_and_counts(self):
+        a, b = Metrics(), Metrics()
+        a.observe_latency("req", 0.010)
+        for _ in range(RESERVOIR_CAPACITY + 10):
+            b.observe_latency("req", 0.020)
+        a.merge(b.snapshot())
+        # True observation count survives even though the ring dropped
+        # some of b's samples before the merge.
+        assert a.latency_count("req") == 1 + RESERVOIR_CAPACITY + 10
+        assert a.latency_quantiles("req")["max"] == pytest.approx(0.020)
 
 
 class TestSpec:

@@ -1,0 +1,623 @@
+"""Tests for the online quote-serving subsystem: snapshots, the hot-swap
+registry, the vectorized engine, the thread-pool server, and the
+stream→registry round trip."""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.accounting.tier_designer import TierDesign
+from repro.core.bundling import ProfitWeightedBundling
+from repro.core.ced import CEDDemand
+from repro.core.cost import LinearDistanceCost
+from repro.core.flow import FlowSet
+from repro.core.market import Market
+from repro.errors import (
+    ConfigurationError,
+    DataError,
+    QuoteTimeoutError,
+    SnapshotUnavailableError,
+)
+from repro.serve import (
+    PricingSnapshot,
+    Quote,
+    QuoteEngine,
+    QuoteRequest,
+    QuoteServer,
+    SnapshotRegistry,
+    UNKNOWN_TIER,
+    generate_requests,
+    run_load,
+)
+from repro.serve.server import PendingQuote
+from repro.stream import (
+    DemandShift,
+    StreamConfig,
+    StreamingPipeline,
+    TraceReplaySource,
+)
+from repro.synth.trace import generate_network_trace
+
+P0 = 20.0
+COST_MODEL = LinearDistanceCost(theta=0.2)
+
+
+def make_market(scale=1.0):
+    flows = FlowSet(
+        demands_mbps=[800.0 * scale, 300.0, 120.0, 60.0 * scale, 20.0, 5.0],
+        distances_miles=[2.0, 15.0, 60.0, 250.0, 900.0, 4000.0],
+        dsts=[f"10.0.{i}.1" for i in range(6)],
+    )
+    return Market(flows, CEDDemand(1.1), COST_MODEL, P0)
+
+
+def make_design(scale=1.0, n_tiers=3):
+    market = make_market(scale)
+    outcome = market.tiered_outcome(ProfitWeightedBundling(), n_tiers)
+    return market, TierDesign.from_outcome(market, outcome)
+
+
+def publish(registry, scale=1.0):
+    market, design = make_design(scale)
+    return registry.publish(
+        design,
+        config_digest="regime-a",
+        blended_rate=P0,
+        gamma=market.gamma,
+        reference_distance_miles=float(market.flows.distances.max()),
+    )
+
+
+@pytest.fixture
+def registry():
+    return SnapshotRegistry()
+
+
+@pytest.fixture
+def engine(registry):
+    return QuoteEngine(registry, COST_MODEL, fallback_blended_rate=P0)
+
+
+# ----------------------------------------------------------------------
+# PricingSnapshot
+# ----------------------------------------------------------------------
+
+
+class TestPricingSnapshot:
+    def test_lookup_matches_design(self, registry):
+        market, design = make_design()
+        snapshot = registry.publish(
+            design, config_digest="r", blended_rate=P0, gamma=market.gamma
+        )
+        for dst, tier in design.tier_of_destination.items():
+            assert snapshot.tier_for(dst) == tier
+        assert snapshot.tier_for("203.0.113.9") == UNKNOWN_TIER
+
+    def test_vectorized_lookup_matches_scalar(self, registry):
+        snapshot = publish(registry)
+        dsts = ["10.0.0.1", "nope", "10.0.5.1", "10.0.3.1", "zzz"]
+        tiers = snapshot.tiers_for(dsts)
+        assert list(tiers) == [snapshot.tier_for(d) for d in dsts]
+        prices = snapshot.prices_for_tiers(tiers)
+        for tier, price in zip(tiers, prices):
+            expected = P0 if tier == UNKNOWN_TIER else snapshot.rates[tier]
+            assert price == pytest.approx(expected)
+
+    def test_digest_depends_on_content(self):
+        market, design = make_design()
+        kwargs = dict(config_digest="r", blended_rate=P0, gamma=market.gamma)
+        a = PricingSnapshot.build(design, version=1, **kwargs)
+        b = PricingSnapshot.build(design, version=2, **kwargs)
+        assert a.digest == b.digest  # same content, version-independent
+        c = PricingSnapshot.build(
+            design, version=1, config_digest="r", blended_rate=P0, gamma=0.5
+        )
+        assert c.digest != a.digest
+
+    def test_lookup_arrays_are_immutable(self, registry):
+        snapshot = publish(registry)
+        with pytest.raises(ValueError):
+            snapshot._rate_by_tier[0] = 0.0
+
+    def test_rejects_empty_designs(self):
+        with pytest.raises(DataError):
+            PricingSnapshot.build(
+                TierDesign(provider_asn=1, rates={}, tier_of_destination={}),
+                version=1,
+                config_digest="r",
+                blended_rate=P0,
+                gamma=1.0,
+            )
+
+
+# ----------------------------------------------------------------------
+# SnapshotRegistry
+# ----------------------------------------------------------------------
+
+
+class TestSnapshotRegistry:
+    def test_empty_registry(self, registry):
+        assert registry.current() is None
+        assert registry.version == 0
+        with pytest.raises(SnapshotUnavailableError):
+            registry.require()
+
+    def test_publish_swaps_and_versions(self, registry):
+        first = publish(registry)
+        second = publish(registry, scale=3.0)
+        assert registry.current() is second
+        assert (first.version, second.version) == (1, 2)
+        assert registry.swaps == 2
+
+    def test_clear_then_republish_recovers(self, registry):
+        publish(registry)
+        registry.clear()
+        assert registry.current() is None
+        assert registry.clears == 1
+        again = publish(registry)
+        assert registry.require() is again
+        assert again.version == 2  # versions keep counting across clears
+
+    def test_subscriber_builds_snapshot_from_publication(self, registry):
+        from repro.stream.repricer import DesignPublication
+
+        market, design = make_design()
+        callback = registry.subscriber("stream-digest")
+        callback(
+            DesignPublication(
+                design=design,
+                gamma=market.gamma,
+                blended_rate=P0,
+                window_end_ms=1234,
+                sequence=1,
+            )
+        )
+        snapshot = registry.require()
+        assert snapshot.config_digest == "stream-digest"
+        assert snapshot.published_at_ms == 1234
+        assert snapshot.rates == {
+            t: pytest.approx(r) for t, r in design.rates.items()
+        }
+
+
+# ----------------------------------------------------------------------
+# QuoteEngine
+# ----------------------------------------------------------------------
+
+
+class TestQuoteEngine:
+    def test_known_destination_quotes_tier_rate(self, registry, engine):
+        snapshot = publish(registry)
+        quote = engine.quote(
+            QuoteRequest(dst="10.0.0.1", volume_mbps=5.0, distance_miles=2.0)
+        )
+        tier = snapshot.tier_for("10.0.0.1")
+        assert not quote.degraded and quote.known
+        assert quote.tier == tier
+        assert quote.unit_price == pytest.approx(snapshot.rates[tier])
+        assert quote.snapshot_digest == snapshot.digest
+
+    def test_profit_contribution_is_margin_times_volume(self, registry, engine):
+        snapshot = publish(registry)
+        request = QuoteRequest(
+            dst="10.0.0.1", volume_mbps=7.0, distance_miles=100.0
+        )
+        quote = engine.quote(request)
+        costed = COST_MODEL.prepare_quotes(
+            FlowSet(demands_mbps=[7.0], distances_miles=[100.0]),
+            snapshot.reference_distance_miles,
+        )
+        unit_cost = snapshot.gamma * float(costed.relative_costs[0])
+        assert quote.unit_cost == pytest.approx(unit_cost)
+        assert quote.profit_contribution == pytest.approx(
+            (quote.unit_price - unit_cost) * 7.0
+        )
+
+    def test_unknown_destination_falls_back_to_blended(self, registry, engine):
+        publish(registry)
+        quote = engine.quote(QuoteRequest(dst="203.0.113.1"))
+        assert not quote.degraded  # the snapshot answered...
+        assert not quote.known  # ...just not with a designed tier
+        assert quote.tier is None
+        assert quote.unit_price == pytest.approx(P0)
+
+    def test_no_snapshot_degrades_to_blended(self, engine):
+        quote = engine.quote(QuoteRequest(dst="10.0.0.1"))
+        assert quote.degraded
+        assert quote.tier is None
+        assert quote.unit_price == pytest.approx(P0)
+        assert quote.profit_contribution is None
+
+    def test_strict_quote_raises_without_snapshot(self, engine):
+        with pytest.raises(SnapshotUnavailableError):
+            engine.quote(QuoteRequest(dst="10.0.0.1"), strict=True)
+
+    def test_regime_mismatch_degrades_per_request(self, registry, engine):
+        snapshot = publish(registry)
+        quotes = engine.quote_batch(
+            [
+                QuoteRequest(dst="10.0.0.1", regime=snapshot.config_digest),
+                QuoteRequest(dst="10.0.0.1", regime="some-other-regime"),
+            ]
+        )
+        assert not quotes[0].degraded
+        assert quotes[1].degraded
+        assert quotes[1].unit_price == pytest.approx(P0)
+        assert "regime mismatch" in quotes[1].reason
+
+    def test_batch_matches_single_quotes(self, registry, engine):
+        publish(registry)
+        requests = generate_requests(
+            64, seed=5, snapshot=registry.current(), unknown_fraction=0.3
+        )
+        batched = engine.quote_batch(requests)
+        singles = [engine.quote(r) for r in requests]
+        for got, expected in zip(batched, singles):
+            assert got == expected
+
+    def test_empty_batch(self, engine):
+        assert engine.quote_batch([]) == []
+
+    def test_request_validation(self):
+        with pytest.raises(DataError):
+            QuoteRequest(volume_mbps=0.0)
+        with pytest.raises(DataError):
+            QuoteRequest(distance_miles=-1.0)
+        with pytest.raises(DataError):
+            QuoteRequest(region="outer-space")
+
+    def test_splitting_cost_model_rejected(self, registry):
+        from repro.core.cost import DestinationTypeCost
+
+        publish(registry)
+        engine = QuoteEngine(
+            registry, DestinationTypeCost(theta=0.5), fallback_blended_rate=P0
+        )
+        with pytest.raises(ConfigurationError):
+            engine.quote_batch([QuoteRequest(dst="10.0.0.1")])
+
+
+# ----------------------------------------------------------------------
+# QuoteServer
+# ----------------------------------------------------------------------
+
+
+class _GatedEngine(QuoteEngine):
+    """An engine whose batches block until the test opens the gate."""
+
+    def __init__(self, registry):
+        super().__init__(registry, COST_MODEL, fallback_blended_rate=P0)
+        self.gate = threading.Event()
+
+    def quote_batch(self, requests):
+        self.gate.wait(5.0)
+        return super().quote_batch(requests)
+
+
+class TestQuoteServer:
+    def test_round_trip(self, registry, engine):
+        snapshot = publish(registry)
+        with QuoteServer(engine, workers=2, queue_depth=32) as server:
+            quote = server.quote(QuoteRequest(dst="10.0.0.1"))
+        assert not quote.degraded
+        assert quote.snapshot_digest == snapshot.digest
+        assert server.served == 1
+
+    def test_quote_many_preserves_order(self, registry, engine):
+        publish(registry)
+        requests = generate_requests(
+            100, seed=3, snapshot=registry.current(), unknown_fraction=0.5
+        )
+        with QuoteServer(engine, workers=3, queue_depth=256) as server:
+            quotes = server.quote_many(requests)
+        expected = engine.quote_batch(requests)
+        assert quotes == expected
+
+    def test_submit_requires_running_server(self, engine):
+        server = QuoteServer(engine)
+        with pytest.raises(ConfigurationError):
+            server.submit(QuoteRequest(dst="x"))
+
+    def test_parameter_validation(self, engine):
+        with pytest.raises(ConfigurationError):
+            QuoteServer(engine, workers=0)
+        with pytest.raises(ConfigurationError):
+            QuoteServer(engine, timeout_ms=0)
+        with pytest.raises(ConfigurationError):
+            QuoteServer(engine, max_batch=0)
+
+    def test_caller_timeout_raises(self, registry):
+        publish(registry)
+        engine = _GatedEngine(registry)
+        with QuoteServer(engine, workers=1, timeout_ms=30.0) as server:
+            pending = server.submit(QuoteRequest(dst="10.0.0.1"))
+            with pytest.raises(QuoteTimeoutError):
+                pending.result(0.05)
+            engine.gate.set()
+
+    def test_expired_requests_fail_with_timeout_error(self, registry):
+        publish(registry)
+        engine = _GatedEngine(registry)
+        with QuoteServer(engine, workers=1, timeout_ms=20.0) as server:
+            # The gate holds the single worker inside batch #1 while the
+            # second request expires in the queue.
+            first = server.submit(QuoteRequest(dst="10.0.0.1"), timeout_ms=5000)
+            time.sleep(0.05)  # let the worker pick up batch #1 and block
+            second = server.submit(QuoteRequest(dst="10.0.0.1"), timeout_ms=20)
+            time.sleep(0.05)  # let the second request's deadline pass
+            engine.gate.set()
+            assert not first.result(5.0).degraded
+            with pytest.raises(QuoteTimeoutError):
+                second.result(5.0)
+        assert server.timed_out >= 1
+
+    def test_full_queue_sheds_oldest_with_degraded_quote(self, registry):
+        publish(registry)
+        engine = _GatedEngine(registry)
+        server = QuoteServer(engine, workers=1, queue_depth=4, timeout_ms=5000)
+        with server:
+            time.sleep(0.02)  # workers idle, gate closed: queue only fills
+            pendings = [
+                server.submit(QuoteRequest(dst="10.0.0.1")) for _ in range(12)
+            ]
+            shed = [p for p in pendings if p.done]
+            assert server.shed > 0
+            assert len(shed) >= server.shed > 0
+            for pending in shed:
+                quote = pending.result(0.0)
+                assert quote.degraded
+                assert quote.unit_price == pytest.approx(P0)
+                assert "shed" in quote.reason
+            engine.gate.set()
+            for pending in pendings:
+                assert pending.result(5.0) is not None
+
+    def test_stop_resolves_queued_requests_degraded(self, registry):
+        publish(registry)
+        engine = _GatedEngine(registry)
+        server = QuoteServer(engine, workers=1, queue_depth=64, timeout_ms=5000)
+        server.start()
+        pendings = [
+            server.submit(QuoteRequest(dst="10.0.0.1")) for _ in range(8)
+        ]
+        engine.gate.set()
+        server.stop()
+        for pending in pendings:
+            quote = pending.result(0.5)
+            assert isinstance(quote, Quote)  # answered, never dropped
+
+
+# ----------------------------------------------------------------------
+# Concurrent hot-swap: no torn reads, ever
+# ----------------------------------------------------------------------
+
+
+class TestConcurrentHotSwap:
+    def test_readers_never_observe_mixed_state(self, registry, engine):
+        """N reader threads quote while M swaps land; every non-degraded
+        quote's price must equal the rate its own snapshot (by digest)
+        defines for its tier — old or new, never a mixture."""
+        scales = [1.0, 3.0, 5.0, 7.0]
+        by_digest = {}
+        for scale in scales:
+            snapshot = publish(registry, scale)
+            by_digest[snapshot.digest] = snapshot
+        requests = generate_requests(
+            16, seed=9, snapshot=registry.current(), unknown_fraction=0.25
+        )
+        stop = threading.Event()
+        errors = []
+
+        def swapper():
+            i = 0
+            while not stop.is_set():
+                snapshot = publish(registry, scales[i % len(scales)])
+                by_digest.setdefault(snapshot.digest, snapshot)
+                i += 1
+
+        def reader():
+            try:
+                while not stop.is_set():
+                    for quote in engine.quote_batch(requests):
+                        if quote.degraded:
+                            continue
+                        snapshot = by_digest[quote.snapshot_digest]
+                        if quote.known:
+                            expected = snapshot.rates[quote.tier]
+                        else:
+                            expected = snapshot.blended_rate
+                        if abs(quote.unit_price - expected) > 1e-12:
+                            errors.append(
+                                f"price {quote.unit_price} != {expected} "
+                                f"for tier {quote.tier} of "
+                                f"{quote.snapshot_digest[:8]}"
+                            )
+            except Exception as exc:  # noqa: BLE001 - recorded for the assert
+                errors.append(repr(exc))
+
+        threads = [threading.Thread(target=swapper) for _ in range(2)] + [
+            threading.Thread(target=reader) for _ in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        time.sleep(0.5)
+        stop.set()
+        for thread in threads:
+            thread.join()
+        assert not errors, errors[:5]
+        assert registry.swaps > len(scales)  # swaps really landed mid-read
+
+    def test_batch_is_priced_under_one_snapshot(self, registry, engine):
+        publish(registry)
+        requests = generate_requests(
+            256, seed=2, snapshot=registry.current(), unknown_fraction=0.1
+        )
+        stop = threading.Event()
+
+        def swapper():
+            while not stop.is_set():
+                publish(registry, 3.0)
+                publish(registry, 1.0)
+
+        thread = threading.Thread(target=swapper)
+        thread.start()
+        try:
+            for _ in range(20):
+                digests = {
+                    q.snapshot_digest
+                    for q in engine.quote_batch(requests)
+                    if q.snapshot_digest is not None
+                }
+                assert len(digests) == 1  # one snapshot per batch
+        finally:
+            stop.set()
+            thread.join()
+
+
+# ----------------------------------------------------------------------
+# Chaos: kill the snapshot mid-load
+# ----------------------------------------------------------------------
+
+
+class TestSnapshotChaos:
+    def test_clear_mid_load_degrades_and_recovers(self, registry, engine):
+        publish(registry)
+        requests = generate_requests(
+            600, seed=7, snapshot=registry.current(), unknown_fraction=0.2
+        )
+        with QuoteServer(
+            engine, workers=3, queue_depth=128, timeout_ms=5000
+        ) as server:
+            cleared = threading.Event()
+
+            def chaos():
+                time.sleep(0.002)
+                registry.clear()
+                cleared.set()
+
+            killer = threading.Thread(target=chaos)
+            killer.start()
+            quotes = server.quote_many(requests)  # must not raise
+            killer.join()
+            assert cleared.is_set()
+
+            # Everything was answered; anything quoted after the clear is
+            # the blended-rate degraded answer.
+            assert len(quotes) == len(requests)
+            degraded = [q for q in quotes if q.degraded]
+            for quote in degraded:
+                assert quote.unit_price == pytest.approx(P0)
+                assert quote.tier is None
+
+            # The registry is empty: every subsequent quote degrades.
+            followups = server.quote_many(requests[:32])
+            assert all(q.degraded for q in followups)
+            assert all(
+                q.unit_price == pytest.approx(P0) for q in followups
+            )
+
+            # Recovery is automatic on the next publish.
+            snapshot = publish(registry)
+            recovered = server.quote_many(requests[:32])
+            assert all(not q.degraded for q in recovered)
+            assert all(
+                q.snapshot_digest == snapshot.digest for q in recovered
+            )
+
+
+# ----------------------------------------------------------------------
+# End to end: stream publishes, registry swaps, quotes change
+# ----------------------------------------------------------------------
+
+
+class TestStreamToServeRoundTrip:
+    def test_republished_designs_change_quotes(self, registry):
+        trace = generate_network_trace(
+            "eu_isp", n_flows=40, seed=11, duration_seconds=3600.0
+        )
+        source = TraceReplaySource(
+            trace,
+            export_interval_ms=60_000,
+            shift=DemandShift(at_ms=1_800_000, factor=4.0, fraction=0.5),
+        )
+        pipeline = StreamingPipeline(
+            source,
+            distance_fn=trace.distance_for,
+            demand_model=CEDDemand(alpha=1.1),
+            cost_model=COST_MODEL,
+            config=StreamConfig(window_ms=600_000, drift_threshold=0.05),
+        )
+        versions = []
+        subscriber = registry.subscriber(pipeline.config_digest)
+
+        def tracking_subscriber(publication):
+            subscriber(publication)
+            snapshot = registry.require()
+            versions.append((snapshot.version, snapshot.rates))
+
+        pipeline.repricer.on_design_published = tracking_subscriber
+        engine = QuoteEngine(registry, COST_MODEL, fallback_blended_rate=P0)
+        report = pipeline.run()
+
+        # The demand shift forced at least one re-tier beyond the initial
+        # design, and each publication hot-swapped the registry.
+        assert report.retier_events >= 2
+        assert registry.swaps == report.retier_events == len(versions)
+        final = registry.require()
+        assert final.version == len(versions)
+        assert final.config_digest == pipeline.config_digest
+
+        # Quotes now reflect the *latest* published tier prices.
+        dst = next(iter(pipeline.repricer.design.tier_of_destination))
+        quote = engine.quote(QuoteRequest(dst=dst, volume_mbps=2.0))
+        assert not quote.degraded and quote.known
+        assert quote.snapshot_digest == final.digest
+        expected = final.rates[
+            pipeline.repricer.design.tier_of_destination[dst]
+        ]
+        assert quote.unit_price == pytest.approx(expected)
+
+        # And the first published rate card genuinely differs from the
+        # last (the shift repriced the market).
+        assert versions[0][1] != versions[-1][1]
+
+
+# ----------------------------------------------------------------------
+# Load generator
+# ----------------------------------------------------------------------
+
+
+class TestLoadGenerator:
+    def test_requests_are_deterministic(self, registry):
+        snapshot = publish(registry)
+        a = generate_requests(50, seed=4, snapshot=snapshot)
+        b = generate_requests(50, seed=4, snapshot=snapshot)
+        assert a == b
+        c = generate_requests(50, seed=5, snapshot=snapshot)
+        assert a != c
+
+    def test_unknown_fraction_bounds(self, registry):
+        snapshot = publish(registry)
+        requests = generate_requests(
+            400, seed=1, snapshot=snapshot, unknown_fraction=0.25
+        )
+        unknown = sum(
+            1 for r in requests if r.dst.startswith("198.51.100.")
+        )
+        assert 0.1 < unknown / len(requests) < 0.45
+
+    def test_run_load_accounts_for_every_request(self, registry, engine):
+        publish(registry)
+        requests = generate_requests(
+            300, seed=6, snapshot=registry.current(), unknown_fraction=0.2
+        )
+        with QuoteServer(engine, workers=2, queue_depth=512) as server:
+            report = run_load(server, requests, burst=64)
+        assert report.answered + report.timed_out == report.n_requests
+        assert report.answered == report.priced + report.degraded
+        assert report.priced > 0
+        assert report.quotes_per_second > 0
+        assert "p99" in report.latency_ms
+        assert "quotes/s" in report.render()

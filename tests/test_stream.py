@@ -13,6 +13,7 @@ from repro.netflow.records import FlowKey, NetFlowRecord, PROTO_TCP
 from repro.stream import (
     BoundedQueue,
     DemandShift,
+    DesignPublication,
     OnlineRepricer,
     STATUS_EMPTY,
     STATUS_PRICED,
@@ -99,6 +100,26 @@ class TestBoundedQueue:
             assert q.offer(record(key(n), 0, n))
         assert q.dropped == 1
         assert [r.last_ms for r in q.drain()] == [2, 3]
+
+    def test_on_evict_sees_each_shed_item(self):
+        """Shed items are handed to the hook, not silently lost — the
+        quote server uses this to answer evicted requests degraded."""
+        q = BoundedQueue(2, policy="drop-oldest")
+        evicted = []
+        q.on_evict = evicted.append
+        for n in (1, 2, 3, 4):
+            assert q.offer(record(key(n), 0, n))
+        assert [r.last_ms for r in evicted] == [1, 2]
+        assert q.dropped == 2
+        assert [r.last_ms for r in q.drain()] == [3, 4]
+
+    def test_on_evict_not_called_under_block_policy(self):
+        q = BoundedQueue(1, policy="block")
+        evicted = []
+        q.on_evict = evicted.append
+        assert q.offer(record(key(1), 0, 1))
+        assert not q.offer(record(key(2), 0, 2))
+        assert evicted == []
 
     def test_snapshot_and_restore(self):
         q = BoundedQueue(4)
@@ -352,6 +373,45 @@ class TestOnlineRepricer:
         assert result.status == STATUS_EMPTY
         assert not result.retier
         assert repricer.design is None
+
+    def test_accepted_retier_publishes_design(self):
+        repricer = self._repricer(n_tiers=2)
+        published = []
+        repricer.on_design_published = published.append
+        flows = self._flows([90, 50, 20, 8, 2])
+        w1 = ClosedWindow(WindowBounds(0, 100), (record(key(1), 0, 10),))
+        repricer.price_window(w1, flows)
+        assert len(published) == 1
+        pub = published[0]
+        assert isinstance(pub, DesignPublication)
+        assert pub.design is repricer.design
+        assert pub.sequence == 1
+        assert pub.window_end_ms == 100
+        assert pub.blended_rate == pytest.approx(P0)
+        assert pub.gamma > 0
+        assert pub.reference_distance_miles == pytest.approx(2500.0)
+        # A stationary window keeps the design: nothing new published.
+        repricer.price_window(
+            ClosedWindow(WindowBounds(100, 200), (record(key(1), 100, 110),)),
+            flows,
+        )
+        assert len(published) == 1
+
+    def test_failing_subscriber_does_not_kill_the_stream(self):
+        from repro.runtime.metrics import METRICS
+
+        repricer = self._repricer(n_tiers=2)
+
+        def explode(_publication):
+            raise RuntimeError("subscriber bug")
+
+        repricer.on_design_published = explode
+        before = METRICS.counter("stream.publish_errors")
+        w = ClosedWindow(WindowBounds(0, 100), (record(key(1), 0, 10),))
+        result = repricer.price_window(w, self._flows([90, 50, 20, 8, 2]))
+        assert result.status == STATUS_PRICED  # pricing itself survived
+        assert repricer.design is not None
+        assert METRICS.counter("stream.publish_errors") == before + 1
 
     def test_aggregate_by_destination_merges(self):
         flows = FlowSet(
