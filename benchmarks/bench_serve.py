@@ -20,6 +20,7 @@ from repro.core.cost import LinearDistanceCost
 from repro.serve import (
     QuoteEngine,
     QuoteServer,
+    ServeConfig,
     SnapshotRegistry,
     generate_requests,
     run_load,
@@ -61,7 +62,7 @@ def serve_study(n_requests=5000):
         n_requests, seed=23, snapshot=snapshot, unknown_fraction=0.2
     )
     with QuoteServer(
-        engine, workers=2, queue_depth=512, timeout_ms=5000.0
+        engine, ServeConfig(workers=2, queue_depth=512, timeout_ms=5000.0)
     ) as server:
         report = run_load(server, requests)
         stats = server.stats()

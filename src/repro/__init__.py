@@ -30,6 +30,12 @@ Subpackages:
   accounting, billing.
 * :mod:`repro.experiments` — drivers that regenerate every paper table
   and figure.
+* :mod:`repro.obs` — tracing (spans across processes and threads) and
+  the process-global metrics registry.
+* :mod:`repro.config` — typed configuration objects
+  (:class:`RuntimeConfig`, :class:`StreamConfig`, :class:`ServeConfig`,
+  :class:`ObsConfig`) with one explicit > CLI > env > default
+  precedence chain.
 """
 
 from repro.core import (
@@ -65,6 +71,12 @@ from repro.core import (
     paper_strategies,
     strategy_by_name,
 )
+from repro.config import (
+    ObsConfig,
+    RuntimeConfig,
+    ServeConfig,
+    StreamConfig,
+)
 from repro.errors import (
     AccountingError,
     BundlingError,
@@ -73,8 +85,24 @@ from repro.errors import (
     DataError,
     ModelParameterError,
     OptimizationError,
+    QuoteTimeoutError,
     ReproError,
+    SnapshotUnavailableError,
     TopologyError,
+    exit_code_for,
+)
+from repro.obs import (
+    METRICS,
+    Metrics,
+    NoopTracer,
+    Span,
+    TraceContext,
+    TraceExporter,
+    Tracer,
+    configure_tracing,
+    get_tracer,
+    read_trace,
+    summarize_trace,
 )
 from repro.io import (
     load_design,
@@ -114,23 +142,41 @@ __all__ = [
     "IndexDivisionBundling",
     "LinearDistanceCost",
     "LogitDemand",
+    "METRICS",
     "Market",
+    "Metrics",
     "ModelParameterError",
+    "NoopTracer",
+    "ObsConfig",
     "OptimalBundling",
     "OptimizationError",
     "ProfitWeightedBundling",
+    "QuoteTimeoutError",
     "RegionalCost",
     "ReproError",
+    "RuntimeConfig",
+    "ServeConfig",
+    "SnapshotUnavailableError",
+    "Span",
+    "StreamConfig",
     "TieredOutcome",
     "TierSummary",
     "TopologyError",
+    "TraceContext",
+    "TraceExporter",
+    "Tracer",
     "capture_table",
+    "configure_tracing",
+    "exit_code_for",
     "fit_concave_price_curve",
+    "get_tracer",
     "load_dataset",
     "load_design",
     "load_flowset",
+    "read_trace",
     "save_design",
     "save_flowset",
+    "summarize_trace",
     "paper_strategies",
     "strategy_by_name",
     "__version__",

@@ -15,12 +15,20 @@ Commands:
   stream that publishes tier designs into the snapshot registry, then
   serve a seeded self-test load through the thread-pool quote server and
   report quotes/sec plus the latency tail.
+* ``trace summarize`` — roll a ``--trace`` JSONL file up into per-stage
+  latency/error statistics.
 
 Everything honors ``--flows`` and ``--seed`` so results are reproducible
 and fast to experiment with.  Every subcommand additionally honors the
 runtime flags ``--jobs`` (parallel fan-out), ``--no-cache`` (disable the
-dataset/market/result cache), and ``--metrics`` (emit a structured-JSON
-run report) — none of which change the computed output.
+dataset/market/result cache), ``--metrics`` (emit a structured-JSON run
+report), and ``--trace`` (append every span of the run to a JSONL trace
+file) — none of which change the computed output.
+
+Flag values resolve through :mod:`repro.config` (explicit flag >
+``REPRO_*`` environment variable > default), and a failing run exits
+with the :data:`repro.errors.EXIT_CODES` code of the error class, so
+wrappers can tell a calibration failure from a malformed configuration.
 """
 
 from __future__ import annotations
@@ -29,15 +37,17 @@ import argparse
 import dataclasses
 import sys
 import time
+import warnings
 from collections.abc import Sequence
 
+from repro import obs
+from repro.config import ObsConfig, RuntimeConfig, ServeConfig, StreamConfig
 from repro.core.bundling import strategy_by_name
+from repro.errors import DataError, ReproError, exit_code_for
 from repro.experiments import figures, render, sweeps, tables
 from repro.experiments.config import DEFAULT_CONFIG
 from repro.experiments.runner import build_market
 from repro.runtime import cache as runtime_cache
-from repro.runtime.metrics import METRICS
-from repro.runtime.parallel import resolve_jobs
 from repro.synth.datasets import DATASET_NAMES, DATASETS
 
 #: Figure number -> (driver factory, renderer) wiring.
@@ -130,8 +140,18 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help=(
             "after the command, write a structured-JSON run report "
-            "(wall time, cache hits/misses, workers, markets built) "
-            "to PATH ('-' for stderr)"
+            "(wall time, cache hits/misses, workers, markets built, "
+            "per-span latency) to PATH ('-' for stderr)"
+        ),
+    )
+    runtime.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help=(
+            "append every span of this run (CLI, sweeps, workers, "
+            "windows, quote batches) to PATH as JSONL; summarize with "
+            "'trace summarize PATH' (default: $REPRO_TRACE, else off)"
         ),
     )
 
@@ -143,6 +163,14 @@ def build_parser() -> argparse.ArgumentParser:
         "figure", help="regenerate one figure", parents=[runtime]
     )
     fig.add_argument("number", type=int, choices=sorted(_FIGURES))
+    fig.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        dest="workers_alias",
+        metavar="N",
+        help="deprecated alias for --jobs",
+    )
 
     sub.add_parser(
         "datasets", help="list synthetic datasets", parents=[runtime]
@@ -267,30 +295,33 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--workers",
         type=int,
-        default=2,
+        default=None,
         metavar="N",
-        help="quote-server worker threads (default 2)",
+        help="quote-server worker threads (default $REPRO_SERVE_WORKERS, else 2)",
     )
     serve.add_argument(
         "--queue-depth",
         type=int,
-        default=256,
+        default=None,
         metavar="N",
-        help="admission-queue capacity; full queues shed the oldest request",
+        help=(
+            "admission-queue capacity; full queues shed the oldest "
+            "request (default 256)"
+        ),
     )
     serve.add_argument(
         "--timeout-ms",
         type=float,
-        default=1000.0,
+        default=None,
         metavar="MS",
         help="per-request deadline (default 1000 ms)",
     )
     serve.add_argument(
         "--max-batch",
         type=int,
-        default=64,
+        default=None,
         metavar="N",
-        help="largest request batch one worker prices at once",
+        help="largest request batch one worker prices at once (default 64)",
     )
     serve.add_argument(
         "--selftest",
@@ -364,16 +395,30 @@ def build_parser() -> argparse.ArgumentParser:
     drift.add_argument("design", help="tier-design JSON (from save_design)")
     drift.add_argument("matrix", help="flow CSV with dst addresses")
     drift.add_argument("--rate", type=float, default=20.0, help="blended P0")
+
+    trace = sub.add_parser(
+        "trace",
+        help="inspect trace files written by --trace",
+        parents=[runtime],
+    )
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+    summarize = trace_sub.add_parser(
+        "summarize",
+        help="per-stage latency/error rollup of a JSONL trace file",
+    )
+    summarize.add_argument("path", help="JSONL trace file to summarize")
     return parser
 
 
 def _config(args: argparse.Namespace):
+    """The experiment config for a run: CLI flags over one RuntimeConfig."""
+    runtime_config = RuntimeConfig.resolve(cli=args)
     return dataclasses.replace(
         DEFAULT_CONFIG,
         n_flows=args.flows,
         seed=args.seed,
-        jobs=getattr(args, "jobs", None),
-        cache=not getattr(args, "no_cache", False),
+        jobs=runtime_config.jobs,
+        cache=runtime_config.cache,
     )
 
 
@@ -429,7 +474,6 @@ def cmd_stream(args: argparse.Namespace) -> str:
     from repro.core.logit import LogitDemand
     from repro.stream import (
         DemandShift,
-        StreamConfig,
         StreamingPipeline,
         TraceReplaySource,
     )
@@ -457,7 +501,7 @@ def cmd_stream(args: argparse.Namespace) -> str:
         demand = CEDDemand(alpha=DEFAULT_CONFIG.alpha)
     else:
         demand = LogitDemand(alpha=DEFAULT_CONFIG.alpha, s0=DEFAULT_CONFIG.s0)
-    config = StreamConfig(
+    config = StreamConfig.resolve(
         window_ms=int(args.window * 1000),
         slide_ms=None if args.slide is None else int(args.slide * 1000),
         reorder_tolerance_ms=int(args.tolerance * 1000),
@@ -492,7 +536,7 @@ def cmd_serve(args: argparse.Namespace) -> str:
         generate_requests,
         run_load,
     )
-    from repro.stream import StreamConfig, StreamingPipeline, TraceReplaySource
+    from repro.stream import StreamingPipeline, TraceReplaySource
     from repro.synth.trace import generate_network_trace
 
     # 1. Warm the registry with genuinely streamed designs: replay a short
@@ -509,7 +553,7 @@ def cmd_serve(args: argparse.Namespace) -> str:
     else:
         demand = LogitDemand(alpha=DEFAULT_CONFIG.alpha, s0=DEFAULT_CONFIG.s0)
     cost_model = LinearDistanceCost(theta=DEFAULT_CONFIG.theta)
-    config = StreamConfig(
+    config = StreamConfig.resolve(
         window_ms=int(args.window * 1000),
         n_tiers=args.tiers,
         blended_rate=DEFAULT_CONFIG.blended_rate,
@@ -538,13 +582,8 @@ def cmd_serve(args: argparse.Namespace) -> str:
         snapshot=snapshot,
         unknown_fraction=args.unknown_fraction,
     )
-    with QuoteServer(
-        engine,
-        workers=args.workers,
-        queue_depth=args.queue_depth,
-        timeout_ms=args.timeout_ms,
-        max_batch=args.max_batch,
-    ) as server:
+    serve_config = ServeConfig.resolve(cli=args)
+    with QuoteServer(engine, serve_config) as server:
         load = run_load(server, requests)
         stats = server.stats()
     lines = [
@@ -640,6 +679,16 @@ def cmd_drift(args: argparse.Namespace) -> str:
     )
 
 
+def cmd_trace(args: argparse.Namespace) -> str:
+    from repro.obs import read_trace, render_trace_summary, summarize_trace
+
+    try:
+        spans = read_trace(args.path)
+    except FileNotFoundError:
+        raise DataError(f"no trace file at {args.path!r}") from None
+    return render_trace_summary(summarize_trace(spans), path=args.path)
+
+
 _COMMANDS = {
     "table1": cmd_table1,
     "figure": cmd_figure,
@@ -651,17 +700,49 @@ _COMMANDS = {
     "export": cmd_export,
     "offerings": cmd_offerings,
     "drift": cmd_drift,
+    "trace": cmd_trace,
 }
+
+
+def _apply_flag_aliases(args: argparse.Namespace) -> None:
+    """Honor the historical jobs/workers cross-spellings, with a warning.
+
+    ``figure --workers`` predates the jobs/workers naming split and means
+    process fan-out (``--jobs``); ``serve --jobs`` (inherited from the
+    shared runtime flags) likewise gets read as the serving thread count.
+    Canonical spellings win when both are given.
+    """
+    workers_alias = getattr(args, "workers_alias", None)
+    if workers_alias is not None:
+        warnings.warn(
+            "repro figure --workers is a deprecated alias; use --jobs",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        if args.jobs is None:
+            args.jobs = workers_alias
+    if args.command == "serve" and getattr(args, "jobs", None) is not None:
+        warnings.warn(
+            "repro serve --jobs is a deprecated alias; use --workers",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        if args.workers is None:
+            args.workers = args.jobs
 
 
 def _emit_metrics(
     args: argparse.Namespace, wall_time_s: float, cache_enabled: bool
 ) -> None:
-    """Write the run's structured-JSON report where ``--metrics`` asked."""
-    payload = METRICS.to_json(
+    """Write the run's structured-JSON report where ``--metrics`` asked.
+
+    :func:`repro.obs.to_json` merges the metrics registry with the
+    tracer's per-span rollup, so one file carries counters and latency.
+    """
+    payload = obs.to_json(
         command=args.command,
         wall_time_s=wall_time_s,
-        jobs=resolve_jobs(getattr(args, "jobs", None)),
+        jobs=RuntimeConfig.resolve(cli=args).worker_count(),
         cache_enabled=cache_enabled,
     )
     if args.metrics == "-":
@@ -674,26 +755,41 @@ def _emit_metrics(
 
 def main(argv: "Sequence[str] | None" = None) -> int:
     args = build_parser().parse_args(argv)
+    _apply_flag_aliases(args)
     cache_was_enabled = runtime_cache.cache_enabled()
     if getattr(args, "no_cache", False):
         # Disable all cache layers (results, markets, datasets), not just
         # the driver-level result cache the config threads through.
         runtime_cache.configure(enabled=False)
     run_cache_enabled = runtime_cache.cache_enabled()
+    obs_config = ObsConfig.resolve(cli=args)
+    if obs_config.enabled:
+        obs.configure_tracing(obs_config.trace)
     started = time.perf_counter()
+    exit_code = 0
     try:
-        print(_COMMANDS[args.command](args))
-    except BrokenPipeError:
-        # Output was piped into a pager/head that closed early; not an error.
-        sys.stderr.close()
-        return 0
+        try:
+            with obs.span(f"cli.{args.command}", command=args.command):
+                output = _COMMANDS[args.command](args)
+            print(output)
+        except BrokenPipeError:
+            # Output was piped into a pager/head that closed early; not an
+            # error.
+            sys.stderr.close()
+            return 0
+        except ReproError as exc:
+            print(f"error: {type(exc).__name__}: {exc}", file=sys.stderr)
+            exit_code = exit_code_for(exc)
+        if exit_code == 0 and getattr(args, "metrics", None):
+            _emit_metrics(args, time.perf_counter() - started, run_cache_enabled)
+        return exit_code
     finally:
         # main() is also called in-process (tests, embedding); don't let
-        # one --no-cache run disable caching for the rest of the process.
+        # one --no-cache run disable caching — or leave a tracer holding
+        # an open file — for the rest of the process.
         runtime_cache.configure(enabled=cache_was_enabled)
-    if getattr(args, "metrics", None):
-        _emit_metrics(args, time.perf_counter() - started, run_cache_enabled)
-    return 0
+        if obs_config.enabled:
+            obs.configure_tracing(None)
 
 
 if __name__ == "__main__":

@@ -1,0 +1,335 @@
+"""The public configuration surface: typed configs, one precedence chain.
+
+Before this module, each subsystem grew its own configuration dialect —
+``--jobs``/``REPRO_JOBS`` for the experiment runtime, a kwarg soup for
+the stream pipeline, ``--workers/--queue-depth/--timeout-ms`` for the
+quote server.  Everything now resolves through four frozen dataclasses:
+
+* :class:`RuntimeConfig` — experiment fan-out and caching
+  (``jobs``/``cache``/``cache_dir``/``metrics``);
+* :class:`StreamConfig` — the streaming repricing knobs (windows, queue,
+  drift gate), also re-exported from :mod:`repro.stream`;
+* :class:`ServeConfig` — the quote server (``workers``/``queue_depth``/
+  ``timeout_ms``/``max_batch``);
+* :class:`ObsConfig` — tracing (``trace`` file path).
+
+Each class offers ``resolve(cli=None, **explicit)`` with one precedence
+chain, highest first:
+
+1. **explicit kwargs** passed to ``resolve()``;
+2. **CLI flags** read off the argparse namespace passed as ``cli``
+   (``None``-valued attributes count as "not given");
+3. **``REPRO_*`` environment variables** (see each field's listing);
+4. the field's **default**.
+
+Malformed environment values raise
+:class:`~repro.errors.ConfigurationError` naming the variable, never a
+bare ``ValueError``.  Naming is canonical here: ``RuntimeConfig.jobs``
+is the fan-out width and ``ServeConfig.workers`` is the serving thread
+count — the CLI accepts the historical cross-spellings
+(``repro serve --jobs``, ``repro figure --workers``) as deprecated
+aliases only.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+from typing import Any, Callable, Optional
+
+from repro.errors import ConfigurationError
+
+#: Deprecation-shim message prefix; the pytest gate allowlists warnings
+#: that start with this, while every other DeprecationWarning errors.
+DEPRECATION_PREFIX = "repro."
+
+
+def _env_int(name: str, text: str) -> int:
+    try:
+        return int(text)
+    except ValueError:
+        raise ConfigurationError(
+            f"{name} must be an integer, got {text!r}"
+        ) from None
+
+
+def _env_float(name: str, text: str) -> float:
+    try:
+        return float(text)
+    except ValueError:
+        raise ConfigurationError(
+            f"{name} must be a number, got {text!r}"
+        ) from None
+
+
+def _env_str(name: str, text: str) -> str:
+    del name
+    return text
+
+
+def cfg_field(
+    default: Any,
+    env: "Optional[str]" = None,
+    parse: "Callable[[str, str], Any]" = _env_str,
+    cli: "Optional[str | Callable]" = None,
+    **kwargs: Any,
+):
+    """A dataclass field carrying its resolution spec in metadata.
+
+    Args:
+        default: The lowest-precedence value.
+        env: ``REPRO_*`` variable consulted when neither explicit kwarg
+            nor CLI flag supplied the field (empty/whitespace = unset).
+        parse: ``(env_name, text) -> value`` for the env string.
+        cli: Attribute name on the argparse namespace (defaults to the
+            field name), or a callable ``namespace -> value | None`` for
+            flags that need translation (``None`` = not given).
+    """
+    return dataclasses.field(
+        default=default,
+        metadata={"env": env, "parse": parse, "cli": cli},
+        **kwargs,
+    )
+
+
+class _Resolvable:
+    """Mixin providing the explicit > CLI > env > default chain."""
+
+    @classmethod
+    def resolve(cls, cli=None, **explicit):
+        """Build a config through the documented precedence chain.
+
+        Args:
+            cli: Optional argparse namespace (or any object) whose
+                attributes supply flag values; missing or ``None``
+                attributes fall through to the environment.
+            **explicit: Highest-precedence field values; ``None`` means
+                "not given" and falls through.
+
+        Raises:
+            ConfigurationError: Unknown explicit kwarg, or a malformed
+                environment value.
+        """
+        field_names = {f.name for f in dataclasses.fields(cls)}
+        unknown = set(explicit) - field_names
+        if unknown:
+            raise ConfigurationError(
+                f"unknown {cls.__name__} field(s) {sorted(unknown)}; "
+                f"expected a subset of {sorted(field_names)}"
+            )
+        values = {}
+        for f in dataclasses.fields(cls):
+            if explicit.get(f.name) is not None:
+                values[f.name] = explicit[f.name]
+                continue
+            spec = f.metadata
+            cli_spec = spec.get("cli") if spec else None
+            if cli is not None:
+                if callable(cli_spec):
+                    flag_value = cli_spec(cli)
+                else:
+                    flag_value = getattr(cli, cli_spec or f.name, None)
+                if flag_value is not None:
+                    values[f.name] = flag_value
+                    continue
+            env_name = spec.get("env") if spec else None
+            if env_name:
+                text = os.environ.get(env_name, "").strip()
+                if text:
+                    values[f.name] = spec["parse"](env_name, text)
+        return cls(**values)
+
+
+# ----------------------------------------------------------------------
+# Runtime (experiment fan-out + caching)
+# ----------------------------------------------------------------------
+
+
+def _parse_jobs(name: str, text: str) -> int:
+    try:
+        return int(text)
+    except ValueError:
+        raise ConfigurationError(
+            f"{name} must be an integer worker count "
+            f"(0 or negative = all cores), got {text!r}"
+        ) from None
+
+
+def _cli_cache(namespace) -> "Optional[bool]":
+    """``--no-cache`` is a store-true flag: only its True state is a signal."""
+    return False if getattr(namespace, "no_cache", False) else None
+
+
+@dataclasses.dataclass(frozen=True)
+class RuntimeConfig(_Resolvable):
+    """How experiment work runs: fan-out width, caching, metrics output.
+
+    Attributes:
+        jobs: Worker processes for experiment fan-out.  ``None`` = serial
+            (one worker); ``0`` or negative = one per CPU core.  Env:
+            ``REPRO_JOBS``; CLI: ``--jobs``.
+        cache: Content-addressed dataset/market/result caching.  Env:
+            ``REPRO_NO_CACHE`` (any non-empty value disables); CLI:
+            ``--no-cache``.
+        cache_dir: On-disk cache mirror location (``None`` = memory
+            only).  Env: ``REPRO_CACHE_DIR``.
+        metrics: Path for the post-run metrics/span JSON report (``-``
+            = stderr, ``None`` = off).  CLI: ``--metrics``.
+    """
+
+    jobs: "Optional[int]" = cfg_field(None, env="REPRO_JOBS", parse=_parse_jobs)
+    cache: bool = cfg_field(
+        True, env="REPRO_NO_CACHE", parse=lambda name, text: False,
+        cli=_cli_cache,
+    )
+    cache_dir: "Optional[str]" = cfg_field(None, env="REPRO_CACHE_DIR")
+    metrics: "Optional[str]" = cfg_field(None)
+
+    def worker_count(self) -> int:
+        """The concrete pool width (resolves the 0-means-all-cores rule)."""
+        if self.jobs is None:
+            return 1
+        if self.jobs <= 0:
+            return os.cpu_count() or 1
+        return self.jobs
+
+
+# ----------------------------------------------------------------------
+# Stream (the repricing pipeline)
+# ----------------------------------------------------------------------
+
+
+@dataclasses.dataclass(frozen=True)
+class StreamConfig(_Resolvable):
+    """Knobs of one streaming run (hashed into checkpoint digests).
+
+    Attributes:
+        window_ms: Event-time window length.  Env:
+            ``REPRO_STREAM_WINDOW_MS``.
+        slide_ms: Window start spacing; ``None`` = tumbling.
+        reorder_tolerance_ms: Out-of-order arrival tolerance (delays
+            window closes by the same amount).
+        queue_capacity / queue_policy: Ingest buffer size and full-queue
+            behavior (``block`` or ``drop-oldest``).  Env:
+            ``REPRO_STREAM_QUEUE``.
+        n_tiers: Tier budget for derived designs.
+        drift_threshold: Re-tier when the refreshed design's profit
+            capture beats the stale design's by more than this.  Env:
+            ``REPRO_STREAM_DRIFT``.
+        blended_rate: The blended reference price ``P0`` ($/Mbps/month).
+        min_demand_mbps: Per-window demand floor (sampling dust filter).
+        checkpoint_every: Windows between checkpoint writes.
+        provider_asn: ASN stamped into derived designs.
+    """
+
+    window_ms: int = cfg_field(
+        600_000, env="REPRO_STREAM_WINDOW_MS", parse=_env_int
+    )
+    slide_ms: "Optional[int]" = cfg_field(None)
+    reorder_tolerance_ms: int = cfg_field(0)
+    queue_capacity: int = cfg_field(
+        4096, env="REPRO_STREAM_QUEUE", parse=_env_int
+    )
+    queue_policy: str = cfg_field("block")
+    n_tiers: int = cfg_field(3)
+    drift_threshold: float = cfg_field(
+        0.1, env="REPRO_STREAM_DRIFT", parse=_env_float
+    )
+    blended_rate: float = cfg_field(20.0)
+    min_demand_mbps: float = cfg_field(0.0)
+    checkpoint_every: int = cfg_field(1)
+    provider_asn: int = cfg_field(64500)
+
+    def digest(self, demand_model, cost_model) -> str:
+        """Configuration fingerprint guarding checkpoint compatibility.
+
+        The record *source* is not (and cannot be) hashed — resuming a
+        checkpoint against a different stream is the operator's contract.
+        """
+        from repro.runtime.cache import config_hash
+
+        payload = dataclasses.asdict(self)
+        payload["demand_model"] = repr(demand_model)
+        payload["cost_model"] = repr(cost_model)
+        return config_hash(payload)
+
+
+# ----------------------------------------------------------------------
+# Serve (the quote server)
+# ----------------------------------------------------------------------
+
+
+@dataclasses.dataclass(frozen=True)
+class ServeConfig(_Resolvable):
+    """The quote server's operational envelope.
+
+    Attributes:
+        workers: Worker threads pricing batches (canonical name; the
+            historical ``repro serve --jobs`` spelling is a deprecated
+            alias).  Env: ``REPRO_SERVE_WORKERS``.
+        queue_depth: Admission-queue capacity; full queues shed the
+            oldest request.  Env: ``REPRO_SERVE_QUEUE_DEPTH``.
+        timeout_ms: Default per-request deadline.  Env:
+            ``REPRO_SERVE_TIMEOUT_MS``.
+        max_batch: Largest request batch one worker prices at once.
+            Env: ``REPRO_SERVE_MAX_BATCH``.
+    """
+
+    workers: int = cfg_field(2, env="REPRO_SERVE_WORKERS", parse=_env_int)
+    queue_depth: int = cfg_field(
+        256, env="REPRO_SERVE_QUEUE_DEPTH", parse=_env_int
+    )
+    timeout_ms: float = cfg_field(
+        1000.0, env="REPRO_SERVE_TIMEOUT_MS", parse=_env_float
+    )
+    max_batch: int = cfg_field(64, env="REPRO_SERVE_MAX_BATCH", parse=_env_int)
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ConfigurationError(
+                f"workers must be >= 1, got {self.workers}"
+            )
+        if self.queue_depth < 1:
+            raise ConfigurationError(
+                f"queue_depth must be >= 1, got {self.queue_depth}"
+            )
+        if self.timeout_ms <= 0:
+            raise ConfigurationError(
+                f"timeout_ms must be positive, got {self.timeout_ms}"
+            )
+        if self.max_batch < 1:
+            raise ConfigurationError(
+                f"max_batch must be >= 1, got {self.max_batch}"
+            )
+
+
+# ----------------------------------------------------------------------
+# Obs (tracing)
+# ----------------------------------------------------------------------
+
+
+@dataclasses.dataclass(frozen=True)
+class ObsConfig(_Resolvable):
+    """Tracing configuration.
+
+    Attributes:
+        trace: JSONL file spans are appended to (``None`` = tracing off,
+            the no-op tracer stays installed).  Env: ``REPRO_TRACE``;
+            CLI: ``--trace``.
+    """
+
+    trace: "Optional[str]" = cfg_field(None, env="REPRO_TRACE")
+
+    @property
+    def enabled(self) -> bool:
+        return self.trace is not None
+
+
+__all__ = [
+    "DEPRECATION_PREFIX",
+    "ObsConfig",
+    "RuntimeConfig",
+    "ServeConfig",
+    "StreamConfig",
+    "cfg_field",
+]

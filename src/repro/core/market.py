@@ -34,7 +34,7 @@ from repro.core.cost import CostModel
 from repro.core.demand import DemandModel, as_price_vector, validate_positive
 from repro.core.flow import FlowSet
 from repro.errors import ModelParameterError
-from repro.runtime.metrics import METRICS
+from repro.obs import METRICS
 
 #: Treat a max-vs-blended profit gap below this relative size as "no gap".
 _CAPTURE_EPS = 1e-12

@@ -3,6 +3,12 @@
 All exceptions raised by :mod:`repro` derive from :class:`ReproError`, so
 callers can catch library failures with a single ``except`` clause while
 still letting programming errors (``TypeError`` and friends) propagate.
+
+Each subclass also maps to a distinct CLI exit code (see
+:data:`EXIT_CODES` and :func:`exit_code_for`), so scripts wrapping
+``python -m repro`` can branch on *why* a run failed without parsing
+stderr.  Codes start at 10 to stay clear of the conventional 1 (generic
+failure) and 2 (argparse usage error).
 """
 
 from __future__ import annotations
@@ -81,3 +87,34 @@ class QuoteTimeoutError(ReproError, TimeoutError):
     within the request's timeout — either the response never arrived, or
     the request expired in the admission queue before a worker reached it.
     """
+
+
+#: Exception class -> CLI exit code, one distinct nonzero code per
+#: :class:`ReproError` subclass (the base class itself backstops at 10).
+#: Codes are part of the CLI contract — append, never renumber.
+EXIT_CODES = {
+    ReproError: 10,
+    ModelParameterError: 11,
+    CalibrationError: 12,
+    BundlingError: 13,
+    OptimizationError: 14,
+    ConfigurationError: 15,
+    DataError: 16,
+    TopologyError: 17,
+    AccountingError: 18,
+    SnapshotUnavailableError: 19,
+    QuoteTimeoutError: 20,
+}
+
+
+def exit_code_for(exc: BaseException) -> int:
+    """The CLI exit code for an exception (most-derived match wins).
+
+    Walking the MRO means a future subclass of, say,
+    :class:`CalibrationError` inherits code 12 until it gets its own
+    entry; non-:class:`ReproError` exceptions map to 1.
+    """
+    for klass in type(exc).__mro__:
+        if klass in EXIT_CODES:
+            return EXIT_CODES[klass]
+    return 1

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 from collections.abc import Sequence
 
+from repro import obs
 from repro.experiments.config import DEFAULT_CONFIG, ExperimentConfig
 from repro.experiments.runner import spec_for
 from repro.runtime.spec import COST_FACTORIES, run_specs
@@ -80,9 +81,15 @@ def theta_sweep(
         )
         for family, theta in cells
     ]
-    evaluated = dict(
-        zip(cells, run_specs(specs, jobs=config.jobs, use_cache=config.cache))
-    )
+    with obs.span(
+        "experiments.theta_sweep",
+        cost_model=cost_model_name,
+        dataset=dataset,
+        cells=len(cells),
+    ):
+        evaluated = dict(
+            zip(cells, run_specs(specs, jobs=config.jobs, use_cache=config.cache))
+        )
 
     result: dict = {"cost_model": cost_model_name, "dataset": dataset, "panels": {}}
     for family in families:
@@ -167,12 +174,15 @@ def _capture_envelope(
         )
         for family, dataset, overrides in cells
     ]
-    evaluated = dict(
-        zip(
-            [(family, dataset, overrides) for family, dataset, overrides in cells],
-            run_specs(specs, jobs=config.jobs, use_cache=config.cache),
+    with obs.span(
+        "experiments.capture_envelope", envelope=envelope, cells=len(cells)
+    ):
+        evaluated = dict(
+            zip(
+                [(family, dataset, overrides) for family, dataset, overrides in cells],
+                run_specs(specs, jobs=config.jobs, use_cache=config.cache),
+            )
         )
-    )
 
     result: dict = {"bundle_counts": list(bundle_counts), "panels": {}}
     for family in families:

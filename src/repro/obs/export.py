@@ -1,0 +1,171 @@
+"""Trace export (JSONL) and the per-stage summarize rollup.
+
+One span per line, JSON, append-ordered by *finish* time — children
+therefore precede their parents, and the CLI root span is the last line
+of a command's trace.  The format is deliberately boring: greppable,
+streamable, diffable, and parseable with nothing but the stdlib.
+
+:func:`summarize_trace` is the operator's entry point (surfaced as
+``python -m repro trace summarize <path>``): group spans by name
+("stage"), report count / errors / degraded / p50 / p95 / max latency
+per stage, list the processes that contributed, and count *orphans* —
+spans whose parent id resolves to no span in the file.  A healthy trace
+has zero orphans; a nonzero count means context propagation broke
+somewhere (exactly the regression the obs tests pin).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import threading
+from typing import Optional
+
+from repro.obs.span import STATUS_DEGRADED, STATUS_ERROR, Span
+
+#: Quantiles reported per stage by the summarize rollup.
+SUMMARY_QUANTILES = (0.5, 0.95)
+
+
+class TraceExporter:
+    """Append-only JSONL span writer (thread-safe, lazily opened).
+
+    Args:
+        path: File to append spans to.  Created (with parents) on the
+            first export, so configuring tracing costs nothing until a
+            span actually finishes.
+    """
+
+    def __init__(self, path) -> None:
+        self.path = pathlib.Path(path)
+        self._lock = threading.Lock()
+        self._handle = None
+        self.exported = 0
+
+    def export(self, span: Span) -> None:
+        line = json.dumps(span.to_dict(), sort_keys=True)
+        with self._lock:
+            if self._handle is None:
+                self.path.parent.mkdir(parents=True, exist_ok=True)
+                self._handle = self.path.open("a", encoding="utf-8")
+            self._handle.write(line + "\n")
+            self.exported += 1
+
+    def flush(self) -> None:
+        with self._lock:
+            if self._handle is not None:
+                self._handle.flush()
+
+    def close(self) -> None:
+        with self._lock:
+            if self._handle is not None:
+                self._handle.close()
+                self._handle = None
+
+
+def read_trace(path) -> "list[Span]":
+    """Load every span from a JSONL trace file (blank lines skipped)."""
+    spans = []
+    text = pathlib.Path(path).read_text(encoding="utf-8")
+    for line in text.splitlines():
+        line = line.strip()
+        if line:
+            spans.append(Span.from_dict(json.loads(line)))
+    return spans
+
+
+def _quantile(ordered: "list[float]", q: float) -> float:
+    """Nearest-rank quantile of an already-sorted sample list."""
+    n = len(ordered)
+    rank = max(0, min(n - 1, int(q * n + 0.999999) - 1))
+    return ordered[rank]
+
+
+def summarize_trace(spans: "list[Span]") -> dict:
+    """Per-stage latency/error rollup plus trace-health counters.
+
+    Returns plain data::
+
+        {
+          "spans": int, "traces": int, "processes": [pid, ...],
+          "orphans": int, "errors": int, "degraded": int,
+          "wall_s": float,             # duration of the longest root span
+          "stages": {
+            name: {"count", "errors", "degraded", "processes",
+                   "p50_ms", "p95_ms", "max_ms", "total_s"},
+          },
+        }
+    """
+    span_ids = {s.span_id for s in spans}
+    orphans = sum(
+        1 for s in spans if s.parent_id is not None and s.parent_id not in span_ids
+    )
+    stages: "dict[str, dict]" = {}
+    for s in spans:
+        stage = stages.setdefault(
+            s.name,
+            {"durations": [], "errors": 0, "degraded": 0, "pids": set()},
+        )
+        stage["durations"].append(s.duration_s)
+        stage["pids"].add(s.pid)
+        if s.status == STATUS_ERROR:
+            stage["errors"] += 1
+        elif s.status == STATUS_DEGRADED:
+            stage["degraded"] += 1
+    rolled = {}
+    for name in sorted(stages):
+        stage = stages[name]
+        ordered = sorted(stage["durations"])
+        rolled[name] = {
+            "count": len(ordered),
+            "errors": stage["errors"],
+            "degraded": stage["degraded"],
+            "processes": len(stage["pids"]),
+            "p50_ms": round(_quantile(ordered, 0.5) * 1000.0, 3),
+            "p95_ms": round(_quantile(ordered, 0.95) * 1000.0, 3),
+            "max_ms": round(ordered[-1] * 1000.0, 3),
+            "total_s": round(sum(ordered), 6),
+        }
+    roots = [s for s in spans if s.parent_id is None]
+    return {
+        "spans": len(spans),
+        "traces": len({s.trace_id for s in spans}),
+        "processes": sorted({s.pid for s in spans}),
+        "orphans": orphans,
+        "errors": sum(1 for s in spans if s.status == STATUS_ERROR),
+        "degraded": sum(1 for s in spans if s.status == STATUS_DEGRADED),
+        "wall_s": max((s.duration_s for s in roots), default=0.0),
+        "stages": rolled,
+    }
+
+
+def render_trace_summary(summary: dict, path: "Optional[str]" = None) -> str:
+    """The aligned-text report ``repro trace summarize`` prints."""
+    lines = []
+    if path is not None:
+        lines.append(f"trace: {path}")
+    lines.append(
+        f"spans: {summary['spans']} in {summary['traces']} trace(s) "
+        f"across {len(summary['processes'])} process(es); "
+        f"orphans: {summary['orphans']}, errors: {summary['errors']}, "
+        f"degraded: {summary['degraded']}"
+    )
+    name_width = max([len(n) for n in summary["stages"]] + [len("stage")])
+    lines.append(
+        f"{'stage':<{name_width}} {'count':>6} {'err':>4} {'degr':>5} "
+        f"{'procs':>5} {'p50 ms':>9} {'p95 ms':>9} {'max ms':>9} {'total s':>9}"
+    )
+    for name, stage in summary["stages"].items():
+        lines.append(
+            f"{name:<{name_width}} {stage['count']:>6} {stage['errors']:>4} "
+            f"{stage['degraded']:>5} {stage['processes']:>5} "
+            f"{stage['p50_ms']:>9.3f} {stage['p95_ms']:>9.3f} "
+            f"{stage['max_ms']:>9.3f} {stage['total_s']:>9.3f}"
+        )
+    if summary["orphans"]:
+        lines.append(
+            f"WARNING: {summary['orphans']} orphan span(s) — a parent id "
+            "resolved to no span in this file; context propagation broke "
+            "or the trace mixes unrelated runs"
+        )
+    return "\n".join(lines)

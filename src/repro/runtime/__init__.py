@@ -12,9 +12,10 @@ three pillars:
 * :mod:`repro.runtime.cache` — content-addressed memoization of datasets,
   calibrated markets, and spec results: in-memory always, mirrored to
   disk under ``.repro_cache/`` when configured (``REPRO_CACHE_DIR``).
-* :mod:`repro.runtime.metrics` — the process-global :data:`METRICS`
-  registry of counters and stage timers every layer reports into, and
-  which benchmarks serialize as structured JSON.
+* :data:`METRICS` — the process-global registry of counters and stage
+  timers every layer reports into.  It now lives in
+  :mod:`repro.obs.metrics` (one observability package with the tracer);
+  ``repro.runtime.metrics`` remains a compatible alias.
 
 The declarative tie-in is :class:`~repro.runtime.spec.ExperimentSpec` +
 :func:`~repro.runtime.spec.run_specs`: drivers build spec lists and the
@@ -31,9 +32,10 @@ _EXPORTS = {
     "cached": "repro.runtime.cache",
     "config_hash": "repro.runtime.cache",
     "configure": "repro.runtime.cache",
-    "METRICS": "repro.runtime.metrics",
-    "Metrics": "repro.runtime.metrics",
-    "collect": "repro.runtime.metrics",
+    "METRICS": "repro.obs.metrics",
+    "Metrics": "repro.obs.metrics",
+    "collect": "repro.obs.metrics",
+    "RuntimeConfig": "repro.config",
     "JOBS_ENV": "repro.runtime.parallel",
     "ParallelMap": "repro.runtime.parallel",
     "resolve_jobs": "repro.runtime.parallel",
@@ -67,6 +69,7 @@ __all__ = [
     "METRICS",
     "Metrics",
     "ParallelMap",
+    "RuntimeConfig",
     "cache_enabled",
     "cached",
     "collect",

@@ -14,9 +14,11 @@ boundaries.  The process-global store is controlled by :func:`configure`
 (the CLI's ``--no-cache`` flag and the ``REPRO_CACHE_DIR`` /
 ``REPRO_NO_CACHE`` environment variables end up here).
 
-Hits and misses are counted in :data:`~repro.runtime.metrics.METRICS`
+Hits and misses are counted in :data:`~repro.obs.METRICS`
 (``cache_hits`` / ``cache_misses``), which is how the benchmark harness
-verifies that a warm rerun rebuilt nothing.
+verifies that a warm rerun rebuilt nothing; each is also recorded as a
+``cache.hit`` / ``cache.miss`` event on the current span, so a trace
+shows exactly which stage's lookup went which way.
 """
 
 from __future__ import annotations
@@ -29,7 +31,8 @@ import pickle
 import threading
 from typing import Any, Callable, Optional
 
-from repro.runtime.metrics import METRICS
+from repro import obs
+from repro.obs import METRICS
 
 #: Environment variable: directory for the on-disk cache mirror.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
@@ -164,9 +167,11 @@ def lookup(kind: str, digest: str) -> "tuple[bool, Any]":
     if hit:
         METRICS.incr("cache_hits")
         METRICS.incr(f"cache_hits:{kind}")
+        obs.event("cache.hit", kind=kind)
     else:
         METRICS.incr("cache_misses")
         METRICS.incr(f"cache_misses:{kind}")
+        obs.event("cache.miss", kind=kind)
     return hit, value
 
 
@@ -194,9 +199,11 @@ def cached(
     if hit:
         METRICS.incr("cache_hits")
         METRICS.incr(f"cache_hits:{kind}")
+        obs.event("cache.hit", kind=kind)
         return value
     METRICS.incr("cache_misses")
     METRICS.incr(f"cache_misses:{kind}")
+    obs.event("cache.miss", kind=kind)
     value = compute()
     _store.put(kind, digest, value, disk=disk)
     return value

@@ -12,26 +12,30 @@ every work unit is a pure function of its (picklable) argument, so the
 serial and parallel backends produce byte-identical driver output — the
 test suite asserts this.
 
-Worker-side metrics are not lost: each call runs inside a wrapper that
-diffs the worker process's :data:`~repro.runtime.metrics.METRICS` around
-the call and ships the delta back with the result, where the parent
-merges it.  A parallel run's metrics JSON therefore still counts every
-market built and every cache hit, wherever it happened.
+Worker-side observability is not lost: each call runs inside a wrapper
+that diffs the worker process's :data:`~repro.obs.METRICS` around the
+call and ships the delta back with the result, where the parent merges
+it.  When tracing is enabled the wrapper also runs the call under a
+fresh buffering tracer seeded with the submitting span's
+:class:`~repro.obs.TraceContext`, ships the finished spans back, and the
+parent adopts them — so a parallel run's trace file contains correctly
+re-parented spans from every worker process, and its metrics JSON still
+counts every market built and every cache hit, wherever it happened.
 
-Worker counts resolve, in priority order: explicit ``jobs`` argument >
-``REPRO_JOBS`` environment variable > 1 (serial).  ``0`` or a negative
-value means "all cores".
+Worker counts resolve through :class:`repro.config.RuntimeConfig`:
+explicit ``jobs`` argument > ``REPRO_JOBS`` environment variable > 1
+(serial).  ``0`` or a negative value means "all cores".
 """
 
 from __future__ import annotations
 
 import concurrent.futures
-import os
 from collections.abc import Callable, Sequence
 from typing import Any, Optional
 
-from repro.errors import ConfigurationError
-from repro.runtime.metrics import METRICS
+from repro import obs
+from repro.config import RuntimeConfig
+from repro.obs import METRICS, TraceContext
 
 #: Environment variable consulted when no explicit job count is given.
 JOBS_ENV = "REPRO_JOBS"
@@ -41,33 +45,35 @@ def resolve_jobs(jobs: "Optional[int]" = None) -> int:
     """Resolve a worker count from the argument, environment, or default.
 
     ``None`` falls back to ``$REPRO_JOBS`` (then 1); zero or negative
-    means one worker per CPU core.
+    means one worker per CPU core.  This is
+    ``RuntimeConfig.resolve(jobs=...).worker_count()`` — kept as the
+    long-standing call-site spelling.
     """
-    if jobs is None:
-        env = os.environ.get(JOBS_ENV, "").strip()
-        if not env:
-            return 1
-        try:
-            jobs = int(env)
-        except ValueError:
-            raise ConfigurationError(
-                f"{JOBS_ENV} must be an integer worker count "
-                f"(0 or negative = all cores), got {env!r}"
-            ) from None
-    if jobs <= 0:
-        return os.cpu_count() or 1
-    return jobs
+    return RuntimeConfig.resolve(jobs=jobs).worker_count()
 
 
-def _instrumented_call(fn: Callable, item: Any) -> "tuple[Any, dict]":
-    """Run one work unit in a worker, returning (result, metrics delta).
+def _instrumented_call(
+    fn: Callable, item: Any, trace_wire=None
+) -> "tuple[Any, dict, list]":
+    """Run one work unit in a worker: (result, metrics delta, span dicts).
 
     Pool workers are reused across calls, and under the fork start method
     they also inherit the parent's registry, so the delta is computed
     against a snapshot taken at call entry rather than against zero.
+
+    ``trace_wire`` is the submitting span's context in wire form (or
+    ``None`` when tracing is off).  The call then runs under a fresh
+    buffering tracer so worker spans ride home with the result instead of
+    contending for the parent's trace file.
     """
+    context = TraceContext.from_wire(trace_wire)
     before = METRICS.snapshot()
-    result = fn(item)
+    with obs.capture(context) as tracer:
+        if context is None:
+            result = fn(item)
+        else:
+            with tracer.span("runtime.work_unit"):
+                result = fn(item)
     after = METRICS.snapshot()
     delta = {
         "counters": {
@@ -86,7 +92,7 @@ def _instrumented_call(fn: Callable, item: Any) -> "tuple[Any, dict]":
             if stage["calls"] - before["stages"].get(name, {}).get("calls", 0)
         },
     }
-    return result, delta
+    return result, delta, [span.to_dict() for span in tracer.drain()]
 
 
 class ParallelMap:
@@ -95,10 +101,19 @@ class ParallelMap:
     Args:
         jobs: Worker processes; see :func:`resolve_jobs` for resolution.
             One worker runs everything inline (no pool, no pickling).
+        config: A :class:`~repro.config.RuntimeConfig` supplying the
+            worker count when ``jobs`` is not given explicitly.
     """
 
-    def __init__(self, jobs: "Optional[int]" = None) -> None:
-        self.jobs = resolve_jobs(jobs)
+    def __init__(
+        self,
+        jobs: "Optional[int]" = None,
+        config: "Optional[RuntimeConfig]" = None,
+    ) -> None:
+        if jobs is None and config is not None:
+            self.jobs = config.worker_count()
+        else:
+            self.jobs = resolve_jobs(jobs)
 
     def map(self, fn: Callable[[Any], Any], items: Sequence) -> list:
         """Apply ``fn`` to every item, preserving order.
@@ -110,20 +125,28 @@ class ParallelMap:
         workers = min(self.jobs, len(items)) or 1
         METRICS.incr("map_calls")
         if workers <= 1:
-            with METRICS.stage("map.serial"):
+            with METRICS.stage("map.serial"), obs.span(
+                "runtime.map", items=len(items), workers=1
+            ):
                 return [fn(item) for item in items]
         # "workers_used" reports the widest pool of the run (a max, not a sum).
         METRICS.incr("workers_used", max(0, workers - METRICS.counter("workers_used")))
-        with METRICS.stage("map.parallel"):
+        with METRICS.stage("map.parallel"), obs.span(
+            "runtime.map", items=len(items), workers=workers
+        ):
+            context = obs.current_context()
+            wire = None if context is None else context.to_wire()
             with concurrent.futures.ProcessPoolExecutor(
                 max_workers=workers
             ) as pool:
                 futures = [
-                    pool.submit(_instrumented_call, fn, item) for item in items
+                    pool.submit(_instrumented_call, fn, item, wire)
+                    for item in items
                 ]
                 results = []
                 for future in futures:
-                    result, delta = future.result()
+                    result, delta, spans = future.result()
                     METRICS.merge(delta)
+                    obs.adopt_spans(spans, context)
                     results.append(result)
         return results

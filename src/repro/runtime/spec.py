@@ -39,10 +39,11 @@ from repro.core.cost import (
 from repro.core.demand import DemandModel
 from repro.core.logit import LogitDemand
 from repro.core.market import Market
+from repro import obs
+from repro.obs import METRICS, TraceContext
 from repro.runtime.cache import cached, config_hash
 from repro.runtime.cache import lookup as cache_lookup
 from repro.runtime.cache import store as cache_store
-from repro.runtime.metrics import METRICS
 from repro.runtime.parallel import ParallelMap
 from repro.synth.datasets import load_dataset
 
@@ -78,6 +79,10 @@ class ExperimentSpec:
             :class:`~repro.core.bundling.ClassAwareBundling` (the paper's
             fix for the destination-type cost model, §4.3.1).
         bundle_counts: Tier budgets to evaluate.
+        trace_context: The submitting span's context in wire form, so a
+            spec evaluated in another process re-joins its caller's
+            trace.  Excluded from equality, hashing, and the cache key —
+            tracing must never change what a result is named.
     """
 
     dataset: str
@@ -92,6 +97,9 @@ class ExperimentSpec:
     strategies: "tuple[str, ...]" = ("profit-weighted",)
     class_aware: bool = False
     bundle_counts: "tuple[int, ...]" = (1, 2, 3, 4, 5, 6)
+    trace_context: "Optional[tuple[str, str]]" = dataclasses.field(
+        default=None, compare=False, repr=False
+    )
 
     @classmethod
     def from_config(cls, config, dataset: str, **overrides) -> "ExperimentSpec":
@@ -209,22 +217,29 @@ def evaluate_spec(spec: ExperimentSpec) -> dict:
           "profit":  {strategy: [per bundle count]},
         }
     """
-    market = spec.build_market()
-    result: dict = {
-        "spec": spec.key(),
-        "blended_profit": market.blended_profit(),
-        "max_profit": market.max_profit(),
-        "capture": {},
-        "profit": {},
-    }
-    with METRICS.stage("counterfactuals"):
-        for strategy in spec.resolve_strategies():
-            outcomes = market.capture_curve(strategy, spec.bundle_counts)
-            result["capture"][strategy.name] = [
-                o.profit_capture for o in outcomes
-            ]
-            result["profit"][strategy.name] = [o.profit for o in outcomes]
-    return result
+    context = TraceContext.from_wire(spec.trace_context)
+    with obs.activate(context), obs.span(
+        "runtime.evaluate_spec",
+        dataset=spec.dataset,
+        family=spec.family,
+        cost_model=spec.cost_model,
+    ):
+        market = spec.build_market()
+        result: dict = {
+            "spec": spec.key(),
+            "blended_profit": market.blended_profit(),
+            "max_profit": market.max_profit(),
+            "capture": {},
+            "profit": {},
+        }
+        with METRICS.stage("counterfactuals"):
+            for strategy in spec.resolve_strategies():
+                outcomes = market.capture_curve(strategy, spec.bundle_counts)
+                result["capture"][strategy.name] = [
+                    o.profit_capture for o in outcomes
+                ]
+                result["profit"][strategy.name] = [o.profit for o in outcomes]
+        return result
 
 
 def run_specs(
@@ -244,7 +259,9 @@ def run_specs(
     """
     results: "list[Optional[dict]]" = [None] * len(specs)
     missing: "list[tuple[int, ExperimentSpec]]" = []
-    with METRICS.stage("run_specs"):
+    with METRICS.stage("run_specs"), obs.span(
+        "runtime.run_specs", specs=len(specs)
+    ) as span:
         for i, spec in enumerate(specs):
             if use_cache:
                 hit_value = _cached_result(spec)
@@ -252,9 +269,19 @@ def run_specs(
                     results[i] = hit_value
                     continue
             missing.append((i, spec))
+        span.set_attribute("misses", len(missing))
         if missing:
+            # Stamp the submitting span's context into each shipped spec
+            # so worker-side spans re-join this trace (wire-form tuples
+            # pickle with the spec; the cache key ignores them).
+            context = obs.current_context()
+            wire = None if context is None else context.to_wire()
             computed = ParallelMap(jobs).map(
-                evaluate_spec, [spec for _, spec in missing]
+                evaluate_spec,
+                [
+                    dataclasses.replace(spec, trace_context=wire)
+                    for _, spec in missing
+                ],
             )
             for (i, spec), result in zip(missing, computed):
                 results[i] = result

@@ -30,6 +30,7 @@ Every accepted re-tiering then hot-swaps the active snapshot, and
 subsequent quotes reflect the new tier prices.
 """
 
+from repro.config import ServeConfig
 from repro.serve.engine import Quote, QuoteEngine, QuoteRequest
 from repro.serve.loadgen import LoadReport, generate_requests, run_load
 from repro.serve.registry import SnapshotRegistry
@@ -44,6 +45,7 @@ __all__ = [
     "QuoteEngine",
     "QuoteRequest",
     "QuoteServer",
+    "ServeConfig",
     "SnapshotRegistry",
     "UNKNOWN_TIER",
     "generate_requests",

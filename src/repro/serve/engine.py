@@ -31,7 +31,8 @@ import numpy as np
 from repro.core.cost import CostModel
 from repro.core.flow import FlowSet, VALID_REGIONS
 from repro.errors import ConfigurationError, DataError
-from repro.runtime.metrics import METRICS
+from repro import obs
+from repro.obs import METRICS
 from repro.serve.registry import SnapshotRegistry
 from repro.serve.snapshot import PricingSnapshot, UNKNOWN_TIER
 
@@ -152,6 +153,11 @@ class QuoteEngine:
         METRICS.incr("serve.quotes", len(requests))
         if snapshot is None:
             METRICS.incr("serve.degraded", len(requests))
+            obs.event(
+                "engine.degraded",
+                reason="no snapshot published",
+                requests=len(requests),
+            )
             return [
                 self.degraded_quote(r, reason="no snapshot published")
                 for r in requests
@@ -173,6 +179,7 @@ class QuoteEngine:
                     ),
                 )
                 METRICS.incr("serve.degraded")
+                obs.event("engine.degraded", reason="regime mismatch")
             else:
                 live.append(i)
         if live:

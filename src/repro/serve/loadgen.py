@@ -17,7 +17,7 @@ from typing import Optional
 import numpy as np
 
 from repro.errors import QuoteTimeoutError
-from repro.runtime.metrics import METRICS
+from repro.obs import METRICS
 from repro.serve.engine import QuoteRequest
 from repro.serve.server import QuoteServer
 from repro.serve.snapshot import PricingSnapshot

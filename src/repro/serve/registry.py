@@ -18,7 +18,7 @@ from typing import Callable, Optional
 
 from repro.accounting.tier_designer import TierDesign
 from repro.errors import SnapshotUnavailableError
-from repro.runtime.metrics import METRICS
+from repro.obs import METRICS
 from repro.serve.snapshot import PricingSnapshot
 from repro.stream.repricer import DesignPublication
 

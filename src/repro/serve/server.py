@@ -30,13 +30,17 @@ reservoirs export p50/p95/p99.
 
 from __future__ import annotations
 
+import dataclasses
 import threading
 import time
+import warnings
 from collections.abc import Sequence
 from typing import Optional
 
+from repro import obs
+from repro.config import ServeConfig
 from repro.errors import ConfigurationError, QuoteTimeoutError, ReproError
-from repro.runtime.metrics import METRICS
+from repro.obs import METRICS
 from repro.serve.engine import Quote, QuoteEngine, QuoteRequest
 from repro.stream.queue import BoundedQueue
 
@@ -101,34 +105,55 @@ class QuoteServer:
 
     Args:
         engine: The quoting engine (registry + cost model).
-        workers: Worker threads pricing batches.
-        queue_depth: Admission-queue capacity; the oldest request is shed
-            (answered degraded) when a submit finds it full.
-        timeout_ms: Default per-request deadline.
-        max_batch: Largest batch one engine call prices.
+        config: The server's :class:`~repro.config.ServeConfig`
+            (``None`` resolves one from the environment/defaults).
+        workers / queue_depth / timeout_ms / max_batch: **Deprecated**
+            keyword spellings of the same knobs; they warn and fold into
+            ``config``.  Pass a ``ServeConfig`` instead.
     """
 
     def __init__(
         self,
         engine: QuoteEngine,
-        workers: int = 2,
-        queue_depth: int = 256,
-        timeout_ms: float = 1000.0,
-        max_batch: int = 64,
+        config: "Optional[ServeConfig]" = None,
+        *,
+        workers: "Optional[int]" = None,
+        queue_depth: "Optional[int]" = None,
+        timeout_ms: "Optional[float]" = None,
+        max_batch: "Optional[int]" = None,
     ) -> None:
-        if workers < 1:
-            raise ConfigurationError(f"workers must be >= 1, got {workers}")
-        if timeout_ms <= 0:
-            raise ConfigurationError(
-                f"timeout_ms must be positive, got {timeout_ms}"
+        legacy = {
+            name: value
+            for name, value in {
+                "workers": workers,
+                "queue_depth": queue_depth,
+                "timeout_ms": timeout_ms,
+                "max_batch": max_batch,
+            }.items()
+            if value is not None
+        }
+        if legacy:
+            warnings.warn(
+                "repro.serve.QuoteServer "
+                f"keyword configuration ({', '.join(sorted(legacy))}) is "
+                "deprecated; pass config=ServeConfig(...) instead",
+                DeprecationWarning,
+                stacklevel=2,
             )
-        if max_batch < 1:
-            raise ConfigurationError(f"max_batch must be >= 1, got {max_batch}")
+        if config is None:
+            config = ServeConfig.resolve(**legacy)
+        elif legacy:
+            config = dataclasses.replace(config, **legacy)
+        self.config = config
         self.engine = engine
-        self.n_workers = int(workers)
-        self.timeout_ms = float(timeout_ms)
-        self.max_batch = int(max_batch)
-        self._queue = BoundedQueue(queue_depth, policy="drop-oldest")
+        self.n_workers = int(config.workers)
+        self.timeout_ms = float(config.timeout_ms)
+        self.max_batch = int(config.max_batch)
+        #: The submitting thread's trace context, captured at start() so
+        #: worker-thread spans re-join the caller's trace (contextvars do
+        #: not cross thread creation).
+        self._trace_ctx = None
+        self._queue = BoundedQueue(config.queue_depth, policy="drop-oldest")
         self._queue.on_evict = self._shed
         self._lock = threading.Lock()
         self._work_ready = threading.Condition(self._lock)
@@ -150,6 +175,7 @@ class QuoteServer:
             if self._running:
                 return self
             self._running = True
+            self._trace_ctx = obs.current_context()
             self._threads = [
                 threading.Thread(
                     target=self._worker_loop,
@@ -254,11 +280,19 @@ class QuoteServer:
         return batch
 
     def _serve_batch(self, batch: "list[PendingQuote]") -> None:
+        with obs.activate(self._trace_ctx), obs.span(
+            "serve.batch", size=len(batch)
+        ) as span:
+            self._serve_batch_traced(batch, span)
+
+    def _serve_batch_traced(self, batch: "list[PendingQuote]", span) -> None:
         now = time.perf_counter()
         live = []
+        expired = 0
         for pending in batch:
             if pending.deadline <= now:
                 self.timed_out += 1
+                expired += 1
                 METRICS.incr("serve.expired")
                 pending._fail(
                     QuoteTimeoutError(
@@ -268,6 +302,9 @@ class QuoteServer:
                 )
             else:
                 live.append(pending)
+        if expired:
+            span.set_attribute("expired", expired)
+            span.set_status(obs.STATUS_DEGRADED)
         if not live:
             return
         self.batches += 1
@@ -279,16 +316,26 @@ class QuoteServer:
                 # degrades), so this is a config-level failure; still, the
                 # data path answers rather than leaks.
                 METRICS.incr("serve.errors")
+                span.set_status(obs.STATUS_ERROR)
+                span.add_event(
+                    "engine.error", type=type(exc).__name__, message=str(exc)
+                )
                 for pending in live:
                     self._resolve_degraded(
                         pending, f"{type(exc).__name__}: {exc}"
                     )
                 return
+        degraded = 0
         for pending, quote in zip(live, quotes):
             self.served += 1
             if quote.degraded:
                 self.degraded += 1
+                degraded += 1
             pending._resolve(quote)
+        span.set_attribute("served", len(live))
+        if degraded:
+            span.set_attribute("degraded", degraded)
+            span.set_status(obs.STATUS_DEGRADED)
 
     # ------------------------------------------------------------------
     # Degraded resolutions
@@ -298,6 +345,7 @@ class QuoteServer:
         """Eviction hook: the shed request still gets an answer."""
         self.shed += 1
         METRICS.incr("serve.shed")
+        obs.event("serve.shed")
         self._resolve_degraded(pending, "shed by admission control")
 
     def _resolve_degraded(self, pending: PendingQuote, reason: str) -> None:

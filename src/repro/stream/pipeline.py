@@ -29,12 +29,13 @@ from __future__ import annotations
 import dataclasses
 from typing import Callable, Optional
 
+from repro import obs
+from repro.config import StreamConfig
 from repro.core.bundling import BundlingStrategy, ProfitWeightedBundling
 from repro.core.cost import CostModel
 from repro.core.demand import DemandModel
 from repro.errors import DataError
-from repro.runtime.cache import config_hash
-from repro.runtime.metrics import METRICS
+from repro.obs import METRICS
 from repro.stream.checkpoint import (
     PipelineCheckpoint,
     load_checkpoint,
@@ -50,48 +51,10 @@ from repro.stream.window import ClosedWindow, Windower
 from repro.accounting.tier_designer import TierDesign
 
 
-@dataclasses.dataclass(frozen=True)
-class StreamConfig:
-    """Knobs of one streaming run (hashed into checkpoint digests).
-
-    Attributes:
-        window_ms: Event-time window length.
-        slide_ms: Window start spacing; ``None`` = tumbling.
-        reorder_tolerance_ms: Out-of-order arrival tolerance (delays
-            window closes by the same amount).
-        queue_capacity / queue_policy: Ingest buffer size and full-queue
-            behavior (``block`` or ``drop-oldest``).
-        n_tiers: Tier budget for derived designs.
-        drift_threshold: Re-tier when the refreshed design's profit
-            capture beats the stale design's by more than this.
-        blended_rate: The blended reference price ``P0`` ($/Mbps/month).
-        min_demand_mbps: Per-window demand floor (sampling dust filter).
-        checkpoint_every: Windows between checkpoint writes.
-        provider_asn: ASN stamped into derived designs.
-    """
-
-    window_ms: int
-    slide_ms: "Optional[int]" = None
-    reorder_tolerance_ms: int = 0
-    queue_capacity: int = 4096
-    queue_policy: str = "block"
-    n_tiers: int = 3
-    drift_threshold: float = 0.1
-    blended_rate: float = 20.0
-    min_demand_mbps: float = 0.0
-    checkpoint_every: int = 1
-    provider_asn: int = 64500
-
-    def digest(self, demand_model: DemandModel, cost_model: CostModel) -> str:
-        """Configuration fingerprint guarding checkpoint compatibility.
-
-        The record *source* is not (and cannot be) hashed — resuming a
-        checkpoint against a different stream is the operator's contract.
-        """
-        payload = dataclasses.asdict(self)
-        payload["demand_model"] = repr(demand_model)
-        payload["cost_model"] = repr(cost_model)
-        return config_hash(payload)
+# StreamConfig now lives in the unified configuration module; it is
+# re-exported here (and from repro.stream) so existing imports keep
+# working.  Checkpoint digests are unchanged — same fields, same hash.
+__all__ = ["StreamConfig", "StreamReport", "StreamingPipeline"]
 
 
 @dataclasses.dataclass
@@ -281,7 +244,11 @@ class StreamingPipeline:
 
         start = time.perf_counter()
         stopped_early = False
-        with METRICS.stage("stream.run"):
+        with METRICS.stage("stream.run"), obs.span(
+            "stream.run",
+            window_ms=self.config.window_ms,
+            drift_threshold=self.config.drift_threshold,
+        ):
             for record in self.source:
                 if self._skip > 0:
                     # Fast-forward over records a restored checkpoint
@@ -331,26 +298,38 @@ class StreamingPipeline:
                 self._handle_window(window)
 
     def _handle_window(self, window: ClosedWindow) -> None:
-        if not window.records:
-            result = self.repricer.empty_window(window)
-        else:
-            try:
-                with METRICS.stage("stream.aggregate"):
-                    flows = window.flowset(
-                        self.distance_fn,
-                        self.region_fn,
-                        self.config.min_demand_mbps,
-                    )
-            except DataError as exc:
-                METRICS.incr("stream.windows_skipped")
-                result = WindowResult.skipped(
-                    window.bounds,
-                    window.n_records,
-                    f"DataError: {exc}",
-                    self.repricer.current_tiers,
-                )
+        with obs.span(
+            "stream.window",
+            start_ms=window.bounds.start_ms,
+            end_ms=window.bounds.end_ms,
+            records=window.n_records,
+        ) as span:
+            if not window.records:
+                result = self.repricer.empty_window(window)
             else:
-                result = self.repricer.price_window(window, flows)
+                try:
+                    with METRICS.stage("stream.aggregate"):
+                        flows = window.flowset(
+                            self.distance_fn,
+                            self.region_fn,
+                            self.config.min_demand_mbps,
+                        )
+                except DataError as exc:
+                    METRICS.incr("stream.windows_skipped")
+                    result = WindowResult.skipped(
+                        window.bounds,
+                        window.n_records,
+                        f"DataError: {exc}",
+                        self.repricer.current_tiers,
+                    )
+                else:
+                    result = self.repricer.price_window(window, flows)
+            span.set_attribute("status", result.status)
+            span.set_attribute("retier", result.retier)
+            if result.status != STATUS_PRICED:
+                # Empty and skipped windows completed with a fallback
+                # answer (the design already in force), not a failure.
+                span.set_status(obs.STATUS_DEGRADED)
         self.results.append(result)
         self._windows_since_checkpoint += 1
         if (

@@ -24,7 +24,7 @@ import collections
 
 from repro.errors import ConfigurationError
 from repro.netflow.records import NetFlowRecord
-from repro.runtime.metrics import METRICS
+from repro.obs import METRICS
 
 #: Accepted backpressure policies.
 POLICIES = ("block", "drop-oldest")

@@ -31,8 +31,9 @@ from repro.core.cost import CostModel
 from repro.core.demand import DemandModel
 from repro.core.flow import FlowSet
 from repro.core.market import Market
+from repro import obs
 from repro.errors import ReproError
-from repro.runtime.metrics import METRICS
+from repro.obs import METRICS
 from repro.stream.window import ClosedWindow, WindowBounds
 
 #: Window statuses a :class:`WindowResult` can report.
@@ -236,6 +237,15 @@ class OnlineRepricer:
                     f"{self.drift_threshold:.3f} "
                     f"({unknown} unknown / {missing} churned destinations)"
                 )
+            # The drift-gate verdict, on the enclosing window span: why
+            # this window did (or did not) replace the design in force.
+            obs.event(
+                "drift.decision",
+                retier=retier,
+                capture_drop=_opt_float(capture_drop),
+                threshold=self.drift_threshold,
+                reason=reason,
+            )
             if retier:
                 with METRICS.stage("stream.retier"):
                     self.design = TierDesign.from_outcome(

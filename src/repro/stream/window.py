@@ -25,7 +25,7 @@ from repro.errors import ConfigurationError
 from repro.netflow.aggregation import aggregate_to_flowset
 from repro.netflow.collector import FlowCollector
 from repro.netflow.records import NetFlowRecord
-from repro.runtime.metrics import METRICS
+from repro.obs import METRICS
 
 
 @dataclasses.dataclass(frozen=True)

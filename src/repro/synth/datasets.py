@@ -37,7 +37,7 @@ from repro.core.flow import FlowSet
 from repro.errors import DataError
 from repro.geo.regions import classify_by_distance
 from repro.runtime.cache import cached
-from repro.runtime.metrics import METRICS
+from repro.obs import METRICS
 from repro.synth.distributions import (
     calibrate_positive,
     calibrate_total,

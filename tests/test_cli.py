@@ -2,7 +2,9 @@
 
 import pytest
 
+from repro import errors
 from repro.cli import build_parser, main
+from repro.errors import EXIT_CODES, exit_code_for
 
 
 def run_cli(capsys, *argv):
@@ -167,6 +169,44 @@ class TestReportAndExport:
         flows = load_flowset(target)
         assert len(flows) == 25
         assert flows.aggregate_gbps() == pytest.approx(96.0)
+
+
+class TestExitCodes:
+    @pytest.mark.parametrize(
+        "exc_class,expected", sorted(EXIT_CODES.items(), key=lambda kv: kv[1])
+    )
+    def test_every_repro_error_has_a_distinct_code(self, exc_class, expected):
+        assert exit_code_for(exc_class("boom")) == expected
+        assert expected >= 10  # clear of 1 (generic) and 2 (argparse usage)
+
+    def test_every_error_subclass_is_mapped(self):
+        import inspect
+
+        mapped = set(EXIT_CODES)
+        for obj in vars(errors).values():
+            if inspect.isclass(obj) and issubclass(obj, errors.ReproError):
+                assert obj in mapped, f"{obj.__name__} needs an exit code"
+
+    def test_subclasses_inherit_via_mro(self):
+        class FutureCalibrationError(errors.CalibrationError):
+            pass
+
+        assert exit_code_for(FutureCalibrationError("x")) == 12
+        assert exit_code_for(RuntimeError("x")) == 1
+
+    def test_missing_trace_file_exits_with_data_error_code(self, capsys):
+        code = main(["trace", "summarize", "/nonexistent/trace.jsonl"])
+        assert code == EXIT_CODES[errors.DataError] == 16
+        err = capsys.readouterr().err
+        assert "DataError" in err
+
+    def test_malformed_env_exits_with_configuration_code(
+        self, capsys, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_JOBS", "many")
+        code = main(["figure", "4"])
+        assert code == EXIT_CODES[errors.ConfigurationError] == 15
+        assert "REPRO_JOBS" in capsys.readouterr().err
 
 
 class TestOfferingsAndDrift:

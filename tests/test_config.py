@@ -1,0 +1,193 @@
+"""Tests for the unified configuration API: the explicit > CLI > env >
+default precedence chain, env parsing, validation, and the deprecated
+spelling shims."""
+
+import argparse
+import dataclasses
+import os
+
+import pytest
+
+from repro.config import (
+    ObsConfig,
+    RuntimeConfig,
+    ServeConfig,
+    StreamConfig,
+)
+from repro.core.ced import CEDDemand
+from repro.core.cost import LinearDistanceCost
+from repro.errors import ConfigurationError
+
+
+def namespace(**attrs):
+    return argparse.Namespace(**attrs)
+
+
+class TestPrecedenceChain:
+    def test_default_when_nothing_given(self):
+        assert RuntimeConfig.resolve().jobs is None
+        assert ServeConfig.resolve().workers == 2
+
+    def test_env_beats_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "6")
+        assert RuntimeConfig.resolve().jobs == 6
+
+    def test_cli_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "6")
+        cfg = RuntimeConfig.resolve(cli=namespace(jobs=3))
+        assert cfg.jobs == 3
+
+    def test_explicit_beats_cli_and_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "6")
+        cfg = RuntimeConfig.resolve(cli=namespace(jobs=3), jobs=1)
+        assert cfg.jobs == 1
+
+    def test_none_explicit_falls_through(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "6")
+        assert RuntimeConfig.resolve(jobs=None).jobs == 6
+
+    def test_none_cli_attribute_falls_through(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SERVE_WORKERS", "5")
+        cfg = ServeConfig.resolve(cli=namespace(workers=None))
+        assert cfg.workers == 5
+
+    def test_empty_env_is_unset(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "   ")
+        assert RuntimeConfig.resolve().jobs is None
+
+    def test_unknown_explicit_kwarg_rejected(self):
+        with pytest.raises(ConfigurationError, match="threads"):
+            RuntimeConfig.resolve(threads=4)
+
+
+class TestEnvParsing:
+    def test_garbage_jobs_names_the_variable(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "auto")
+        with pytest.raises(ConfigurationError, match="REPRO_JOBS.*'auto'"):
+            RuntimeConfig.resolve()
+
+    def test_garbage_float_names_the_variable(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SERVE_TIMEOUT_MS", "soon")
+        with pytest.raises(
+            ConfigurationError, match="REPRO_SERVE_TIMEOUT_MS"
+        ):
+            ServeConfig.resolve()
+
+    def test_no_cache_env_disables_cache(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NO_CACHE", "1")
+        assert RuntimeConfig.resolve().cache is False
+
+    def test_no_cache_cli_flag(self):
+        assert RuntimeConfig.resolve(cli=namespace(no_cache=True)).cache is False
+        assert RuntimeConfig.resolve(cli=namespace(no_cache=False)).cache is True
+
+    def test_trace_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE", "/tmp/t.jsonl")
+        cfg = ObsConfig.resolve()
+        assert cfg.trace == "/tmp/t.jsonl"
+        assert cfg.enabled
+        assert not ObsConfig().enabled
+
+    def test_stream_env_knobs(self, monkeypatch):
+        monkeypatch.setenv("REPRO_STREAM_WINDOW_MS", "120000")
+        monkeypatch.setenv("REPRO_STREAM_DRIFT", "0.25")
+        cfg = StreamConfig.resolve()
+        assert cfg.window_ms == 120_000
+        assert cfg.drift_threshold == 0.25
+
+
+class TestRuntimeConfig:
+    def test_worker_count_rules(self):
+        assert RuntimeConfig().worker_count() == 1
+        assert RuntimeConfig(jobs=3).worker_count() == 3
+        assert RuntimeConfig(jobs=0).worker_count() == (os.cpu_count() or 1)
+        assert RuntimeConfig(jobs=-1).worker_count() == (os.cpu_count() or 1)
+
+    def test_frozen(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            RuntimeConfig().jobs = 4
+
+
+class TestServeConfig:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError, match="workers"):
+            ServeConfig(workers=0)
+        with pytest.raises(ConfigurationError, match="queue_depth"):
+            ServeConfig(queue_depth=0)
+        with pytest.raises(ConfigurationError, match="timeout_ms"):
+            ServeConfig(timeout_ms=0)
+        with pytest.raises(ConfigurationError, match="max_batch"):
+            ServeConfig(max_batch=0)
+
+    def test_env_resolution(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SERVE_QUEUE_DEPTH", "17")
+        monkeypatch.setenv("REPRO_SERVE_MAX_BATCH", "9")
+        cfg = ServeConfig.resolve()
+        assert cfg.queue_depth == 17
+        assert cfg.max_batch == 9
+
+
+class TestStreamConfig:
+    def test_importable_from_both_paths(self):
+        from repro.stream import StreamConfig as via_stream
+        from repro.stream.pipeline import StreamConfig as via_pipeline
+
+        assert via_stream is StreamConfig
+        assert via_pipeline is StreamConfig
+
+    def test_digest_tracks_settings_and_models(self):
+        demand, cost = CEDDemand(alpha=1.1), LinearDistanceCost(theta=0.2)
+        base = StreamConfig().digest(demand, cost)
+        assert base == StreamConfig().digest(demand, cost)
+        assert base != StreamConfig(window_ms=1).digest(demand, cost)
+        assert base != StreamConfig().digest(CEDDemand(alpha=1.3), cost)
+
+
+class TestDeprecatedSpellings:
+    def test_figure_workers_alias_maps_to_jobs(self):
+        from repro.cli import _apply_flag_aliases, build_parser
+
+        args = build_parser().parse_args(["figure", "14", "--workers", "3"])
+        with pytest.warns(DeprecationWarning, match=r"^repro figure --workers"):
+            _apply_flag_aliases(args)
+        assert args.jobs == 3
+
+    def test_canonical_jobs_wins_over_alias(self):
+        from repro.cli import _apply_flag_aliases, build_parser
+
+        args = build_parser().parse_args(
+            ["figure", "14", "--jobs", "2", "--workers", "5"]
+        )
+        with pytest.warns(DeprecationWarning):
+            _apply_flag_aliases(args)
+        assert args.jobs == 2
+
+    def test_serve_jobs_alias_maps_to_workers(self):
+        from repro.cli import _apply_flag_aliases, build_parser
+
+        args = build_parser().parse_args(["serve", "eu_isp", "--jobs", "4"])
+        with pytest.warns(DeprecationWarning, match=r"^repro serve --jobs"):
+            _apply_flag_aliases(args)
+        assert args.workers == 4
+
+    def test_quote_server_legacy_kwargs_warn(self):
+        from repro.serve import QuoteEngine, QuoteServer, SnapshotRegistry
+
+        engine = QuoteEngine(
+            SnapshotRegistry(), LinearDistanceCost(theta=0.2)
+        )
+        with pytest.warns(DeprecationWarning, match=r"^repro\.serve"):
+            server = QuoteServer(engine, workers=3)
+        assert server.config == ServeConfig(workers=3)
+
+    def test_config_object_bypasses_the_shim(self, recwarn):
+        from repro.serve import QuoteEngine, QuoteServer, SnapshotRegistry
+
+        engine = QuoteEngine(
+            SnapshotRegistry(), LinearDistanceCost(theta=0.2)
+        )
+        QuoteServer(engine, ServeConfig(workers=1))
+        assert not [
+            w for w in recwarn.list
+            if issubclass(w.category, DeprecationWarning)
+        ]

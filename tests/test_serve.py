@@ -26,6 +26,7 @@ from repro.serve import (
     QuoteEngine,
     QuoteRequest,
     QuoteServer,
+    ServeConfig,
     SnapshotRegistry,
     UNKNOWN_TIER,
     generate_requests,
@@ -299,7 +300,7 @@ class _GatedEngine(QuoteEngine):
 class TestQuoteServer:
     def test_round_trip(self, registry, engine):
         snapshot = publish(registry)
-        with QuoteServer(engine, workers=2, queue_depth=32) as server:
+        with QuoteServer(engine, ServeConfig(workers=2, queue_depth=32)) as server:
             quote = server.quote(QuoteRequest(dst="10.0.0.1"))
         assert not quote.degraded
         assert quote.snapshot_digest == snapshot.digest
@@ -310,7 +311,7 @@ class TestQuoteServer:
         requests = generate_requests(
             100, seed=3, snapshot=registry.current(), unknown_fraction=0.5
         )
-        with QuoteServer(engine, workers=3, queue_depth=256) as server:
+        with QuoteServer(engine, ServeConfig(workers=3, queue_depth=256)) as server:
             quotes = server.quote_many(requests)
         expected = engine.quote_batch(requests)
         assert quotes == expected
@@ -322,16 +323,23 @@ class TestQuoteServer:
 
     def test_parameter_validation(self, engine):
         with pytest.raises(ConfigurationError):
-            QuoteServer(engine, workers=0)
+            QuoteServer(engine, ServeConfig(workers=0))
         with pytest.raises(ConfigurationError):
-            QuoteServer(engine, timeout_ms=0)
+            QuoteServer(engine, ServeConfig(timeout_ms=0))
         with pytest.raises(ConfigurationError):
-            QuoteServer(engine, max_batch=0)
+            QuoteServer(engine, ServeConfig(max_batch=0))
+
+    def test_legacy_keywords_warn_but_work(self, engine):
+        with pytest.warns(DeprecationWarning, match="pass config=ServeConfig"):
+            server = QuoteServer(engine, workers=4, timeout_ms=250.0)
+        assert server.config.workers == 4
+        assert server.config.timeout_ms == 250.0
+        assert server.config.queue_depth == ServeConfig().queue_depth
 
     def test_caller_timeout_raises(self, registry):
         publish(registry)
         engine = _GatedEngine(registry)
-        with QuoteServer(engine, workers=1, timeout_ms=30.0) as server:
+        with QuoteServer(engine, ServeConfig(workers=1, timeout_ms=30.0)) as server:
             pending = server.submit(QuoteRequest(dst="10.0.0.1"))
             with pytest.raises(QuoteTimeoutError):
                 pending.result(0.05)
@@ -340,7 +348,7 @@ class TestQuoteServer:
     def test_expired_requests_fail_with_timeout_error(self, registry):
         publish(registry)
         engine = _GatedEngine(registry)
-        with QuoteServer(engine, workers=1, timeout_ms=20.0) as server:
+        with QuoteServer(engine, ServeConfig(workers=1, timeout_ms=20.0)) as server:
             # The gate holds the single worker inside batch #1 while the
             # second request expires in the queue.
             first = server.submit(QuoteRequest(dst="10.0.0.1"), timeout_ms=5000)
@@ -356,7 +364,7 @@ class TestQuoteServer:
     def test_full_queue_sheds_oldest_with_degraded_quote(self, registry):
         publish(registry)
         engine = _GatedEngine(registry)
-        server = QuoteServer(engine, workers=1, queue_depth=4, timeout_ms=5000)
+        server = QuoteServer(engine, ServeConfig(workers=1, queue_depth=4, timeout_ms=5000))
         with server:
             time.sleep(0.02)  # workers idle, gate closed: queue only fills
             pendings = [
@@ -377,7 +385,7 @@ class TestQuoteServer:
     def test_stop_resolves_queued_requests_degraded(self, registry):
         publish(registry)
         engine = _GatedEngine(registry)
-        server = QuoteServer(engine, workers=1, queue_depth=64, timeout_ms=5000)
+        server = QuoteServer(engine, ServeConfig(workers=1, queue_depth=64, timeout_ms=5000))
         server.start()
         pendings = [
             server.submit(QuoteRequest(dst="10.0.0.1")) for _ in range(8)
@@ -488,7 +496,7 @@ class TestSnapshotChaos:
             600, seed=7, snapshot=registry.current(), unknown_fraction=0.2
         )
         with QuoteServer(
-            engine, workers=3, queue_depth=128, timeout_ms=5000
+            engine, ServeConfig(workers=3, queue_depth=128, timeout_ms=5000)
         ) as server:
             cleared = threading.Event()
 
@@ -613,7 +621,7 @@ class TestLoadGenerator:
         requests = generate_requests(
             300, seed=6, snapshot=registry.current(), unknown_fraction=0.2
         )
-        with QuoteServer(engine, workers=2, queue_depth=512) as server:
+        with QuoteServer(engine, ServeConfig(workers=2, queue_depth=512)) as server:
             report = run_load(server, requests, burst=64)
         assert report.answered + report.timed_out == report.n_requests
         assert report.answered == report.priced + report.degraded
