@@ -57,6 +57,7 @@ from repro.core import (
     DestinationTypeCost,
     Flow,
     FlowSet,
+    FlowTable,
     IndexDivisionBundling,
     LinearDistanceCost,
     LogitDemand,
@@ -139,6 +140,7 @@ __all__ = [
     "DestinationTypeCost",
     "Flow",
     "FlowSet",
+    "FlowTable",
     "IndexDivisionBundling",
     "LinearDistanceCost",
     "LogitDemand",

@@ -83,21 +83,30 @@ def replay_design_prices(
         AccountingError: If the market's flows carry no destination
             addresses to join against the design.
     """
-    if market.flows.dsts is None:
+    codes = market.flows.dst_codes
+    if codes is None:
         raise AccountingError(
             "market flows carry no destination addresses; cannot replay "
             "a tier design against them"
         )
-    prices = np.full(market.n_flows, float(market.blended_rate))
-    unknown = 0
+    # Join by destination *label table*, not per flow: the design lookup
+    # runs once per distinct destination, then rates fan out to the flows
+    # with one code-array gather.
+    table = market.flows.dst_table
+    rate_by_code = np.full(len(table) + 1, float(market.blended_rate))
+    known = np.zeros(len(table) + 1, dtype=bool)
     seen = set()
-    for i, dst in enumerate(market.flows.dsts):
+    present = np.unique(codes)
+    for code in (int(c) for c in present if c >= 0):
+        dst = table[code]
         tier = design.tier_of_destination.get(dst)
-        if tier is None:
-            unknown += 1
-        else:
-            prices[i] = design.rates[tier]
+        if tier is not None:
+            rate_by_code[code] = design.rates[tier]
+            known[code] = True
             seen.add(dst)
+    # NO_LABEL (-1) indexes the trailing unknown slot.
+    prices = rate_by_code[codes]
+    unknown = int(np.count_nonzero(~known[codes]))
     missing = len(set(design.tier_of_destination) - seen)
     return prices, unknown, missing
 
@@ -122,13 +131,13 @@ def evaluate_drift(
         strategy: Bundling used for the refreshed design (defaults to
             profit-weighted at the stale design's tier count).
     """
-    if new_flows.dsts is None:
+    if new_flows.dst_codes is None:
         raise AccountingError(
             "new flows carry no destination addresses; cannot join them "
             "against the design"
         )
     market = Market(new_flows, demand_model, cost_model, blended_rate)
-    if market.flows.dsts is None:
+    if market.flows.dst_codes is None:
         raise AccountingError(
             "the cost model dropped destination addresses; drift evaluation "
             "needs a non-splitting cost model"

@@ -53,9 +53,11 @@ from repro.core.estimation import (
 from repro.core.flow import (
     Flow,
     FlowSet,
+    FlowTable,
     INTERNATIONAL,
     METRO,
     NATIONAL,
+    VALID_REGIONS,
 )
 from repro.core.linear import LinearDemand
 from repro.core.logit import LogitDemand
@@ -98,6 +100,7 @@ __all__ = [
     "DestinationTypeCost",
     "Flow",
     "FlowSet",
+    "FlowTable",
     "INTERNATIONAL",
     "IndexDivisionBundling",
     "LinearDemand",
@@ -114,6 +117,7 @@ __all__ = [
     "StepDistanceCost",
     "TierSummary",
     "TieredOutcome",
+    "VALID_REGIONS",
     "WelfareBreakdown",
     "WelfareComparison",
     "YearOutcome",

@@ -19,24 +19,35 @@ never mixes flows from different cost classes (e.g. on-net / off-net).
 All strategies consume a :class:`BundlingInputs` snapshot and return a list
 of index arrays partitioning ``range(n)``.  Strategies may return fewer
 than ``B`` bundles (empty tiers are dropped); they never return more.
+
+Every strategy is vectorized over the columnar arrays — partitioning a
+million flows is a sort plus a handful of prefix-sum/``bincount`` passes,
+with no per-flow Python.  The original per-flow reference implementations
+are kept (module-private, ``*_reference``) as ground truth for the
+equivalence property tests.
 """
 
 from __future__ import annotations
 
 import abc
-import dataclasses
 from collections.abc import Iterator, Sequence
 from typing import Optional
 
 import numpy as np
 
 from repro.core.demand import DemandModel
-from repro.errors import BundlingError
+from repro.core.flow import decode_labels, encode_labels
+from repro.errors import BundlingError, DataError
 
 
-@dataclasses.dataclass(frozen=True)
 class BundlingInputs:
     """Everything a bundling strategy may look at.
+
+    Cost classes are carried as an interned code column
+    (``class_codes``/``class_table``, the columnar form produced by
+    :class:`~repro.core.market.Market`); the ``classes`` label tuple is
+    decoded lazily for compatibility.  Constructing with ``classes=``
+    label sequences still works and interns them on the way in.
 
     Attributes:
         model: The calibrated demand model (used by optimal search).
@@ -45,19 +56,47 @@ class BundlingInputs:
         costs: Per-flow dollar unit costs ``gamma * f_i``.
         potential_profits: Per-flow profit if priced alone at its optimum
             (Eq. 12 / Eq. 13) — the profit-weighted strategy's weights.
-        classes: Optional per-flow cost-class labels.
+        class_codes: Optional per-flow cost-class codes (int array).
+        class_table: Label table the class codes index.
     """
 
-    model: DemandModel
-    demands: np.ndarray
-    valuations: np.ndarray
-    costs: np.ndarray
-    potential_profits: np.ndarray
-    classes: Optional[tuple] = None
+    def __init__(
+        self,
+        model: DemandModel,
+        demands: np.ndarray,
+        valuations: np.ndarray,
+        costs: np.ndarray,
+        potential_profits: np.ndarray,
+        classes: Optional[Sequence[Optional[str]]] = None,
+        class_codes: Optional[np.ndarray] = None,
+        class_table: Sequence[str] = (),
+    ) -> None:
+        self.model = model
+        self.demands = np.asarray(demands, dtype=float)
+        self.valuations = np.asarray(valuations, dtype=float)
+        self.costs = np.asarray(costs, dtype=float)
+        self.potential_profits = np.asarray(potential_profits, dtype=float)
+        if class_codes is not None:
+            self.class_codes: Optional[np.ndarray] = np.asarray(class_codes)
+            self.class_table = tuple(class_table)
+        else:
+            self.class_codes, self.class_table = encode_labels(
+                classes, self.demands.size, "classes"
+            )
+        self._classes: Optional[tuple] = None
+
+    @property
+    def classes(self) -> Optional[tuple]:
+        """The class labels as a tuple (decoded lazily; compat view)."""
+        if self.class_codes is None:
+            return None
+        if self._classes is None:
+            self._classes = decode_labels(self.class_codes, self.class_table)
+        return self._classes
 
     @property
     def n_flows(self) -> int:
-        return int(np.asarray(self.demands).size)
+        return int(self.demands.size)
 
     def subset(self, indices: np.ndarray) -> "BundlingInputs":
         idx = np.asarray(indices, dtype=int)
@@ -67,11 +106,10 @@ class BundlingInputs:
             valuations=self.valuations[idx],
             costs=self.costs[idx],
             potential_profits=self.potential_profits[idx],
-            classes=(
-                None
-                if self.classes is None
-                else tuple(self.classes[i] for i in idx)
+            class_codes=(
+                None if self.class_codes is None else self.class_codes[idx]
             ),
+            class_table=self.class_table,
         )
 
 
@@ -136,7 +174,34 @@ class TokenBucketBundling(BundlingStrategy):
 
 
 def token_bucket_partition(weights: np.ndarray, n_bundles: int) -> Bundles:
-    """The paper's token-bucket grouping over explicit weights."""
+    """The paper's token-bucket grouping over explicit weights.
+
+    Vectorized form of the sequential budget scan: with flows sorted by
+    decreasing weight and ``C_i`` the exclusive prefix sum of sorted
+    weights, bundle ``j`` has closed before flow ``i`` exactly when
+    ``(j+1) * T/B <= C_i`` — but an *empty* bundle is always open, so the
+    bundle index follows the capped recurrence
+    ``j_i = min(n_i, j_{i-1} + 1)`` with ``n_i`` the count of crossed
+    budget thresholds.  Unrolling gives
+    ``j_i = min(B-1, i + min_{m<=i}(n_m - m))``, a running minimum — the
+    whole partition is one sort plus O(n) array passes.
+    """
+    w = np.asarray(weights, dtype=float)
+    n = w.size
+    order = np.argsort(-w, kind="stable")
+    budget = w.sum() / n_bundles
+    consumed_before = np.cumsum(w[order]) - w[order]
+    thresholds = budget * np.arange(1, n_bundles)
+    crossed = np.searchsorted(thresholds, consumed_before, side="right")
+    position = np.arange(n)
+    bundle_of = np.minimum(
+        position + np.minimum.accumulate(crossed - position), n_bundles - 1
+    )
+    return [order[bundle_of == b] for b in range(int(bundle_of[-1]) + 1)]
+
+
+def _token_bucket_reference(weights: np.ndarray, n_bundles: int) -> Bundles:
+    """The original per-flow budget scan, kept as equivalence ground truth."""
     w = np.asarray(weights, dtype=float)
     order = np.argsort(-w, kind="stable")
     budgets = np.full(n_bundles, w.sum() / n_bundles)
@@ -304,6 +369,12 @@ def iter_partitions(n: int, max_blocks: int) -> Iterator[list]:
     yield from recurse(0, [])
 
 
+#: Default ceiling on the optimal DP's input size.  The contiguous DP is
+#: O(n^2 * B) in slice evaluations; at this bound a search stays in the
+#: seconds range, while a silent million-flow call would hang for hours.
+DEFAULT_MAX_OPTIMAL_FLOWS = 5000
+
+
 class OptimalBundling(BundlingStrategy):
     """Profit-maximizing partition search (the paper's "Optimal" curve).
 
@@ -317,16 +388,35 @@ class OptimalBundling(BundlingStrategy):
     objective, and return the candidate with the highest exact profit.
     On every small instance the DP recovers the exhaustive optimum
     (asserted by the test suite).
+
+    Either way the search is quadratic-or-worse in ``n``, so inputs above
+    ``max_flows`` (default :data:`DEFAULT_MAX_OPTIMAL_FLOWS`) raise
+    :class:`~repro.errors.DataError` instead of silently grinding; use a
+    token-bucket strategy at larger scales or raise the limit explicitly.
     """
 
     name = "optimal"
 
-    def __init__(self, exhaustive_limit: int = 10) -> None:
+    def __init__(
+        self,
+        exhaustive_limit: int = 10,
+        max_flows: int = DEFAULT_MAX_OPTIMAL_FLOWS,
+    ) -> None:
         if exhaustive_limit < 0:
             raise BundlingError("exhaustive_limit must be >= 0")
+        if max_flows < 1:
+            raise BundlingError(f"max_flows must be >= 1, got {max_flows}")
         self.exhaustive_limit = exhaustive_limit
+        self.max_flows = int(max_flows)
 
     def _bundle(self, inputs: BundlingInputs, n_bundles: int) -> Bundles:
+        if inputs.n_flows > self.max_flows:
+            raise DataError(
+                f"optimal bundling searches O(n^2) partitions and would not "
+                f"finish on n_flows={inputs.n_flows} (limit {self.max_flows}); "
+                "use a token-bucket strategy at this scale, or raise "
+                "OptimalBundling(max_flows=...) explicitly"
+            )
         if inputs.n_flows <= self.exhaustive_limit:
             return self._exhaustive(inputs, n_bundles)
         return self._dynamic_program(inputs, n_bundles)
@@ -392,7 +482,40 @@ def _contiguous_dp(objective, n: int, max_bundles: int) -> list:
 
     Returns the cut positions ``[0, ..., n]``.  ``dp[b][i]`` is the best
     total slice score covering the first ``i`` flows with ``b`` slices.
+    The inner minimization over the last cut is vectorized through the
+    objective's ``slice_scores``, so each ``(b, i)`` cell is one fused
+    array pass instead of a Python loop.
     """
+    n_bundles = min(max_bundles, n)
+    neg_inf = -np.inf
+    dp = np.full((n_bundles + 1, n + 1), neg_inf)
+    dp[0, 0] = 0.0
+    choice = np.zeros((n_bundles + 1, n + 1), dtype=int)
+    starts_all = np.arange(n + 1)
+    for b in range(1, n_bundles + 1):
+        prev = dp[b - 1]
+        for i in range(b, n + 1):
+            starts = starts_all[b - 1 : i]
+            vals = prev[b - 1 : i] + objective.slice_scores(starts, i)
+            k = int(np.argmax(vals))
+            dp[b, i] = vals[k]
+            choice[b, i] = b - 1 + k
+    # Fewer bundles can never beat more under either model's objective, but
+    # compare anyway in case of score ties.
+    best_b = int(np.argmax(dp[1:, n])) + 1
+    cuts = [n]
+    i = n
+    for b in range(best_b, 0, -1):
+        i = int(choice[b][i])
+        cuts.append(i)
+    cuts.reverse()
+    if cuts[0] != 0:
+        cuts.insert(0, 0)
+    return cuts
+
+
+def _contiguous_dp_reference(objective, n: int, max_bundles: int) -> list:
+    """The original scalar DP loop, kept as equivalence ground truth."""
     n_bundles = min(max_bundles, n)
     neg_inf = -np.inf
     dp = np.full((n_bundles + 1, n + 1), neg_inf)
@@ -411,8 +534,6 @@ def _contiguous_dp(objective, n: int, max_bundles: int) -> list:
                     best_j = j
             dp[b][i] = best_val
             choice[b][i] = best_j
-    # Fewer bundles can never beat more under either model's objective, but
-    # compare anyway in case of score ties.
     best_b = int(np.argmax(dp[1:, n])) + 1
     cuts = [n]
     i = n
@@ -436,9 +557,10 @@ class ClassAwareBundling(BundlingStrategy):
     The paper observes that the plain profit-weighted heuristic misbehaves
     when there are a few discrete cost classes (on-net/off-net): a bundle
     straddling two classes wastes a tier.  This wrapper partitions the
-    flows by class, allocates the tier budget across classes proportionally
-    to their total potential profit (each class gets at least one tier),
-    and runs the inner strategy within each class.
+    flows by class code, allocates the tier budget across classes
+    proportionally to their total potential profit (a ``bincount`` grouped
+    reduction; each class gets at least one tier), and runs the inner
+    strategy within each class.
 
     When ``n_bundles`` is smaller than the number of classes, the
     constraint is unsatisfiable; we then fall back to the inner strategy on
@@ -450,33 +572,34 @@ class ClassAwareBundling(BundlingStrategy):
         self.name = f"class-aware({inner.name})"
 
     def _bundle(self, inputs: BundlingInputs, n_bundles: int) -> Bundles:
-        if inputs.classes is None:
+        codes = inputs.class_codes
+        if codes is None:
             return self.inner.bundle(inputs, n_bundles)
-        labels = sorted(set(inputs.classes))
-        if len(labels) > n_bundles:
-            return self.inner.bundle(inputs, n_bundles)
-        groups = {
-            label: np.flatnonzero(
-                np.fromiter(
-                    (cls == label for cls in inputs.classes),
-                    dtype=bool,
-                    count=inputs.n_flows,
-                )
+        if int(codes.min()) < 0:
+            raise BundlingError(
+                f"{self.name}: every flow needs a class label; "
+                "got a partially-labeled class column"
             )
-            for label in labels
-        }
+        present = np.unique(codes)
+        if present.size > n_bundles:
+            return self.inner.bundle(inputs, n_bundles)
+        totals = np.bincount(
+            codes,
+            weights=inputs.potential_profits,
+            minlength=len(inputs.class_table),
+        )
+        label_of = {int(code): inputs.class_table[code] for code in present}
         allocation = _allocate_bundles(
-            {
-                label: float(np.sum(inputs.potential_profits[idx]))
-                for label, idx in groups.items()
-            },
+            {label_of[int(code)]: float(totals[code]) for code in present},
             n_bundles,
         )
         bundles = []
-        for label in labels:
-            idx = groups[label]
+        # Iterate classes in label order (matches the legacy tuple path
+        # regardless of how the codes were interned).
+        for code in sorted(present, key=lambda c: label_of[int(c)]):
+            idx = np.flatnonzero(codes == code)
             inner_bundles = self.inner.bundle(
-                inputs.subset(idx), min(allocation[label], idx.size)
+                inputs.subset(idx), min(allocation[label_of[int(code)]], idx.size)
             )
             bundles.extend(idx[members] for members in inner_bundles)
         return bundles
@@ -539,23 +662,29 @@ def strategy_by_name(name: str) -> BundlingStrategy:
 
 
 def _validated(bundles: Bundles, n: int, n_bundles: int, name: str) -> Bundles:
-    """Check that a strategy returned a partition of ``range(n)``."""
+    """Check that a strategy returned a partition of ``range(n)``.
+
+    Vectorized: membership multiplicity is one ``bincount`` over the
+    concatenated index arrays instead of a Python set over every index.
+    """
     if not bundles:
         raise BundlingError(f"{name}: strategy returned no bundles")
     if len(bundles) > n_bundles:
         raise BundlingError(
             f"{name}: returned {len(bundles)} bundles, allowed {n_bundles}"
         )
-    seen: set = set()
-    for members in bundles:
-        items = [int(i) for i in np.asarray(members).ravel()]
-        if not items:
+    arrays = [np.asarray(members, dtype=int).ravel() for members in bundles]
+    for members in arrays:
+        if members.size == 0:
             raise BundlingError(f"{name}: returned an empty bundle")
-        if seen.intersection(items):
-            raise BundlingError(f"{name}: bundles overlap")
-        seen.update(items)
-    if seen != set(range(n)):
+    flat = np.concatenate(arrays)
+    in_range = flat[(flat >= 0) & (flat < n)]
+    counts = np.bincount(in_range, minlength=n)
+    if np.any(counts > 1):
+        raise BundlingError(f"{name}: bundles overlap")
+    if flat.size != n or in_range.size != n:
         raise BundlingError(
-            f"{name}: bundles cover {len(seen)} of {n} flows; must partition all"
+            f"{name}: bundles cover {int(np.count_nonzero(counts))} of {n} "
+            "flows; must partition all"
         )
-    return [np.asarray(members, dtype=int) for members in bundles]
+    return arrays

@@ -215,3 +215,17 @@ class CEDBundleObjective(BundleObjective):
         avg_cost = cw_sum / w_sum
         price = self.alpha / (self.alpha - 1.0) * avg_cost
         return w_sum * self._scale**self.alpha * price**-self.alpha * (price - avg_cost)
+
+    def slice_scores(self, starts: np.ndarray, end: int) -> np.ndarray:
+        w_sum = self._w_prefix[end] - self._w_prefix[starts]
+        cw_sum = self._cw_prefix[end] - self._cw_prefix[starts]
+        with np.errstate(divide="ignore", invalid="ignore"):
+            avg_cost = cw_sum / w_sum
+            price = self.alpha / (self.alpha - 1.0) * avg_cost
+            scores = (
+                w_sum
+                * self._scale**self.alpha
+                * price**-self.alpha
+                * (price - avg_cost)
+            )
+        return np.where(w_sum <= 0, 0.0, scores)

@@ -35,7 +35,15 @@ from typing import Optional
 import numpy as np
 from scipy import optimize
 
-from repro.core.flow import FlowSet, INTERNATIONAL, METRO, NATIONAL
+from repro.core.flow import (
+    FlowSet,
+    INTERNATIONAL,
+    METRO,
+    NATIONAL,
+    VALID_REGIONS,
+    decode_labels,
+    encode_labels,
+)
 from repro.errors import DataError, ModelParameterError
 
 #: Cost-class labels emitted by :class:`DestinationTypeCost`.
@@ -43,35 +51,67 @@ ON_NET = "on-net"
 OFF_NET = "off-net"
 
 
-@dataclasses.dataclass(frozen=True)
 class CostedFlows:
     """A flow set annotated with relative delivery costs.
+
+    Cost classes are carried columnar — an ``int32`` code array over an
+    interned label table — so downstream grouped reductions (class-aware
+    bundling, peering offerings) never touch per-flow Python strings.
+    The ``classes`` label tuple is decoded lazily for compatibility, and
+    constructing with ``classes=`` label sequences still works.
 
     Attributes:
         flows: The (possibly transformed) flow set.  The destination-type
             model splits each input flow in two, so ``flows`` may differ
             from the input set.
         relative_costs: Per-flow dimensionless cost ``f_i > 0``.
-        classes: Per-flow cost-class labels when the model defines natural
-            traffic classes (regions, on/off-net), else ``None``.  The
-            class-aware bundling heuristic (§4.3.1) never mixes classes.
+        class_codes: Per-flow cost-class codes when the model defines
+            natural traffic classes (regions, on/off-net), else ``None``.
+            The class-aware bundling heuristic (§4.3.1) never mixes
+            classes.
+        class_table: Label table the class codes index.
     """
 
-    flows: FlowSet
-    relative_costs: np.ndarray
-    classes: Optional[tuple] = None
-
-    def __post_init__(self) -> None:
-        f = np.asarray(self.relative_costs, dtype=float)
-        if f.shape != (len(self.flows),):
+    def __init__(
+        self,
+        flows: FlowSet,
+        relative_costs: np.ndarray,
+        classes: Optional[tuple] = None,
+        class_codes: Optional[np.ndarray] = None,
+        class_table: "tuple[str, ...]" = (),
+    ) -> None:
+        f = np.asarray(relative_costs, dtype=float)
+        if f.shape != (len(flows),):
             raise DataError(
                 f"relative_costs shape {f.shape} does not match "
-                f"{len(self.flows)} flows"
+                f"{len(flows)} flows"
             )
         if np.any(f <= 0) or not np.all(np.isfinite(f)):
             raise DataError("relative costs must be finite and positive")
-        if self.classes is not None and len(self.classes) != len(self.flows):
-            raise DataError("classes length does not match flows")
+        self.flows = flows
+        self.relative_costs = f
+        if class_codes is not None:
+            codes = np.asarray(class_codes)
+            if codes.shape != (len(flows),):
+                raise DataError("classes length does not match flows")
+            self.class_codes: Optional[np.ndarray] = codes
+            self.class_table = tuple(class_table)
+        else:
+            if classes is not None and len(classes) != len(flows):
+                raise DataError("classes length does not match flows")
+            self.class_codes, self.class_table = encode_labels(
+                classes, len(flows), "classes"
+            )
+        self._classes: Optional[tuple] = None
+
+    @property
+    def classes(self) -> Optional[tuple]:
+        """The class labels as a tuple (decoded lazily; compat view)."""
+        if self.class_codes is None:
+            return None
+        if self._classes is None:
+            self._classes = decode_labels(self.class_codes, self.class_table)
+        return self._classes
 
 
 class CostModel(abc.ABC):
@@ -242,30 +282,35 @@ class RegionalCost(CostModel):
         self.metro_miles = float(metro_miles)
         self.national_miles = float(national_miles)
 
+    def classify_codes(self, flows: FlowSet) -> np.ndarray:
+        """Per-flow region codes over :data:`~repro.core.flow.VALID_REGIONS`.
+
+        Stored region codes win over the distance thresholds; the whole
+        classification is two threshold comparisons and a ``where`` merge.
+        """
+        codes = np.searchsorted(
+            np.array([self.metro_miles, self.national_miles]),
+            flows.distances,
+            side="right",
+        ).astype(np.int32)
+        stored = flows.region_codes
+        if stored is not None:
+            codes = np.where(stored >= 0, stored, codes).astype(np.int32)
+        return codes
+
     def classify(self, flows: FlowSet) -> tuple:
         """Per-flow region labels (stored labels win over thresholds)."""
-        stored = flows.regions
-        labels = []
-        for i, d in enumerate(flows.distances):
-            if stored is not None and stored[i] is not None:
-                labels.append(stored[i])
-            elif d < self.metro_miles:
-                labels.append(METRO)
-            elif d < self.national_miles:
-                labels.append(NATIONAL)
-            else:
-                labels.append(INTERNATIONAL)
-        return tuple(labels)
+        return decode_labels(self.classify_codes(flows), VALID_REGIONS)
 
     def prepare(self, flows: FlowSet) -> CostedFlows:
-        labels = self.classify(flows)
-        cost_of = {
-            METRO: 1.0,
-            NATIONAL: 2.0**self.theta,
-            INTERNATIONAL: 3.0**self.theta,
-        }
-        f = np.array([cost_of[label] for label in labels])
-        return CostedFlows(flows=flows, relative_costs=f, classes=labels)
+        codes = self.classify_codes(flows)
+        cost_of = np.array([1.0, 2.0**self.theta, 3.0**self.theta])
+        return CostedFlows(
+            flows=flows,
+            relative_costs=cost_of[codes],
+            class_codes=codes,
+            class_table=VALID_REGIONS,
+        )
 
 
 class DestinationTypeCost(CostModel):
@@ -309,17 +354,26 @@ class DestinationTypeCost(CostModel):
         costs = np.concatenate(
             (np.full(n, self.ON_NET_COST), np.full(n, self.OFF_NET_COST))
         )
-        classes = (ON_NET,) * n + (OFF_NET,) * n
-        regions = None
-        if flows.regions is not None:
-            regions = tuple(flows.regions) * 2
-        split = FlowSet(
-            demands_mbps=demands,
-            distances_miles=distances,
-            regions=regions,
-            classes=classes,
+        class_codes = np.repeat(np.array([0, 1], dtype=np.int32), n)
+        region_codes = None
+        if flows.region_codes is not None:
+            region_codes = np.tile(flows.region_codes, 2)
+        # The inputs were validated on construction and theta in (0, 1)
+        # keeps both halves positive, so take the pre-validated fast path.
+        split = FlowSet.from_columns(
+            demands,
+            distances,
+            region_codes=region_codes,
+            class_codes=class_codes,
+            class_table=(ON_NET, OFF_NET),
+            validate=False,
         )
-        return CostedFlows(flows=split, relative_costs=costs, classes=classes)
+        return CostedFlows(
+            flows=split,
+            relative_costs=costs,
+            class_codes=split.class_codes,
+            class_table=(ON_NET, OFF_NET),
+        )
 
 
 class StepDistanceCost(CostModel):
@@ -380,8 +434,12 @@ class StepDistanceCost(CostModel):
         indices = np.searchsorted(np.asarray(self.thresholds), d, side="right")
         g = np.asarray(self.levels)[indices]
         beta = self.theta * float(g.max())
-        classes = tuple(f"reach-{int(i)}" for i in indices)
-        return CostedFlows(flows=flows, relative_costs=g + beta, classes=classes)
+        return CostedFlows(
+            flows=flows,
+            relative_costs=g + beta,
+            class_codes=indices.astype(np.int32),
+            class_table=tuple(f"reach-{i}" for i in range(len(self.levels))),
+        )
 
 
 class CallableCost(CostModel):
@@ -409,7 +467,14 @@ class CallableCost(CostModel):
 
     def prepare(self, flows: FlowSet) -> CostedFlows:
         d = self._floored_distances(flows)
-        g = np.asarray([float(self._fn(float(x))) for x in d])
+        # Try one vectorized call first; fall back to the per-element loop
+        # for scalar-only functions (e.g. anything built on math.*).
+        try:
+            g = np.asarray(self._fn(d), dtype=float)
+            if g.shape != d.shape:
+                raise TypeError
+        except (TypeError, ValueError):
+            g = np.asarray([float(self._fn(float(x))) for x in d])
         if np.any(g <= 0) or not np.all(np.isfinite(g)):
             raise ModelParameterError(
                 f"cost function {self.fn_name!r} produced non-positive or "

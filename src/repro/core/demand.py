@@ -38,12 +38,22 @@ class BundleObjective(abc.ABC):
     ``exp(alpha * (v_bundle - c_bundle))`` (see :mod:`repro.core.logit`).
 
     Implementations precompute prefix sums over a fixed flow order so that
-    ``slice_score`` is O(1), making the DP O(n^2 * B).
+    ``slice_score`` is O(1), making the DP O(n^2 * B) — and the vectorized
+    ``slice_scores`` turns each DP cell's scan over candidate cuts into one
+    array pass over those same prefixes.
     """
 
     @abc.abstractmethod
     def slice_score(self, i: int, j: int) -> float:
         """Score of a bundle containing flows ``i..j-1`` of the fixed order."""
+
+    def slice_scores(self, starts: np.ndarray, end: int) -> np.ndarray:
+        """Scores of the bundles ``[s, end)`` for each ``s`` in ``starts``.
+
+        The default delegates to ``slice_score``; implementations override
+        with a fused array computation over their prefix sums.
+        """
+        return np.array([self.slice_score(int(s), end) for s in starts])
 
 
 class DemandModel(abc.ABC):

@@ -245,3 +245,13 @@ class LinearBundleObjective(BundleObjective):
             # where every quantity (hence the profit) is zero.
             return 0.0
         return (a_sum + bc_sum) ** 2 / (4.0 * b_sum) - ac_sum
+
+    def slice_scores(self, starts: np.ndarray, end: int) -> np.ndarray:
+        a_sum = self._a_prefix[end] - self._a_prefix[starts]
+        b_sum = self._b_prefix[end] - self._b_prefix[starts]
+        bc_sum = self._bc_prefix[end] - self._bc_prefix[starts]
+        ac_sum = self._ac_prefix[end] - self._ac_prefix[starts]
+        with np.errstate(divide="ignore", invalid="ignore"):
+            optimum = (a_sum + bc_sum) / (2.0 * b_sum)
+            scores = (a_sum + bc_sum) ** 2 / (4.0 * b_sum) - ac_sum
+        return np.where((b_sum <= 0) | (optimum >= self._choke), 0.0, scores)

@@ -374,3 +374,11 @@ class LogitBundleObjective(BundleObjective):
             return 0.0
         c_bar = cw_sum / w_sum
         return w_sum * float(np.exp(-self.alpha * (c_bar - self._c_shift)))
+
+    def slice_scores(self, starts: np.ndarray, end: int) -> np.ndarray:
+        w_sum = self._w_prefix[end] - self._w_prefix[starts]
+        cw_sum = self._cw_prefix[end] - self._cw_prefix[starts]
+        with np.errstate(divide="ignore", invalid="ignore"):
+            c_bar = cw_sum / w_sum
+            scores = w_sum * np.exp(-self.alpha * (c_bar - self._c_shift))
+        return np.where(w_sum <= 0, 0.0, scores)

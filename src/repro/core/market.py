@@ -114,7 +114,9 @@ class Market:
         costed = cost_model.prepare(flows)
         self.flows = costed.flows
         self.relative_costs = costed.relative_costs
-        self.classes = costed.classes
+        self.class_codes = costed.class_codes
+        self.class_table = costed.class_table
+        self._costed = costed  # classes label tuple decoded lazily
 
         demands = self.flows.demands
         self.valuations = demand_model.fit_valuations(demands, self.blended_rate)
@@ -141,6 +143,11 @@ class Market:
     @property
     def n_flows(self) -> int:
         return len(self.flows)
+
+    @property
+    def classes(self) -> "Optional[tuple]":
+        """Cost-class labels as a tuple (decoded lazily; compat view)."""
+        return self._costed.classes
 
     def blended_prices(self) -> np.ndarray:
         return as_price_vector(self.blended_rate, self.n_flows)
@@ -218,7 +225,8 @@ class Market:
                 potential_profits=self.demand_model.potential_profits(
                     self.valuations, self.costs
                 ),
-                classes=self.classes,
+                class_codes=self.class_codes,
+                class_table=self.class_table,
             )
         return self._memo["bundling_inputs"]
 

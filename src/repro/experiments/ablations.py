@@ -118,7 +118,7 @@ def _correlated_flows(
     distances = calibrate_positive(
         raw_d, mean_target=54.0, cv_target=0.70, weights=demands
     )
-    return FlowSet(demands_mbps=demands, distances_miles=distances)
+    return FlowSet.from_columns(demands, distances)
 
 
 def weighting_ablation(

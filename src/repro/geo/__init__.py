@@ -17,6 +17,7 @@ from repro.geo.regions import (
     DEFAULT_NATIONAL_MILES,
     classify_by_distance,
     classify_by_endpoints,
+    region_codes_by_distance,
 )
 
 __all__ = [
@@ -36,4 +37,5 @@ __all__ = [
     "classify_by_endpoints",
     "database_for",
     "haversine_miles",
+    "region_codes_by_distance",
 ]

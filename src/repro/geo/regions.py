@@ -8,9 +8,17 @@ Two classifiers mirror the paper exactly:
 * :func:`classify_by_distance` — threshold-style: under 10 miles is metro,
   under 100 miles is national, otherwise international (used for the EU
   ISP, where only entry/exit distances are known).
+
+:func:`region_codes_by_distance` is the columnar form of the latter: one
+``searchsorted`` over a whole distance column, emitting ``int32`` codes
+into :data:`~repro.core.flow.VALID_REGIONS` for zero-copy
+:meth:`FlowSet.from_columns <repro.core.flow.FlowSet.from_columns>`
+construction.
 """
 
 from __future__ import annotations
+
+import numpy as np
 
 from repro.core.flow import INTERNATIONAL, METRO, NATIONAL
 from repro.errors import DataError
@@ -47,3 +55,26 @@ def classify_by_distance(
     if distance_miles < national_miles:
         return NATIONAL
     return INTERNATIONAL
+
+
+def region_codes_by_distance(
+    distances_miles: np.ndarray,
+    metro_miles: float = DEFAULT_METRO_MILES,
+    national_miles: float = DEFAULT_NATIONAL_MILES,
+) -> np.ndarray:
+    """Vectorized :func:`classify_by_distance` emitting region *codes*.
+
+    Returns an ``int32`` array indexing
+    :data:`~repro.core.flow.VALID_REGIONS` (0 metro, 1 national,
+    2 international) — one ``searchsorted`` for the whole column.
+    """
+    d = np.asarray(distances_miles, dtype=float)
+    if d.size and float(d.min()) < 0:
+        raise DataError(f"distance must be non-negative, got {float(d.min())}")
+    if not 0 < metro_miles < national_miles:
+        raise DataError(
+            f"need 0 < metro_miles < national_miles, got {metro_miles}, {national_miles}"
+        )
+    return np.searchsorted(
+        np.array([metro_miles, national_miles]), d, side="right"
+    ).astype(np.int32)

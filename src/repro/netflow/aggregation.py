@@ -10,7 +10,9 @@ from __future__ import annotations
 from collections.abc import Callable
 from typing import Optional
 
-from repro.core.flow import FlowSet
+import numpy as np
+
+from repro.core.flow import NO_LABEL, FlowSet, encode_regions
 from repro.errors import DataError
 from repro.netflow.collector import FlowCollector
 from repro.netflow.records import FlowKey
@@ -49,11 +51,18 @@ def aggregate_to_flowset(
     if not volumes:
         raise DataError("collector holds no records")
 
+    # One pass over the deduplicated keys (the distance/region callbacks
+    # force per-key Python), interning endpoint labels on the way so the
+    # result assembles straight into code columns — no Flow objects, no
+    # label tuples, and the numeric columns are validated exactly once by
+    # the columnar constructor.
     demands = []
     distances = []
     regions = []
-    srcs = []
-    dsts = []
+    src_codes = []
+    dst_codes = []
+    src_index: "dict[str, int]" = {}
+    dst_index: "dict[str, int]" = {}
     for key in sorted(volumes, key=_key_sort):
         octets = volumes[key]
         mbps = octets * 8.0 / window_seconds / 1e6
@@ -62,20 +71,33 @@ def aggregate_to_flowset(
         demands.append(mbps)
         distances.append(float(distance_fn(key)))
         regions.append(region_fn(key) if region_fn is not None else None)
-        srcs.append(key.src_addr)
-        dsts.append(key.dst_addr)
+        src_codes.append(_intern(key.src_addr, src_index))
+        dst_codes.append(_intern(key.dst_addr, dst_index))
     if not demands:
         raise DataError(
             "no flows above the demand threshold "
             f"({min_demand_mbps} Mbps) in a {window_seconds:.0f}s window"
         )
-    return FlowSet(
-        demands_mbps=demands,
-        distances_miles=distances,
-        regions=regions if any(r is not None for r in regions) else None,
-        srcs=srcs,
-        dsts=dsts,
+    n = len(demands)
+    return FlowSet.from_columns(
+        np.asarray(demands, dtype=float),
+        np.asarray(distances, dtype=float),
+        region_codes=encode_regions(regions, n),
+        src_codes=np.asarray(src_codes, dtype=np.int32),
+        src_table=tuple(src_index),
+        dst_codes=np.asarray(dst_codes, dtype=np.int32),
+        dst_table=tuple(dst_index),
     )
+
+
+def _intern(label: Optional[str], index: "dict[str, int]") -> int:
+    if label is None:
+        return NO_LABEL
+    code = index.get(label)
+    if code is None:
+        code = len(index)
+        index[label] = code
+    return code
 
 
 def _key_sort(key: FlowKey) -> tuple:

@@ -38,6 +38,20 @@ from repro.core.market import Market
 from repro.errors import BundlingError
 
 
+def _bundles_by_class(
+    codes: np.ndarray, table: "tuple[str, ...]"
+) -> "tuple[list, list]":
+    """One index bundle per present class code, ordered by label.
+
+    A grouped reduction over the columnar class codes — one ``unique``
+    plus one boolean mask per present class, no per-flow Python.
+    """
+    present = np.unique(codes)
+    present = present[present >= 0]
+    ordered = sorted((int(c) for c in present), key=lambda c: table[c])
+    return [np.flatnonzero(codes == c) for c in ordered], [table[c] for c in ordered]
+
+
 class BlendedRateOffering(BundlingStrategy):
     """Conventional transit: every destination at one rate."""
 
@@ -59,26 +73,17 @@ class PaidPeeringOffering(BundlingStrategy):
 
     def _bundle(self, inputs: BundlingInputs, n_bundles: int) -> Bundles:
         del n_bundles
-        if inputs.classes is None:
+        if inputs.class_codes is None:
             raise BundlingError(
                 "paid peering needs on-net/off-net class labels; use the "
                 "destination-type cost model"
             )
-        labels = sorted(set(inputs.classes))
+        bundles, labels = _bundles_by_class(inputs.class_codes, inputs.class_table)
         if len(labels) < 2:
             raise BundlingError(
                 f"paid peering needs two destination classes, got {labels}"
             )
-        return [
-            np.flatnonzero(
-                np.fromiter(
-                    (cls == label for cls in inputs.classes),
-                    dtype=bool,
-                    count=inputs.n_flows,
-                )
-            )
-            for label in labels
-        ]
+        return bundles
 
 
 def backplane_bundles(
@@ -112,22 +117,13 @@ class RegionalPricingOffering(BundlingStrategy):
 
     def _bundle(self, inputs: BundlingInputs, n_bundles: int) -> Bundles:
         del n_bundles
-        if inputs.classes is None:
+        if inputs.class_codes is None:
             raise BundlingError(
                 "regional pricing needs region classes; use the regional "
                 "cost model (or flows with region labels)"
             )
-        labels = sorted(set(inputs.classes))
-        return [
-            np.flatnonzero(
-                np.fromiter(
-                    (cls == label for cls in inputs.classes),
-                    dtype=bool,
-                    count=inputs.n_flows,
-                )
-            )
-            for label in labels
-        ]
+        bundles, _ = _bundles_by_class(inputs.class_codes, inputs.class_table)
+        return bundles
 
 
 @dataclasses.dataclass(frozen=True)
@@ -174,18 +170,8 @@ def compare_offerings(
 
     evaluate("conventional-transit", [np.arange(market.n_flows)])
 
-    if market.classes is not None:
-        labels = sorted(set(market.classes))
-        by_class = [
-            np.flatnonzero(
-                np.fromiter(
-                    (cls == label for cls in market.classes),
-                    dtype=bool,
-                    count=market.n_flows,
-                )
-            )
-            for label in labels
-        ]
+    if market.class_codes is not None:
+        by_class, labels = _bundles_by_class(market.class_codes, market.class_table)
         if set(labels) == {"on-net", "off-net"}:
             evaluate("paid-peering", by_class)
         elif len(labels) >= 2:

@@ -29,7 +29,7 @@ from typing import Optional
 import numpy as np
 
 from repro.core.cost import CostModel
-from repro.core.flow import FlowSet, VALID_REGIONS
+from repro.core.flow import FlowSet, REGION_CODE, VALID_REGIONS
 from repro.errors import ConfigurationError, DataError
 from repro import obs
 from repro.obs import METRICS
@@ -196,14 +196,24 @@ class QuoteEngine:
             tiers = snapshot.tiers_for(dsts)
             prices = snapshot.prices_for_tiers(tiers)
         with METRICS.stage("serve.cost"):
-            flows = FlowSet(
-                demands_mbps=[r.volume_mbps for r in requests],
-                distances_miles=[r.distance_miles for r in requests],
-                regions=(
-                    [r.region for r in requests]
-                    if all(r.region is not None for r in requests)
-                    else None
+            # QuoteRequest validated volume/distance/region on construction,
+            # so assemble the batch straight into columns on the
+            # pre-validated fast path — no per-request re-validation.
+            n = len(requests)
+            region_codes = None
+            if all(r.region is not None for r in requests):
+                region_codes = np.fromiter(
+                    (REGION_CODE[r.region] for r in requests),
+                    dtype=np.int32,
+                    count=n,
+                )
+            flows = FlowSet.from_columns(
+                np.fromiter((r.volume_mbps for r in requests), dtype=float, count=n),
+                np.fromiter(
+                    (r.distance_miles for r in requests), dtype=float, count=n
                 ),
+                region_codes=region_codes,
+                validate=False,
             )
             costed = self.cost_model.prepare_quotes(
                 flows, snapshot.reference_distance_miles

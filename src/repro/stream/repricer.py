@@ -29,7 +29,7 @@ from repro.accounting.tier_designer import TierDesign
 from repro.core.bundling import BundlingStrategy, ProfitWeightedBundling
 from repro.core.cost import CostModel
 from repro.core.demand import DemandModel
-from repro.core.flow import FlowSet
+from repro.core.flow import NO_LABEL, FlowSet
 from repro.core.market import Market
 from repro import obs
 from repro.errors import ReproError
@@ -122,35 +122,53 @@ def aggregate_by_destination(flows: FlowSet) -> FlowSet:
     Flow sets without destination addresses pass through unchanged.
     Output order is sorted by destination, so repeated runs over the same
     window are bit-identical.
+
+    Grouping runs entirely on the destination *code* column: demand sums
+    and demand-weighted distances are ``bincount`` reductions over the
+    group inverse (which add members in the same index order the old
+    per-group Python sums did, so results are bit-identical), and each
+    group's dominant-flow region falls out of one ``lexsort``.
     """
-    if flows.dsts is None:
+    codes = flows.dst_codes
+    if codes is None:
         return flows
-    by_dst: dict = {}
-    for i, dst in enumerate(flows.dsts):
-        by_dst.setdefault(dst, []).append(i)
-    if all(len(members) == 1 for members in by_dst.values()):
+    uniq, inverse = np.unique(codes, return_inverse=True)
+    if uniq.size == codes.size:
         return flows
-    demands, distances, regions, dsts = [], [], [], []
-    for dst in sorted(by_dst):
-        members = by_dst[dst]
-        weight = float(sum(flows.demands[i] for i in members))
-        demands.append(weight)
-        distances.append(
-            float(sum(flows.demands[i] * flows.distances[i] for i in members))
-            / weight
-        )
-        if flows.regions is not None:
-            # The region of the destination's dominant flow.
-            best = max(members, key=lambda i: (flows.demands[i], -i))
-            regions.append(flows.regions[best])
+    demand_sums = np.bincount(inverse, weights=flows.demands)
+    distance_means = (
+        np.bincount(inverse, weights=flows.demands * flows.distances)
+        / demand_sums
+    )
+    region_codes = None
+    if flows.region_codes is not None:
+        # Dominant flow per group: highest demand, earliest index on ties.
+        by_group = np.lexsort((np.arange(len(flows)), -flows.demands, inverse))
+        dominant = by_group[np.unique(inverse[by_group], return_index=True)[1]]
+        region_codes = flows.region_codes[dominant]
+
+    # Emit groups sorted by destination label (the legacy iteration order).
+    table = flows.dst_table
+    labels = [table[c] if c >= 0 else None for c in uniq]
+    group_order = sorted(
+        range(len(labels)), key=lambda g: (labels[g] is None, labels[g] or "")
+    )
+    dst_codes = np.empty(len(labels), dtype=np.int32)
+    dst_table: list = []
+    for position, g in enumerate(group_order):
+        if labels[g] is None:
+            dst_codes[position] = NO_LABEL
         else:
-            regions.append(None)
-        dsts.append(dst)
-    return FlowSet(
-        demands_mbps=demands,
-        distances_miles=distances,
-        regions=regions,
-        dsts=dsts,
+            dst_codes[position] = len(dst_table)
+            dst_table.append(labels[g])
+    g_order = np.asarray(group_order)
+    return FlowSet.from_columns(
+        demand_sums[g_order],
+        distance_means[g_order],
+        region_codes=None if region_codes is None else region_codes[g_order],
+        dst_codes=dst_codes,
+        dst_table=tuple(dst_table),
+        validate=False,
     )
 
 

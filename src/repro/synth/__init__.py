@@ -5,6 +5,7 @@ from repro.synth.datasets import (
     DATASETS,
     DatasetSpec,
     dataset_spec,
+    generate_flow_table,
     load_dataset,
     table1_row,
 )
@@ -45,6 +46,7 @@ __all__ = [
     "elephants_and_mice",
     "expand_to_time_series",
     "gaussian_copula_pair",
+    "generate_flow_table",
     "generate_network_trace",
     "load_dataset",
     "lognormal_sigma_for_cv",

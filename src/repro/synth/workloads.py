@@ -172,4 +172,6 @@ def elephants_and_mice(
             raise DataError(
                 f"got {distances.size} distances for {n_flows} flows"
             )
-    return FlowSet(demands_mbps=demands, distances_miles=distances)
+    # Both columns are freshly generated positive arrays; adopt them
+    # zero-copy on the columnar fast path.
+    return FlowSet.from_columns(demands, np.asarray(distances, dtype=float))
