@@ -32,10 +32,12 @@ Subpackages:
   and figure.
 * :mod:`repro.obs` — tracing (spans across processes and threads) and
   the process-global metrics registry.
+* :mod:`repro.fleet` — sharded multi-process quote serving over
+  shared-memory snapshot segments, with an asyncio socket front door.
 * :mod:`repro.config` — typed configuration objects
   (:class:`RuntimeConfig`, :class:`StreamConfig`, :class:`ServeConfig`,
-  :class:`ObsConfig`) with one explicit > CLI > env > default
-  precedence chain.
+  :class:`FleetConfig`, :class:`ObsConfig`) with one explicit > CLI >
+  env > default precedence chain.
 """
 
 from repro.core import (
@@ -73,6 +75,7 @@ from repro.core import (
     strategy_by_name,
 )
 from repro.config import (
+    FleetConfig,
     ObsConfig,
     RuntimeConfig,
     ServeConfig,
@@ -138,6 +141,7 @@ __all__ = [
     "DemandModel",
     "DemandWeightedBundling",
     "DestinationTypeCost",
+    "FleetConfig",
     "Flow",
     "FlowSet",
     "FlowTable",

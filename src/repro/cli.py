@@ -15,6 +15,10 @@ Commands:
   stream that publishes tier designs into the snapshot registry, then
   serve a seeded self-test load through the thread-pool quote server and
   report quotes/sec plus the latency tail.
+* ``fleet`` — the multi-process version of ``serve``: shard workers over
+  shared-memory snapshot segments behind an asyncio socket front door,
+  self-tested over a real socket with a live snapshot cutover halfway
+  through the load.
 * ``trace summarize`` — roll a ``--trace`` JSONL file up into per-stage
   latency/error statistics.
 
@@ -358,6 +362,95 @@ def build_parser() -> argparse.ArgumentParser:
         help="warm-up stream capture length (default 1800)",
     )
 
+    fleet = sub.add_parser(
+        "fleet",
+        help=(
+            "run the sharded multi-process quote fleet (shared-memory "
+            "snapshots, asyncio front door) and a socket self-test load"
+        ),
+        parents=[runtime],
+    )
+    fleet.add_argument(
+        "dataset",
+        choices=DATASET_NAMES,
+        help="which network's trace warms up the published design",
+    )
+    fleet.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "shard worker processes (default $REPRO_FLEET_SHARDS, else 2; "
+            "0 = one per core)"
+        ),
+    )
+    fleet.add_argument(
+        "--port",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help="front-door listen port (default 0 = ephemeral, reported)",
+    )
+    fleet.add_argument(
+        "--queue-depth",
+        type=int,
+        default=None,
+        metavar="N",
+        help="per-shard admission-queue capacity (default 1024)",
+    )
+    fleet.add_argument(
+        "--max-batch",
+        type=int,
+        default=None,
+        metavar="N",
+        help="largest batch one shard round-trip carries (default 512)",
+    )
+    fleet.add_argument(
+        "--timeout-ms",
+        type=float,
+        default=None,
+        metavar="MS",
+        help="per-request deadline / shard round-trip bound (default 5000)",
+    )
+    fleet.add_argument(
+        "--selftest",
+        type=int,
+        default=2000,
+        metavar="N",
+        help=(
+            "socket self-test load size in requests, split around a live "
+            "snapshot cutover (default 2000)"
+        ),
+    )
+    fleet.add_argument(
+        "--unknown-fraction",
+        type=float,
+        default=0.2,
+        metavar="F",
+        help="fraction of load aimed at destinations outside the design",
+    )
+    fleet.add_argument(
+        "--tiers", type=int, default=3, help="tier budget for published designs"
+    )
+    fleet.add_argument(
+        "--demand", choices=("ced", "logit"), default="ced"
+    )
+    fleet.add_argument(
+        "--window",
+        type=float,
+        default=600.0,
+        metavar="SECONDS",
+        help="warm-up stream window length (default 600)",
+    )
+    fleet.add_argument(
+        "--duration",
+        type=float,
+        default=1800.0,
+        metavar="SECONDS",
+        help="warm-up stream capture length (default 1800)",
+    )
+
     report = sub.add_parser(
         "report",
         help="run every table/figure and emit a markdown report",
@@ -602,6 +695,133 @@ def cmd_serve(args: argparse.Namespace) -> str:
     return "\n".join(lines)
 
 
+def cmd_fleet(args: argparse.Namespace) -> str:
+    import asyncio
+    import json
+
+    from repro.core.ced import CEDDemand
+    from repro.core.cost import LinearDistanceCost
+    from repro.core.logit import LogitDemand
+    from repro.config import FleetConfig
+    from repro.fleet import FrontDoor, ShardFleet, run_socket_load
+    from repro.serve import SnapshotRegistry, generate_requests
+    from repro.stream import StreamingPipeline, TraceReplaySource
+    from repro.synth.trace import generate_network_trace
+
+    # 1. Warm up exactly like `serve`: replay a short trace; every accepted
+    #    re-tiering publishes into a plain registry (for the load
+    #    generator's known destinations) *and* into the fleet (segment
+    #    versions; the workers attach the last one on spawn).
+    trace = generate_network_trace(
+        args.dataset,
+        n_flows=args.flows,
+        seed=args.seed,
+        duration_seconds=args.duration,
+    )
+    source = TraceReplaySource(trace, export_interval_ms=60_000)
+    if args.demand == "ced":
+        demand = CEDDemand(alpha=DEFAULT_CONFIG.alpha)
+    else:
+        demand = LogitDemand(alpha=DEFAULT_CONFIG.alpha, s0=DEFAULT_CONFIG.s0)
+    cost_model = LinearDistanceCost(theta=DEFAULT_CONFIG.theta)
+    stream_config = StreamConfig.resolve(
+        window_ms=int(args.window * 1000),
+        n_tiers=args.tiers,
+        blended_rate=DEFAULT_CONFIG.blended_rate,
+    )
+    fleet_config = FleetConfig.resolve(cli=args)
+    registry = SnapshotRegistry()
+    fleet = ShardFleet(
+        cost_model,
+        fleet_config,
+        fallback_blended_rate=DEFAULT_CONFIG.blended_rate,
+    )
+    pipeline = StreamingPipeline(
+        source,
+        distance_fn=trace.distance_for,
+        demand_model=demand,
+        cost_model=cost_model,
+        config=stream_config,
+    )
+    pipeline.repricer.on_design_published = registry.subscriber(
+        pipeline.config_digest
+    )
+    pipeline.repricer.subscribe(fleet.subscriber(pipeline.config_digest))
+    stream_report = pipeline.run()
+    snapshot = registry.current()
+
+    # 2. Spin up the fleet + front door and drive the socket self-test,
+    #    with a live cutover halfway through: the second half's answers
+    #    must all carry the post-cutover version.
+    requests = generate_requests(
+        args.selftest,
+        seed=args.seed,
+        snapshot=snapshot,
+        unknown_fraction=args.unknown_fraction,
+    )
+
+    async def _selftest(door: FrontDoor):
+        half = len(requests) // 2
+        first = await run_socket_load(
+            door.host, door.port, requests[:half]
+        )
+        if snapshot is not None:
+            fleet.publish(snapshot)
+        second = await run_socket_load(
+            door.host, door.port, requests[half:]
+        )
+        return first, second
+
+    with fleet:
+        if snapshot is not None:
+            fleet.publish(snapshot)
+
+        async def _run():
+            async with FrontDoor(fleet, fleet_config) as door:
+                port = door.port
+                first, second = await _selftest(door)
+                return port, first, second
+
+        port, first, second = asyncio.run(_run())
+        stats = fleet.stats()
+        pids = [pid for pid in stats["pids"] if pid is not None]
+    stale = [v for v in second.versions if v != fleet.version]
+    answered = first.answered + second.answered
+    wall = first.wall_time_s + second.wall_time_s
+    summary = {
+        "shards": fleet.n_shards,
+        "pids": pids,
+        "distinct_pids": len(set(pids)),
+        "port": port,
+        "answered": answered,
+        "priced": first.priced + second.priced,
+        "degraded": first.degraded + second.degraded,
+        "quotes_per_second": round(answered / max(wall, 1e-9), 1),
+        "p99_ms": second.latency_ms.get("p99"),
+        "versions": sorted(set(first.versions) | set(second.versions)),
+        "cutovers": stats["cutovers"],
+        "respawns": stats["respawns"],
+        "stale_after_cutover": len(stale),
+    }
+    lines = [
+        f"stream warm-up: {len(stream_report.results)} windows, "
+        f"{stream_report.windows_priced} priced, "
+        f"{stream_report.retier_events} re-tier events",
+        (
+            "active snapshot: none (degraded serving)"
+            if snapshot is None
+            else f"active {snapshot.describe()}"
+        ),
+        f"fleet: {fleet.n_shards} shards (pids {pids}), front door on "
+        f"port {port}, segment version {fleet.version}",
+        first.render(),
+        f"-- live cutover to v{fleet.version} --",
+        second.render(),
+        "fleet-report: " + json.dumps(summary, sort_keys=True),
+    ]
+    return "\n".join(lines)
+
+
 def cmd_report(args: argparse.Namespace) -> str:
     from repro.experiments.report import generate_report
 
@@ -696,6 +916,7 @@ _COMMANDS = {
     "design": cmd_design,
     "stream": cmd_stream,
     "serve": cmd_serve,
+    "fleet": cmd_fleet,
     "report": cmd_report,
     "export": cmd_export,
     "offerings": cmd_offerings,

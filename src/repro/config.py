@@ -3,7 +3,7 @@
 Before this module, each subsystem grew its own configuration dialect —
 ``--jobs``/``REPRO_JOBS`` for the experiment runtime, a kwarg soup for
 the stream pipeline, ``--workers/--queue-depth/--timeout-ms`` for the
-quote server.  Everything now resolves through four frozen dataclasses:
+quote server.  Everything now resolves through five frozen dataclasses:
 
 * :class:`RuntimeConfig` — experiment fan-out and caching
   (``jobs``/``cache``/``cache_dir``/``metrics``);
@@ -11,6 +11,9 @@ quote server.  Everything now resolves through four frozen dataclasses:
   drift gate), also re-exported from :mod:`repro.stream`;
 * :class:`ServeConfig` — the quote server (``workers``/``queue_depth``/
   ``timeout_ms``/``max_batch``);
+* :class:`FleetConfig` — the sharded multi-process quote fleet
+  (``shards``/``host``/``port``/``queue_depth``/``max_batch``/
+  ``timeout_ms``/``heartbeat_ms``);
 * :class:`ObsConfig` — tracing (``trace`` file path).
 
 Each class offers ``resolve(cli=None, **explicit)`` with one precedence
@@ -304,6 +307,83 @@ class ServeConfig(_Resolvable):
 
 
 # ----------------------------------------------------------------------
+# Fleet (sharded multi-process quote serving)
+# ----------------------------------------------------------------------
+
+
+@dataclasses.dataclass(frozen=True)
+class FleetConfig(_Resolvable):
+    """The sharded quote fleet's operational envelope.
+
+    Attributes:
+        shards: Worker processes pricing quote batches; ``0`` or negative
+            = one per CPU core.  Env: ``REPRO_FLEET_SHARDS``; CLI:
+            ``--shards``.
+        host: Front-door listen address.  Env: ``REPRO_FLEET_HOST``.
+        port: Front-door listen port; ``0`` = ephemeral (the bound port
+            is reported after start).  Env: ``REPRO_FLEET_PORT``; CLI:
+            ``--port``.
+        queue_depth: Per-shard admission-queue capacity; full queues
+            shed the oldest pending request.  Env:
+            ``REPRO_FLEET_QUEUE_DEPTH``.
+        max_batch: Largest request batch one shard round-trip carries.
+            Env: ``REPRO_FLEET_MAX_BATCH``.
+        timeout_ms: Default per-request deadline (also bounds one shard
+            round-trip before the shard is declared wedged).  Env:
+            ``REPRO_FLEET_TIMEOUT_MS``.
+        heartbeat_ms: Watchdog ping cadence; a dead shard is respawned
+            within roughly one heartbeat.  Env:
+            ``REPRO_FLEET_HEARTBEAT_MS``.
+    """
+
+    shards: int = cfg_field(2, env="REPRO_FLEET_SHARDS", parse=_env_int)
+    host: str = cfg_field("127.0.0.1", env="REPRO_FLEET_HOST")
+    port: int = cfg_field(0, env="REPRO_FLEET_PORT", parse=_env_int)
+    queue_depth: int = cfg_field(
+        1024, env="REPRO_FLEET_QUEUE_DEPTH", parse=_env_int
+    )
+    max_batch: int = cfg_field(
+        512, env="REPRO_FLEET_MAX_BATCH", parse=_env_int
+    )
+    timeout_ms: float = cfg_field(
+        5000.0, env="REPRO_FLEET_TIMEOUT_MS", parse=_env_float
+    )
+    heartbeat_ms: float = cfg_field(
+        100.0, env="REPRO_FLEET_HEARTBEAT_MS", parse=_env_float
+    )
+
+    def __post_init__(self) -> None:
+        if not self.host:
+            raise ConfigurationError("fleet host must be non-empty")
+        if not 0 <= self.port <= 65535:
+            raise ConfigurationError(
+                f"port must be in [0, 65535], got {self.port}"
+            )
+        if self.queue_depth < 1:
+            raise ConfigurationError(
+                f"queue_depth must be >= 1, got {self.queue_depth}"
+            )
+        if self.max_batch < 1:
+            raise ConfigurationError(
+                f"max_batch must be >= 1, got {self.max_batch}"
+            )
+        if self.timeout_ms <= 0:
+            raise ConfigurationError(
+                f"timeout_ms must be positive, got {self.timeout_ms}"
+            )
+        if self.heartbeat_ms <= 0:
+            raise ConfigurationError(
+                f"heartbeat_ms must be positive, got {self.heartbeat_ms}"
+            )
+
+    def shard_count(self) -> int:
+        """The concrete shard width (resolves the 0-means-all-cores rule)."""
+        if self.shards <= 0:
+            return os.cpu_count() or 1
+        return self.shards
+
+
+# ----------------------------------------------------------------------
 # Obs (tracing)
 # ----------------------------------------------------------------------
 
@@ -327,6 +407,7 @@ class ObsConfig(_Resolvable):
 
 __all__ = [
     "DEPRECATION_PREFIX",
+    "FleetConfig",
     "ObsConfig",
     "RuntimeConfig",
     "ServeConfig",

@@ -1,0 +1,554 @@
+"""The asyncio front door: sockets in, shard batches out.
+
+Wire protocol — length-prefixed JSON frames (4-byte big-endian length,
+then UTF-8 JSON), both directions.  A request frame::
+
+    {"id": 7, "quotes": [{"dst": "10.0.0.1", "volume_mbps": 4.0,
+                          "distance_miles": 120.0}, ...]}
+
+is answered (eventually, not necessarily in submission order — frames
+are correlated by ``id``) with::
+
+    {"id": 7, "quotes": [{"unit_price": 14.25, "tier": 2, ...}, ...]}
+
+``{"id": N, "op": "stats"}`` returns the fleet's operational snapshot.
+Malformed frames get an ``{"id": ..., "error": ...}`` reply; a frame
+too large to be honest closes the connection.
+
+Inside, the front door is a per-shard fan-in: each parsed request is
+routed by destination hash onto its shard's bounded admission queue
+(the streaming layer's :class:`~repro.stream.queue.BoundedQueue` under
+``drop-oldest`` — a full queue sheds the *oldest* waiting request,
+which resolves immediately as a degraded quote, counted in
+``fleet.shed``).  One dispatcher task per shard gulps up to
+``max_batch`` requests and round-trips them to its worker via
+:meth:`~repro.fleet.shard.ShardFleet.quote_shard` on an executor
+thread, so the event loop never blocks on a pipe and distinct shards
+price concurrently.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import json
+import struct
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Optional
+
+from repro import obs
+from repro.config import FleetConfig
+from repro.errors import DataError, ReproError
+from repro.obs import METRICS
+from repro.serve.engine import Quote, QuoteRequest
+from repro.fleet.shard import ShardFleet, shard_of
+from repro.stream.queue import BoundedQueue
+
+_FRAME_LEN = struct.Struct(">I")
+#: Largest accepted frame (requests and replies), in bytes.
+MAX_FRAME_BYTES = 8 * 1024 * 1024
+
+#: QuoteRequest fields a frame's quote objects may carry.
+_REQUEST_FIELDS = frozenset(
+    ("dst", "volume_mbps", "distance_miles", "region", "regime")
+)
+
+
+def encode_frame(payload: dict) -> bytes:
+    body = json.dumps(payload, separators=(",", ":")).encode("utf-8")
+    return _FRAME_LEN.pack(len(body)) + body
+
+
+async def read_frame(reader: asyncio.StreamReader) -> dict:
+    header = await reader.readexactly(_FRAME_LEN.size)
+    (length,) = _FRAME_LEN.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise DataError(
+            f"frame of {length} bytes exceeds the {MAX_FRAME_BYTES}-byte "
+            "limit"
+        )
+    return json.loads(await reader.readexactly(length))
+
+
+def quote_to_wire(quote: Quote) -> dict:
+    return {
+        "unit_price": quote.unit_price,
+        "tier": quote.tier,
+        "known": quote.known,
+        "degraded": quote.degraded,
+        "unit_cost": quote.unit_cost,
+        "profit_contribution": quote.profit_contribution,
+        "snapshot_version": quote.snapshot_version,
+        "snapshot_digest": quote.snapshot_digest,
+        "reason": quote.reason,
+    }
+
+
+def _parse_request(obj) -> QuoteRequest:
+    if not isinstance(obj, dict):
+        raise DataError(f"quote must be an object, got {type(obj).__name__}")
+    unknown = set(obj) - _REQUEST_FIELDS
+    if unknown:
+        raise DataError(f"unknown quote field(s) {sorted(unknown)}")
+    return QuoteRequest(**obj)
+
+
+class _PendingItem:
+    """One routed request waiting in a shard's admission queue."""
+
+    __slots__ = ("request", "future", "submitted_at")
+
+    def __init__(self, request: QuoteRequest, future: asyncio.Future) -> None:
+        self.request = request
+        self.future = future
+        self.submitted_at = time.perf_counter()
+
+    def resolve(self, quote: Quote) -> None:
+        if not self.future.done():
+            METRICS.observe_latency(
+                "fleet.request", time.perf_counter() - self.submitted_at
+            )
+            self.future.set_result(quote)
+
+
+class FrontDoor:
+    """Asyncio socket front-end over a running :class:`ShardFleet`."""
+
+    def __init__(
+        self, fleet: ShardFleet, config: "Optional[FleetConfig]" = None
+    ) -> None:
+        self.fleet = fleet
+        self.config = config or fleet.config
+        self.host = self.config.host
+        self.port: "Optional[int]" = None  # bound port, known after start
+        self._server: "Optional[asyncio.base_events.Server]" = None
+        self._pool: "Optional[ThreadPoolExecutor]" = None
+        self._queues: "list[BoundedQueue]" = []
+        self._wakeups: "list[asyncio.Event]" = []
+        self._dispatchers: "list[asyncio.Task]" = []
+        self.shed = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    async def start(self) -> "FrontDoor":
+        n = self.fleet.n_shards
+        self._pool = ThreadPoolExecutor(
+            max_workers=n, thread_name_prefix="fleet-dispatch"
+        )
+        self._queues = []
+        self._wakeups = []
+        for sid in range(n):
+            queue = BoundedQueue(self.config.queue_depth, policy="drop-oldest")
+            queue.on_evict = self._shed
+            self._queues.append(queue)
+            self._wakeups.append(asyncio.Event())
+        self._dispatchers = [
+            asyncio.create_task(
+                self._dispatch_loop(sid), name=f"fleet-dispatch-{sid}"
+            )
+            for sid in range(n)
+        ]
+        self._server = await asyncio.start_server(
+            self._handle_client, host=self.host, port=self.config.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self
+
+    async def stop(self) -> None:
+        """Close the listener, then drain dispatchers (queued requests
+        resolve degraded — the fleet behind may already be stopping)."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for task in self._dispatchers:
+            task.cancel()
+        for task in self._dispatchers:
+            try:
+                await task
+            except asyncio.CancelledError:
+                pass
+        self._dispatchers = []
+        for queue in self._queues:
+            for item in queue.drain():
+                item.resolve(
+                    self.fleet._degraded_batch(
+                        [item.request], "front door stopped"
+                    )[0]
+                )
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    async def __aenter__(self) -> "FrontDoor":
+        return await self.start()
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.stop()
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+
+    async def _handle_client(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        write_lock = asyncio.Lock()
+        frame_tasks: "set[asyncio.Task]" = set()
+        try:
+            while True:
+                try:
+                    frame = await read_frame(reader)
+                except (
+                    asyncio.IncompleteReadError,
+                    ConnectionResetError,
+                    BrokenPipeError,
+                ):
+                    break
+                except (DataError, json.JSONDecodeError, UnicodeDecodeError):
+                    METRICS.incr("fleet.bad_frames")
+                    break  # unframeable input: the stream is unrecoverable
+                # Serve each frame in its own task so a big batch doesn't
+                # head-of-line block later frames on the same connection.
+                task = asyncio.create_task(
+                    self._serve_frame(frame, writer, write_lock)
+                )
+                frame_tasks.add(task)
+                task.add_done_callback(frame_tasks.discard)
+        finally:
+            if frame_tasks:
+                await asyncio.gather(*frame_tasks, return_exceptions=True)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass
+
+    async def _serve_frame(
+        self,
+        frame,
+        writer: asyncio.StreamWriter,
+        write_lock: asyncio.Lock,
+    ) -> None:
+        frame_id = frame.get("id") if isinstance(frame, dict) else None
+        if not isinstance(frame, dict):
+            reply = {"id": None, "error": "frame must be a JSON object"}
+        elif frame.get("op") == "stats":
+            stats = dict(self.fleet.stats())
+            stats["shed"] = self.shed
+            stats["request_latency_ms"] = {
+                name: round(seconds * 1000.0, 3)
+                for name, seconds in METRICS.latency_quantiles(
+                    "fleet.request"
+                ).items()
+            }
+            reply = {"id": frame_id, "stats": stats}
+        else:
+            reply = await self._serve_quotes(frame_id, frame)
+        async with write_lock:
+            writer.write(encode_frame(reply))
+            try:
+                await writer.drain()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass  # client went away; nothing left to route to
+
+    async def _serve_quotes(self, frame_id, frame: dict) -> dict:
+        raw = frame.get("quotes")
+        if not isinstance(raw, list) or not raw:
+            METRICS.incr("fleet.bad_frames")
+            return {
+                "id": frame_id,
+                "error": "frame needs a non-empty 'quotes' array "
+                "(or 'op': 'stats')",
+            }
+        loop = asyncio.get_running_loop()
+        futures: "list[asyncio.Future]" = []
+        answers: "list[Optional[dict]]" = [None] * len(raw)
+        for i, obj in enumerate(raw):
+            try:
+                request = _parse_request(obj)
+            except (ReproError, TypeError) as exc:
+                METRICS.incr("fleet.bad_requests")
+                answers[i] = {"error": f"{type(exc).__name__}: {exc}"}
+                continue
+            future = loop.create_future()
+            futures.append(future)
+            sid = shard_of(request.dst, self.fleet.n_shards)
+            METRICS.incr("fleet.requests")
+            self._queues[sid].offer(_PendingItem(request, future))
+            self._wakeups[sid].set()
+        quotes = await asyncio.gather(*futures) if futures else []
+        it = iter(quotes)
+        for i in range(len(raw)):
+            if answers[i] is None:
+                answers[i] = quote_to_wire(next(it))
+        return {"id": frame_id, "quotes": answers}
+
+    # ------------------------------------------------------------------
+    # Shard dispatch
+    # ------------------------------------------------------------------
+
+    def _shed(self, item: _PendingItem) -> None:
+        """Admission-queue eviction: the shed request still gets an answer.
+
+        Runs on the event-loop thread (offers only happen there), so
+        resolving the future directly is safe.
+        """
+        self.shed += 1
+        METRICS.incr("fleet.shed")
+        obs.event("fleet.shed")
+        item.resolve(
+            self.fleet._degraded_batch(
+                [item.request], "shed by admission control"
+            )[0]
+        )
+
+    async def _dispatch_loop(self, sid: int) -> None:
+        queue = self._queues[sid]
+        wakeup = self._wakeups[sid]
+        loop = asyncio.get_running_loop()
+        while True:
+            await wakeup.wait()
+            wakeup.clear()
+            while len(queue):
+                batch = self._take_batch(queue)
+                if not batch:
+                    break
+                try:
+                    quotes = await loop.run_in_executor(
+                        self._pool,
+                        self.fleet.quote_shard,
+                        sid,
+                        [item.request for item in batch],
+                    )
+                except asyncio.CancelledError:
+                    # stop() cancelled us mid-round-trip; the batch still
+                    # owes its callers an answer.
+                    quotes = self.fleet._degraded_batch(
+                        [item.request for item in batch],
+                        "front door stopped",
+                    )
+                    for item, quote in zip(batch, quotes):
+                        item.resolve(quote)
+                    raise
+                for item, quote in zip(batch, quotes):
+                    item.resolve(quote)
+
+    def _take_batch(self, queue: BoundedQueue) -> "list[_PendingItem]":
+        """Up to ``max_batch`` waiting items; overflow is re-offered.
+
+        Single-consumer per queue, so re-offering preserves FIFO order
+        (and can never overflow: the drain freed the capacity).
+        """
+        drained = queue.drain()
+        batch = drained[: self.config.max_batch]
+        for leftover in drained[self.config.max_batch :]:
+            queue.offer(leftover)
+        return batch
+
+
+# ----------------------------------------------------------------------
+# Client
+# ----------------------------------------------------------------------
+
+
+@dataclasses.dataclass(frozen=True)
+class FleetLoadReport:
+    """What one socket load run did (the fleet twin of ``LoadReport``)."""
+
+    n_requests: int
+    answered: int
+    priced: int
+    degraded: int
+    known: int
+    wall_time_s: float
+    latency_ms: dict
+    versions: tuple
+    stale: int = 0
+
+    @property
+    def quotes_per_second(self) -> float:
+        return self.answered / max(self.wall_time_s, 1e-9)
+
+    def render(self) -> str:
+        tail = ", ".join(
+            f"{name} {value:.2f} ms"
+            for name, value in sorted(self.latency_ms.items())
+        )
+        return "\n".join(
+            [
+                f"fleet load: {self.n_requests} requests in "
+                f"{self.wall_time_s:.2f} s ({self.quotes_per_second:,.0f} "
+                f"quotes/s)",
+                f"  answered: {self.answered} ({self.priced} priced / "
+                f"{self.degraded} degraded, {self.known} known "
+                f"destinations), snapshot versions {list(self.versions)}",
+                f"  latency: {tail or 'n/a'}",
+            ]
+        )
+
+
+class FleetClient:
+    """A pipelining asyncio client for the front-door frame protocol."""
+
+    def __init__(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._reader = reader
+        self._writer = writer
+        self._next_id = 0
+        self._pending: "dict[int, asyncio.Future]" = {}
+        self._read_task = asyncio.create_task(self._read_loop())
+
+    @classmethod
+    async def connect(cls, host: str, port: int) -> "FleetClient":
+        reader, writer = await asyncio.open_connection(host, port)
+        return cls(reader, writer)
+
+    async def _read_loop(self) -> None:
+        try:
+            while True:
+                frame = await read_frame(self._reader)
+                future = self._pending.pop(frame.get("id"), None)
+                if future is not None and not future.done():
+                    future.set_result(frame)
+        except (
+            asyncio.IncompleteReadError,
+            ConnectionResetError,
+            BrokenPipeError,
+            asyncio.CancelledError,
+        ):
+            pass
+        finally:
+            for future in self._pending.values():
+                if not future.done():
+                    future.set_exception(
+                        ConnectionError("front door connection closed")
+                    )
+            self._pending.clear()
+
+    async def request(self, payload: dict) -> dict:
+        """Send one frame (an ``id`` is stamped in) and await its reply."""
+        self._next_id += 1
+        frame_id = self._next_id
+        payload = {**payload, "id": frame_id}
+        future = asyncio.get_running_loop().create_future()
+        self._pending[frame_id] = future
+        self._writer.write(encode_frame(payload))
+        await self._writer.drain()
+        return await future
+
+    async def quote_batch(self, quotes: "list[dict]") -> "list[dict]":
+        reply = await self.request({"quotes": quotes})
+        if "error" in reply:
+            raise DataError(f"front door rejected the frame: {reply['error']}")
+        return reply["quotes"]
+
+    async def stats(self) -> dict:
+        return (await self.request({"op": "stats"}))["stats"]
+
+    async def close(self) -> None:
+        self._read_task.cancel()
+        try:
+            await self._read_task
+        except asyncio.CancelledError:
+            pass
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError, OSError):
+            pass
+
+    async def __aenter__(self) -> "FleetClient":
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()
+
+
+async def run_socket_load(
+    host: str,
+    port: int,
+    requests: "list[QuoteRequest]",
+    *,
+    frame_size: int = 64,
+    pipeline_depth: int = 8,
+) -> FleetLoadReport:
+    """Drive a front door over a real socket and gather every answer.
+
+    Requests go out ``frame_size`` to a frame with up to
+    ``pipeline_depth`` frames in flight — enough concurrency to keep
+    every shard busy without the client timing itself out.
+    """
+    client = await FleetClient.connect(host, port)
+    try:
+        frames = [
+            [
+                {
+                    "dst": r.dst,
+                    "volume_mbps": r.volume_mbps,
+                    "distance_miles": r.distance_miles,
+                    "region": r.region,
+                    "regime": r.regime,
+                }
+                for r in requests[at : at + frame_size]
+            ]
+            for at in range(0, len(requests), max(1, frame_size))
+        ]
+        answered = priced = degraded = known = 0
+        versions: "set" = set()
+        latencies: "list[float]" = []
+        start = time.perf_counter()
+
+        async def _send(batch: "list[dict]") -> None:
+            nonlocal answered, priced, degraded, known
+            sent_at = time.perf_counter()
+            answers = await client.quote_batch(batch)
+            per_request = (time.perf_counter() - sent_at) / max(
+                1, len(answers)
+            )
+            for answer in answers:
+                if "error" in answer:
+                    continue
+                answered += 1
+                latencies.append(per_request * 1000.0)
+                if answer["degraded"]:
+                    degraded += 1
+                else:
+                    priced += 1
+                if answer["known"]:
+                    known += 1
+                versions.add(answer["snapshot_version"])
+
+        for at in range(0, len(frames), max(1, pipeline_depth)):
+            await asyncio.gather(
+                *(_send(batch) for batch in frames[at : at + pipeline_depth])
+            )
+        wall = time.perf_counter() - start
+    finally:
+        await client.close()
+    latencies.sort()
+
+    def _quantile(q: float) -> float:
+        if not latencies:
+            return 0.0
+        return latencies[min(len(latencies) - 1, int(q * len(latencies)))]
+
+    return FleetLoadReport(
+        n_requests=len(requests),
+        answered=answered,
+        priced=priced,
+        degraded=degraded,
+        known=known,
+        wall_time_s=wall,
+        latency_ms={
+            "p50": _quantile(0.50),
+            "p95": _quantile(0.95),
+            "p99": _quantile(0.99),
+        },
+        versions=tuple(sorted(v for v in versions if v is not None)),
+        stale=0,
+    )

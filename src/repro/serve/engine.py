@@ -242,6 +242,71 @@ class QuoteEngine:
             for i in range(len(requests))
         ]
 
+    def quote_columns(self, dsts, volumes_mbps, distances_miles) -> dict:
+        """The columnar twin of :meth:`quote_batch`, for process pipes.
+
+        Equivalent to pricing ``QuoteRequest`` objects that carry no
+        ``region``/``regime``, but takes three flat columns and returns a
+        dict of numpy arrays — a payload that pickles at buffer-copy
+        speed, with no per-request objects built on either side.  The
+        fleet's shard wire uses this for every batch that qualifies;
+        callers rebuild :class:`Quote` objects (or wire dicts) from the
+        columns exactly once, at the edge that needs them.
+
+        Returns ``{"degraded": True, "reason", "blended", "version",
+        "digest"}`` when no snapshot is published, else ``{"degraded":
+        False, "prices", "tiers", "unit_costs", "profits", "version",
+        "digest"}`` with arrays aligned to the input columns.
+        """
+        n = len(dsts)
+        METRICS.incr("serve.quotes", n)
+        snapshot = self.registry.current()
+        if snapshot is None:
+            METRICS.incr("serve.degraded", n)
+            obs.event(
+                "engine.degraded",
+                reason="no snapshot published",
+                requests=n,
+            )
+            return {
+                "degraded": True,
+                "reason": "no snapshot published",
+                "blended": self.fallback_blended_rate,
+                "version": None,
+                "digest": None,
+            }
+        with METRICS.stage("serve.lookup"):
+            tiers = snapshot.tiers_for(
+                ["" if dst is None else dst for dst in dsts]
+            )
+            prices = snapshot.prices_for_tiers(tiers)
+        with METRICS.stage("serve.cost"):
+            flows = FlowSet.from_columns(
+                np.asarray(volumes_mbps, dtype=float),
+                np.asarray(distances_miles, dtype=float),
+                validate=False,
+            )
+            costed = self.cost_model.prepare_quotes(
+                flows, snapshot.reference_distance_miles
+            )
+            if len(costed.flows) != n:
+                raise ConfigurationError(
+                    f"cost model {self.cost_model.name!r} splits flows "
+                    f"({n} requests became {len(costed.flows)}); quote "
+                    "serving needs a non-splitting cost model"
+                )
+            unit_costs = snapshot.unit_costs(costed.relative_costs)
+            profits = (prices - unit_costs) * flows.demands
+        return {
+            "degraded": False,
+            "prices": prices,
+            "tiers": tiers,
+            "unit_costs": unit_costs,
+            "profits": profits,
+            "version": snapshot.version,
+            "digest": snapshot.digest,
+        }
+
     def degraded_quote(
         self,
         request: QuoteRequest,

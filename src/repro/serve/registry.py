@@ -101,6 +101,18 @@ class SnapshotRegistry:
             self._install(snapshot, version)
         return snapshot
 
+    def adopt(self, snapshot: PricingSnapshot) -> PricingSnapshot:
+        """Install an externally versioned snapshot, as-is.
+
+        Unlike :meth:`publish_snapshot`, the snapshot's own ``version``
+        is preserved: fleet shard workers adopt coordinator-versioned
+        shared snapshots, and every quote must carry the *fleet-wide*
+        version so a cutover is provable from the answers alone.
+        """
+        with self._writer_lock:
+            self._install(snapshot, int(snapshot.version))
+        return snapshot
+
     def _install(self, snapshot: PricingSnapshot, version: int) -> None:
         self._version = version
         self._active = snapshot  # the atomic hot-swap

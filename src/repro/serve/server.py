@@ -188,20 +188,39 @@ class QuoteServer:
             thread.start()
         return self
 
-    def stop(self) -> None:
-        """Stop workers; anything still queued resolves degraded."""
+    def stop(self, drain: bool = True) -> None:
+        """Stop the server.
+
+        ``drain=True`` (the default) honors every admitted request:
+        workers keep gulping until the queue is empty, so anything
+        submitted before ``stop()`` is *priced*, not abandoned.
+        ``drain=False`` is the fast path for emergencies: in-flight
+        batches still complete (a worker is never interrupted mid-price),
+        but requests still waiting in the queue resolve immediately as
+        degraded blended-rate quotes with reason ``"server stopped"``.
+        Either way no admitted request is left unanswered.
+        """
         with self._work_ready:
             if not self._running:
                 return
             self._running = False
+            abandoned = [] if drain else self._queue.drain()
             self._work_ready.notify_all()
+        for pending in abandoned:
+            self._resolve_degraded(pending, "server stopped")
         for thread in self._threads:
             thread.join()
         self._threads = []
+        # Safety net: a submit() racing the shutdown can slip a request in
+        # after the workers decided to exit; it still gets an answer.
         with self._lock:
             leftovers = self._queue.drain()
         for pending in leftovers:
             self._resolve_degraded(pending, "server stopped")
+
+    def close(self, drain: bool = True) -> None:
+        """Alias for :meth:`stop` (the resource-style spelling)."""
+        self.stop(drain=drain)
 
     def __enter__(self) -> "QuoteServer":
         return self.start()

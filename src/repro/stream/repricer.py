@@ -214,7 +214,23 @@ class OnlineRepricer:
         self.on_design_published: "Optional[Callable[[DesignPublication], None]]" = (
             None
         )
+        self._subscribers: "list[Callable[[DesignPublication], None]]" = []
         self._publications = 0
+
+    def subscribe(
+        self, subscriber: "Callable[[DesignPublication], None]"
+    ) -> "Callable[[DesignPublication], None]":
+        """Register an *additional* publish subscriber.
+
+        ``on_design_published`` remains the single-subscriber fast path;
+        ``subscribe`` lets several consumers (a snapshot registry *and* a
+        shard fleet, say) each receive every accepted re-tiering.  Same
+        best-effort contract: one failing subscriber is counted
+        (``stream.publish_errors``) and the rest still run.  Returns the
+        subscriber, so it can be used as a decorator.
+        """
+        self._subscribers.append(subscriber)
+        return subscriber
 
     @property
     def current_tiers(self) -> int:
@@ -296,8 +312,13 @@ class OnlineRepricer:
         )
 
     def _publish(self, market: Market, window: ClosedWindow) -> None:
-        """Deliver the design now in force to the publish subscriber."""
-        if self.on_design_published is None:
+        """Deliver the design now in force to every publish subscriber."""
+        targets = [
+            target
+            for target in [self.on_design_published, *self._subscribers]
+            if target is not None
+        ]
+        if not targets:
             return
         self._publications += 1
         publication = DesignPublication(
@@ -308,11 +329,15 @@ class OnlineRepricer:
             sequence=self._publications,
             reference_distance_miles=float(market.flows.distances.max()),
         )
-        try:
-            self.on_design_published(publication)
-        except Exception:  # noqa: BLE001 - subscriber bugs must not kill the stream
-            METRICS.incr("stream.publish_errors")
-        else:
+        delivered = 0
+        for target in targets:
+            try:
+                target(publication)
+            except Exception:  # noqa: BLE001 - subscriber bugs must not kill the stream
+                METRICS.incr("stream.publish_errors")
+            else:
+                delivered += 1
+        if delivered:
             METRICS.incr("stream.designs_published")
 
     def empty_window(self, window: ClosedWindow) -> WindowResult:

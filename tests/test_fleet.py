@@ -1,0 +1,643 @@
+"""Tests for the sharded multi-process quote fleet: shared-memory
+snapshot segments, shard workers with respawn, graceful cutover, and the
+asyncio front door.  Run cleanly under ``-W error::ResourceWarning`` —
+leaked segments, pipes, or sockets are bugs here, not noise."""
+
+import asyncio
+import os
+import signal
+import time
+
+import numpy as np
+import pytest
+
+from repro.accounting.tier_designer import TierDesign
+from repro.config import FleetConfig
+from repro.core.bundling import ProfitWeightedBundling
+from repro.core.ced import CEDDemand
+from repro.core.cost import LinearDistanceCost
+from repro.core.flow import FlowSet
+from repro.core.market import Market
+from repro.errors import ConfigurationError, DataError
+from repro.fleet import (
+    AttachedSnapshot,
+    FleetClient,
+    FrontDoor,
+    SharedPricingSnapshot,
+    SharedSnapshot,
+    ShardFleet,
+    run_socket_load,
+    segment_name,
+    shard_of,
+)
+from repro.obs import METRICS
+from repro.serve import (
+    PricingSnapshot,
+    QuoteEngine,
+    QuoteRequest,
+    SnapshotRegistry,
+    generate_requests,
+)
+from repro.stream.repricer import DesignPublication
+
+P0 = 20.0
+COST_MODEL = LinearDistanceCost(theta=0.2)
+
+
+def make_market(scale=1.0):
+    flows = FlowSet(
+        demands_mbps=[800.0 * scale, 300.0, 120.0, 60.0 * scale, 20.0, 5.0],
+        distances_miles=[2.0, 15.0, 60.0, 250.0, 900.0, 4000.0],
+        dsts=[f"10.0.{i}.1" for i in range(6)],
+    )
+    return Market(flows, CEDDemand(1.1), COST_MODEL, P0)
+
+
+def make_snapshot(scale=1.0, version=1, config_digest="regime-a"):
+    market = make_market(scale)
+    outcome = market.tiered_outcome(ProfitWeightedBundling(), 3)
+    design = TierDesign.from_outcome(market, outcome)
+    return PricingSnapshot.build(
+        design,
+        version=version,
+        config_digest=config_digest,
+        blended_rate=P0,
+        gamma=market.gamma,
+        reference_distance_miles=float(market.flows.distances.max()),
+    )
+
+
+def shm_segments():
+    try:
+        return sorted(
+            name for name in os.listdir("/dev/shm") if "repro-snap" in name
+        )
+    except FileNotFoundError:  # non-Linux fallback: can't introspect
+        return []
+
+
+@pytest.fixture
+def snapshot():
+    return make_snapshot()
+
+
+@pytest.fixture
+def fleet(snapshot):
+    config = FleetConfig(
+        shards=2, heartbeat_ms=25.0, timeout_ms=5000.0, queue_depth=2048
+    )
+    fleet = ShardFleet(COST_MODEL, config, fallback_blended_rate=P0)
+    with fleet:
+        fleet.publish(snapshot)
+        yield fleet
+    assert shm_segments() == []
+
+
+# ----------------------------------------------------------------------
+# Shared-memory segments
+# ----------------------------------------------------------------------
+
+
+class TestSharedSnapshot:
+    def test_round_trip_preserves_everything(self, snapshot):
+        segment = SharedSnapshot.publish(snapshot)
+        attached = AttachedSnapshot(segment.name)
+        shared = attached.snapshot
+        assert shared.version == snapshot.version
+        assert shared.digest == snapshot.digest
+        assert shared.config_digest == snapshot.config_digest
+        assert shared.blended_rate == snapshot.blended_rate
+        assert shared.gamma == snapshot.gamma
+        assert (
+            shared.reference_distance_miles
+            == snapshot.reference_distance_miles
+        )
+        assert shared.rates == snapshot.rates
+        assert shared.destinations == snapshot.destinations
+        del shared
+        attached.close()
+        segment.unlink()
+
+    def test_lookups_match_original(self, snapshot):
+        queries = [
+            "10.0.0.1",
+            "10.0.5.1",
+            "0.0.0.0",
+            "99.99.99.99",
+            "10.0.2.1",
+            "",
+            "a-destination-far-wider-than-the-table-column",
+        ]
+        with SharedSnapshot.publish(snapshot) as segment:
+            with AttachedSnapshot(segment.name) as attached:
+                np.testing.assert_array_equal(
+                    attached.snapshot.tiers_for(queries),
+                    snapshot.tiers_for(queries),
+                )
+                np.testing.assert_allclose(
+                    attached.snapshot.prices_for_tiers(
+                        attached.snapshot.tiers_for(queries)
+                    ),
+                    snapshot.prices_for_tiers(snapshot.tiers_for(queries)),
+                )
+
+    def test_attach_is_zero_copy(self, snapshot):
+        with SharedSnapshot.publish(snapshot) as segment:
+            with AttachedSnapshot(segment.name) as attached:
+                shared = attached.snapshot
+                # Views into the mapped buffer, not copies: numpy does not
+                # own the data and the arrays are read-only.
+                for array in (
+                    shared._dsts,
+                    shared._tiers,
+                    shared._rate_by_tier,
+                ):
+                    assert not array.flags["OWNDATA"]
+                    assert not array.flags["WRITEABLE"]
+                with pytest.raises(ValueError):
+                    shared._tiers[0] = 99
+                assert isinstance(shared, SharedPricingSnapshot)
+                del shared, array
+
+    def test_segment_name_is_versioned_by_digest(self, snapshot):
+        with SharedSnapshot.publish(snapshot) as segment:
+            assert segment.name == segment_name(
+                snapshot.digest, snapshot.version
+            )
+            assert segment.name.startswith("repro-snap-")
+            assert segment.name.endswith(f"-v{snapshot.version}")
+
+    def test_unlink_removes_the_segment_and_is_idempotent(self, snapshot):
+        segment = SharedSnapshot.publish(snapshot)
+        name = segment.name
+        assert any(name in entry for entry in shm_segments())
+        segment.unlink()
+        segment.unlink()
+        assert shm_segments() == []
+        with pytest.raises(FileNotFoundError):
+            AttachedSnapshot(name)
+
+    def test_stale_crashed_segment_is_replaced(self, snapshot):
+        # Simulate a publisher that died without cleanup: the name exists
+        # but nobody owns it.  Re-publishing the same content must win.
+        from repro.fleet import shm as shm_module
+
+        stale = SharedSnapshot.publish(snapshot)
+        shm_module._OWNED.pop(stale.name, None)  # "crash": no cleanup
+        stale._unlinked = True  # drop our handle without unlinking
+        shm_module._close_segment(stale._shm)  # the crashed mapping is gone
+        fresh = SharedSnapshot.publish(snapshot)
+        with AttachedSnapshot(fresh.name) as attached:
+            assert attached.version == snapshot.version
+        fresh.unlink()
+
+    def test_engine_quotes_identically_off_a_shared_snapshot(self, snapshot):
+        requests = [
+            QuoteRequest(dst="10.0.0.1", volume_mbps=4.0, distance_miles=10.0),
+            QuoteRequest(dst="10.0.4.1", volume_mbps=1.0, distance_miles=900.0),
+            QuoteRequest(dst="203.0.113.9", volume_mbps=2.0, distance_miles=5.0),
+            QuoteRequest(dst=None, volume_mbps=1.0, distance_miles=1.0),
+        ]
+        plain = SnapshotRegistry()
+        plain.adopt(snapshot)
+        with SharedSnapshot.publish(snapshot) as segment:
+            with AttachedSnapshot(segment.name) as attached:
+                shared = SnapshotRegistry()
+                shared.adopt(attached.snapshot)
+                for a, b in zip(
+                    QuoteEngine(plain, COST_MODEL, P0).quote_batch(requests),
+                    QuoteEngine(shared, COST_MODEL, P0).quote_batch(requests),
+                ):
+                    assert a == b
+
+
+class TestRegistryAdopt:
+    def test_adopt_preserves_the_snapshot_version(self):
+        externally_versioned = make_snapshot(version=41)
+        registry = SnapshotRegistry()
+        adopted = registry.adopt(externally_versioned)
+        assert adopted is externally_versioned
+        assert registry.version == 41
+        assert registry.current() is externally_versioned
+
+    def test_publish_snapshot_reversions_but_adopt_does_not(self):
+        registry = SnapshotRegistry()
+        reversioned = registry.publish_snapshot(make_snapshot(version=41))
+        assert reversioned.version == 1
+        registry.adopt(make_snapshot(version=9))
+        assert registry.version == 9
+
+
+class TestQuoteColumns:
+    """The columnar engine path the shard pipes ride on."""
+
+    def test_columns_rebuild_to_the_exact_object_answers(self, snapshot):
+        from repro.fleet.shard import _quotes_from_columns
+
+        registry = SnapshotRegistry()
+        registry.adopt(snapshot)
+        engine = QuoteEngine(registry, COST_MODEL, fallback_blended_rate=P0)
+        requests = generate_requests(
+            100, seed=2, snapshot=snapshot, unknown_fraction=0.3
+        )
+        expected = engine.quote_batch(requests)
+        payload = engine.quote_columns(
+            [r.dst for r in requests],
+            [r.volume_mbps for r in requests],
+            [r.distance_miles for r in requests],
+        )
+        assert not payload["degraded"]
+        assert _quotes_from_columns(payload, len(requests)) == expected
+
+    def test_degrades_as_a_whole_batch_without_a_snapshot(self):
+        from repro.fleet.shard import _quotes_from_columns
+
+        engine = QuoteEngine(
+            SnapshotRegistry(), COST_MODEL, fallback_blended_rate=P0
+        )
+        payload = engine.quote_columns(["10.0.0.1", None], [1.0, 2.0], [1.0, 9.0])
+        assert payload["degraded"]
+        quotes = _quotes_from_columns(payload, 2)
+        assert all(q.degraded for q in quotes)
+        assert all(q.unit_price == pytest.approx(P0) for q in quotes)
+        assert quotes[0].reason == "no snapshot published"
+
+
+# ----------------------------------------------------------------------
+# Routing
+# ----------------------------------------------------------------------
+
+
+class TestRouting:
+    def test_shard_of_is_stable_and_in_range(self):
+        for n in (1, 2, 3, 8):
+            for dst in ("10.0.0.1", "a", "198.51.100.255", ""):
+                sid = shard_of(dst, n)
+                assert 0 <= sid < n
+                assert sid == shard_of(dst, n)
+
+    def test_none_routes_to_shard_zero(self):
+        assert shard_of(None, 8) == 0
+
+    def test_spreads_across_shards(self):
+        sids = {shard_of(f"10.{i}.{i}.1", 4) for i in range(64)}
+        assert sids == {0, 1, 2, 3}
+
+
+# ----------------------------------------------------------------------
+# ShardFleet
+# ----------------------------------------------------------------------
+
+
+class TestShardFleet:
+    def test_requires_start(self, snapshot):
+        fleet = ShardFleet(COST_MODEL, FleetConfig(shards=1))
+        with pytest.raises(ConfigurationError):
+            fleet.quote_batch([QuoteRequest(dst="10.0.0.1")])
+
+    def test_empty_batch(self, fleet):
+        assert fleet.quote_batch([]) == []
+
+    def test_quotes_match_the_in_process_engine(self, fleet, snapshot):
+        requests = generate_requests(
+            200, seed=7, snapshot=snapshot, unknown_fraction=0.25
+        )
+        registry = SnapshotRegistry()
+        registry.adopt(snapshot)
+        engine = QuoteEngine(registry, COST_MODEL, P0)
+        expected = engine.quote_batch(requests)
+        actual = fleet.quote_batch(requests)
+        assert len(actual) == len(expected)
+        for ours, theirs in zip(actual, expected):
+            assert ours.tier == theirs.tier
+            assert ours.known == theirs.known
+            assert not ours.degraded
+            assert ours.unit_price == pytest.approx(theirs.unit_price)
+            assert ours.unit_cost == pytest.approx(theirs.unit_cost)
+            assert ours.profit_contribution == pytest.approx(
+                theirs.profit_contribution
+            )
+            assert ours.snapshot_digest == snapshot.digest
+            # The fleet stamps its own (fleet-wide) version.
+            assert ours.snapshot_version == fleet.version
+
+    def test_regime_pinned_requests_round_trip_the_object_wire(
+        self, fleet, snapshot
+    ):
+        # Pinned regimes disqualify a batch from the columnar wire; the
+        # object fallback must answer with the engine's exact semantics.
+        matched, mismatched = fleet.quote_batch(
+            [
+                QuoteRequest(dst="10.0.0.1", regime="regime-a"),
+                QuoteRequest(dst="10.0.0.1", regime="regime-z"),
+            ]
+        )
+        assert not matched.degraded and matched.known
+        assert mismatched.degraded
+        assert "regime mismatch" in mismatched.reason
+
+    def test_distinct_worker_pids(self, fleet):
+        pids = fleet.pids()
+        assert len(pids) == 2
+        assert len(set(pids)) == 2
+        assert os.getpid() not in pids
+
+    def test_publish_bumps_version_and_unlinks_the_old_segment(
+        self, fleet, snapshot
+    ):
+        before = fleet.version
+        old_segments = shm_segments()
+        assert len(old_segments) == 1
+        fleet.publish(make_snapshot(scale=2.0))
+        assert fleet.version == before + 1
+        fresh = shm_segments()
+        assert len(fresh) == 1
+        assert fresh != old_segments
+        quotes = fleet.quote_batch(
+            [QuoteRequest(dst="10.0.0.1", volume_mbps=1.0, distance_miles=2.0)]
+        )
+        assert quotes[0].snapshot_version == fleet.version
+
+    def test_no_quote_from_a_stale_design_after_cutover(self, fleet, snapshot):
+        """Once publish() returns, every answer carries the new version."""
+        requests = generate_requests(64, seed=3, snapshot=snapshot)
+        fleet.quote_batch(requests)
+        fleet.publish(make_snapshot(scale=3.0))
+        flipped = fleet.version
+        for _ in range(5):
+            versions = {
+                quote.snapshot_version
+                for quote in fleet.quote_batch(requests)
+            }
+            assert versions == {flipped}
+
+    def test_chaos_kill_respawns_and_reattaches_current_version(
+        self, fleet, snapshot
+    ):
+        requests = generate_requests(128, seed=11, snapshot=snapshot)
+        victim = fleet.pids()[0]
+        os.kill(victim, signal.SIGKILL)
+        # Keep load flowing while the shard is down: answers must be
+        # either real quotes or explicit degraded ones — never errors.
+        for quote in fleet.quote_batch(requests):
+            assert quote.degraded in (True, False)
+        deadline = time.time() + 10.0
+        while fleet.pids()[0] in (victim, None) and time.time() < deadline:
+            time.sleep(0.02)
+        assert fleet.pids()[0] not in (victim, None), "shard never respawned"
+        assert fleet.respawns >= 1
+        # The respawned worker attached the *current* segment: quotes
+        # answer with the live version, not a stale one.
+        fleet.publish(make_snapshot(scale=1.5))
+        deadline = time.time() + 10.0
+        while time.time() < deadline:
+            quotes = fleet.quote_batch(requests)
+            if not any(q.degraded for q in quotes):
+                break
+            time.sleep(0.05)
+        versions = {q.snapshot_version for q in quotes}
+        assert versions == {fleet.version}
+        assert not any(q.degraded for q in quotes)
+
+    def test_crash_mid_batch_degrades_with_reason(self, snapshot):
+        config = FleetConfig(shards=1, heartbeat_ms=10_000.0, timeout_ms=500.0)
+        fleet = ShardFleet(COST_MODEL, config, fallback_blended_rate=P0)
+        with fleet:
+            fleet.publish(snapshot)
+            os.kill(fleet.pids()[0], signal.SIGKILL)
+            time.sleep(0.05)
+            quotes = fleet.quote_batch(
+                [QuoteRequest(dst="10.0.0.1", volume_mbps=1.0)]
+            )
+            assert quotes[0].degraded
+            assert quotes[0].reason in ("shard crashed", "shard down")
+            assert quotes[0].unit_price == pytest.approx(P0)
+
+    def test_stop_merges_worker_counters(self, snapshot):
+        config = FleetConfig(shards=1, heartbeat_ms=5_000.0)
+        fleet = ShardFleet(COST_MODEL, config, fallback_blended_rate=P0)
+        before = METRICS.counter("serve.quotes")
+        with fleet:
+            fleet.publish(snapshot)
+            fleet.quote_batch(
+                generate_requests(50, seed=1, snapshot=snapshot)
+            )
+            # Workers count their engine work in their own process...
+            assert METRICS.counter("serve.quotes") == before
+        # ...and stop() folds it back into the coordinator's registry.
+        assert METRICS.counter("serve.quotes") == before + 50
+
+    def test_subscriber_publishes_and_cuts_over(self, fleet, snapshot):
+        market = make_market(scale=4.0)
+        outcome = market.tiered_outcome(ProfitWeightedBundling(), 3)
+        publication = DesignPublication(
+            design=TierDesign.from_outcome(market, outcome),
+            gamma=float(market.gamma),
+            blended_rate=P0,
+            window_end_ms=1234,
+            sequence=1,
+            reference_distance_miles=float(market.flows.distances.max()),
+        )
+        before = fleet.version
+        fleet.subscriber("regime-b")(publication)
+        assert fleet.version == before + 1
+        quote = fleet.quote_batch([QuoteRequest(dst="10.0.0.1")])[0]
+        assert quote.snapshot_version == fleet.version
+
+    def test_stats_shape(self, fleet):
+        stats = fleet.stats()
+        assert stats["shards"] == 2
+        assert len(stats["pids"]) == 2
+        assert stats["version"] >= 1
+        assert stats["segment"] is not None
+
+
+# ----------------------------------------------------------------------
+# Front door
+# ----------------------------------------------------------------------
+
+
+class TestFrontDoor:
+    def test_quote_and_stats_frames(self, fleet, snapshot):
+        async def scenario():
+            async with FrontDoor(fleet) as door:
+                assert door.port not in (None, 0)
+                async with await FleetClient.connect(
+                    door.host, door.port
+                ) as client:
+                    answers = await client.quote_batch(
+                        [
+                            {
+                                "dst": "10.0.0.1",
+                                "volume_mbps": 2.0,
+                                "distance_miles": 50.0,
+                            },
+                            {"dst": "203.0.113.5"},
+                        ]
+                    )
+                    assert len(answers) == 2
+                    assert answers[0]["tier"] is not None
+                    assert answers[0]["known"] and not answers[0]["degraded"]
+                    assert not answers[1]["known"]
+                    assert (
+                        answers[0]["snapshot_version"] == fleet.version
+                    )
+                    stats = await client.stats()
+                    assert stats["shards"] == 2
+                    assert "request_latency_ms" in stats
+                    return answers
+
+        asyncio.run(scenario())
+
+    def test_invalid_quotes_get_inline_errors(self, fleet):
+        async def scenario():
+            async with FrontDoor(fleet) as door:
+                async with await FleetClient.connect(
+                    door.host, door.port
+                ) as client:
+                    answers = await client.quote_batch(
+                        [
+                            {"dst": "10.0.0.1"},
+                            {"dst": "10.0.1.1", "volume_mbps": -5.0},
+                            {"dst": "10.0.2.1", "bogus_field": 1},
+                            "not-an-object",
+                        ]
+                    )
+                    assert "error" not in answers[0]
+                    assert "volume" in answers[1]["error"]
+                    assert "bogus_field" in answers[2]["error"]
+                    assert "error" in answers[3]
+
+        asyncio.run(scenario())
+
+    def test_frame_without_quotes_is_rejected(self, fleet):
+        async def scenario():
+            async with FrontDoor(fleet) as door:
+                async with await FleetClient.connect(
+                    door.host, door.port
+                ) as client:
+                    with pytest.raises(DataError):
+                        await client.quote_batch([])
+
+        asyncio.run(scenario())
+
+    def test_pipelined_frames_correlate_by_id(self, fleet, snapshot):
+        async def scenario():
+            async with FrontDoor(fleet) as door:
+                async with await FleetClient.connect(
+                    door.host, door.port
+                ) as client:
+                    batches = [
+                        [
+                            {
+                                "dst": dst,
+                                "volume_mbps": float(i + 1),
+                                "distance_miles": 10.0,
+                            }
+                            for dst in snapshot.destinations
+                        ]
+                        for i in range(8)
+                    ]
+                    replies = await asyncio.gather(
+                        *(client.quote_batch(batch) for batch in batches)
+                    )
+                    for i, answers in enumerate(replies):
+                        assert len(answers) == len(snapshot.destinations)
+                        assert all(a["known"] for a in answers)
+
+        asyncio.run(scenario())
+
+    def test_socket_load_reports_throughput_and_tail(self, fleet, snapshot):
+        requests = generate_requests(
+            400, seed=5, snapshot=snapshot, unknown_fraction=0.2
+        )
+
+        async def scenario():
+            async with FrontDoor(fleet) as door:
+                return await run_socket_load(
+                    door.host, door.port, requests, frame_size=50
+                )
+
+        report = asyncio.run(scenario())
+        assert report.answered == 400
+        assert report.priced == 400
+        assert report.quotes_per_second > 0
+        assert report.latency_ms["p99"] >= report.latency_ms["p50"] > 0
+        assert report.versions == (fleet.version,)
+
+    def test_admission_control_sheds_oldest_under_overload(
+        self, fleet, snapshot, monkeypatch
+    ):
+        config = FleetConfig(shards=2, queue_depth=8, max_batch=4)
+        real_quote_shard = fleet.quote_shard
+
+        def slow_quote_shard(sid, requests, timeout_s=None):
+            time.sleep(0.05)
+            return real_quote_shard(sid, requests, timeout_s)
+
+        monkeypatch.setattr(fleet, "quote_shard", slow_quote_shard)
+
+        async def scenario():
+            async with FrontDoor(fleet, config) as door:
+                async with await FleetClient.connect(
+                    door.host, door.port
+                ) as client:
+                    # Far more in flight than 2 shards * (8 queued + 4 in
+                    # a batch) can hold: the overflow must shed, and every
+                    # request still gets an answer.
+                    batches = [
+                        [
+                            {
+                                "dst": f"10.9.{i}.{j}",
+                                "volume_mbps": 1.0,
+                                "distance_miles": 1.0,
+                            }
+                            for j in range(16)
+                        ]
+                        for i in range(12)
+                    ]
+                    replies = await asyncio.gather(
+                        *(client.quote_batch(batch) for batch in batches)
+                    )
+                    answers = [a for reply in replies for a in reply]
+                    assert len(answers) == 12 * 16
+                    shed = [
+                        a
+                        for a in answers
+                        if a["degraded"]
+                        and a["reason"] == "shed by admission control"
+                    ]
+                    assert shed, "overload never shed anything"
+                    return len(shed)
+
+        shed = asyncio.run(scenario())
+        assert shed > 0
+
+
+# ----------------------------------------------------------------------
+# Fleet end to end: stream publication -> cutover under live load
+# ----------------------------------------------------------------------
+
+
+class TestCutoverUnderLoad:
+    def test_socket_load_across_a_cutover_sees_no_stale_version(
+        self, fleet, snapshot
+    ):
+        requests = generate_requests(600, seed=13, snapshot=snapshot)
+
+        async def scenario():
+            async with FrontDoor(fleet) as door:
+                first = await run_socket_load(
+                    door.host, door.port, requests[:300], frame_size=30
+                )
+                flipped = fleet.publish(make_snapshot(scale=5.0))
+                second = await run_socket_load(
+                    door.host, door.port, requests[300:], frame_size=30
+                )
+                return first, second, flipped
+
+        first, second, flipped = asyncio.run(scenario())
+        assert first.versions == (flipped.version - 1,)
+        # The cutover completed before the second load began: zero
+        # answers from the old design.
+        assert second.versions == (flipped.version,)

@@ -396,6 +396,57 @@ class TestQuoteServer:
             quote = pending.result(0.5)
             assert isinstance(quote, Quote)  # answered, never dropped
 
+    def test_stop_drains_in_flight_work_before_shutdown(self, registry):
+        """``stop()`` (drain=True, the default) honors every admitted
+        request: nothing submitted before the stop comes back degraded."""
+        publish(registry)
+        engine = _GatedEngine(registry)
+        server = QuoteServer(
+            engine, ServeConfig(workers=1, queue_depth=64, timeout_ms=5000)
+        )
+        server.start()
+        # The closed gate holds the worker inside batch #1 while the rest
+        # pile up in the queue — all of it must still be *priced*.
+        pendings = [
+            server.submit(QuoteRequest(dst="10.0.0.1")) for _ in range(16)
+        ]
+        engine.gate.set()
+        server.stop()
+        for pending in pendings:
+            quote = pending.result(1.0)
+            assert not quote.degraded
+            assert quote.known
+
+    def test_stop_without_drain_degrades_queued_requests(self, registry):
+        publish(registry)
+        engine = _GatedEngine(registry)
+        server = QuoteServer(
+            engine,
+            ServeConfig(workers=1, queue_depth=64, max_batch=1, timeout_ms=5000),
+        )
+        server.start()
+        pendings = [
+            server.submit(QuoteRequest(dst="10.0.0.1")) for _ in range(8)
+        ]
+        time.sleep(0.05)  # let the worker trap itself inside batch #1
+        engine.gate.set()
+        server.stop(drain=False)
+        quotes = [p.result(1.0) for p in pendings]
+        abandoned = [q for q in quotes if q.degraded]
+        assert abandoned, "fast stop should abandon the queued tail"
+        for quote in abandoned:
+            assert quote.reason == "server stopped"
+            assert quote.unit_price == pytest.approx(P0)
+
+    def test_close_is_the_resource_spelling_of_stop(self, registry, engine):
+        publish(registry)
+        server = QuoteServer(engine, ServeConfig(workers=1)).start()
+        pending = server.submit(QuoteRequest(dst="10.0.0.1"))
+        server.close()
+        assert not server.running
+        assert not pending.result(1.0).degraded
+        server.close()  # idempotent
+
 
 # ----------------------------------------------------------------------
 # Concurrent hot-swap: no torn reads, ever

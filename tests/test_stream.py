@@ -413,6 +413,36 @@ class TestOnlineRepricer:
         assert repricer.design is not None
         assert METRICS.counter("stream.publish_errors") == before + 1
 
+    def test_subscribe_fans_out_to_every_subscriber(self):
+        repricer = self._repricer(n_tiers=2)
+        hook, first, second = [], [], []
+        repricer.on_design_published = hook.append
+        repricer.subscribe(first.append)
+        second_sink = second.append
+        assert repricer.subscribe(second_sink) is second_sink  # decorator
+        w = ClosedWindow(WindowBounds(0, 100), (record(key(1), 0, 10),))
+        repricer.price_window(w, self._flows([90, 50, 20, 8, 2]))
+        assert len(hook) == len(first) == len(second) == 1
+        assert hook[0] is first[0] is second[0]
+
+    def test_one_failing_subscriber_does_not_starve_the_rest(self):
+        from repro.runtime.metrics import METRICS
+
+        repricer = self._repricer(n_tiers=2)
+        delivered = []
+
+        def explode(_publication):
+            raise RuntimeError("subscriber bug")
+
+        repricer.subscribe(explode)
+        repricer.subscribe(delivered.append)
+        before = METRICS.counter("stream.publish_errors")
+        w = ClosedWindow(WindowBounds(0, 100), (record(key(1), 0, 10),))
+        result = repricer.price_window(w, self._flows([90, 50, 20, 8, 2]))
+        assert result.status == STATUS_PRICED
+        assert len(delivered) == 1  # the healthy subscriber still got it
+        assert METRICS.counter("stream.publish_errors") == before + 1
+
     def test_aggregate_by_destination_merges(self):
         flows = FlowSet(
             demands_mbps=[30.0, 10.0, 5.0],
