@@ -36,8 +36,11 @@ Subpackages:
   shared-memory snapshot segments, with an asyncio socket front door.
 * :mod:`repro.config` — typed configuration objects
   (:class:`RuntimeConfig`, :class:`StreamConfig`, :class:`ServeConfig`,
-  :class:`FleetConfig`, :class:`ObsConfig`) with one explicit > CLI >
-  env > default precedence chain.
+  :class:`FleetConfig`, :class:`EcosystemConfig`, :class:`ObsConfig`)
+  with one explicit > CLI > env > default precedence chain.
+* :mod:`repro.ecosystem` — AS-level internet ecosystem generation:
+  seeded multi-AS worlds with valley-free routing whose every AS emits
+  NetFlow and can run measure → model → design.
 """
 
 from repro.core import (
@@ -75,6 +78,7 @@ from repro.core import (
     strategy_by_name,
 )
 from repro.config import (
+    EcosystemConfig,
     FleetConfig,
     ObsConfig,
     RuntimeConfig,
@@ -127,6 +131,7 @@ __all__ = [
     "CalibrationError",
     "ClassAwareBundling",
     "ConfigurationError",
+    "EcosystemConfig",
     "CommitContract",
     "CommitMarket",
     "CompetitionEquilibrium",

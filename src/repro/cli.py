@@ -19,6 +19,9 @@ Commands:
   shared-memory snapshot segments behind an asyncio socket front door,
   self-tested over a real socket with a live snapshot cutover halfway
   through the load.
+* ``ecosystem`` — generate a seeded AS-level internet ecosystem (tiered
+  AS hierarchy, IXP peering, valley-free routing, per-AS NetFlow) and
+  optionally self-test it end to end.
 * ``trace summarize`` — roll a ``--trace`` JSONL file up into per-stage
   latency/error statistics.
 
@@ -451,6 +454,58 @@ def build_parser() -> argparse.ArgumentParser:
         help="warm-up stream capture length (default 1800)",
     )
 
+    ecosystem = sub.add_parser(
+        "ecosystem",
+        help=(
+            "generate a seeded AS-level internet ecosystem (valley-free "
+            "routing, per-AS NetFlow) and report it"
+        ),
+        parents=[runtime],
+    )
+    ecosystem.add_argument(
+        "--ases",
+        type=int,
+        default=None,
+        metavar="N",
+        help="total AS count (default $REPRO_ECOSYSTEM_ASES, else 50)",
+    )
+    ecosystem.add_argument(
+        "--ixps",
+        type=int,
+        default=None,
+        metavar="N",
+        help="internet-exchange sites (default $REPRO_ECOSYSTEM_IXPS, else 3)",
+    )
+    ecosystem.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        dest="ecosystem_seed",
+        metavar="SEED",
+        help="world seed (default $REPRO_ECOSYSTEM_SEED, else 0)",
+    )
+    ecosystem.add_argument(
+        "--tiers",
+        type=int,
+        default=3,
+        help="tier budget for the per-AS designs (default 3)",
+    )
+    ecosystem.add_argument(
+        "--emit-netflow",
+        default=None,
+        metavar="DIR",
+        help="write every AS's sampled NetFlow v5 packets to DIR/<as>.nf5",
+    )
+    ecosystem.add_argument(
+        "--selftest",
+        action="store_true",
+        help=(
+            "verify the world: valley-free paths, byte-identical rebuild, "
+            "wire round-trip, and measure->model->design for one stub and "
+            "one tier-2 AS"
+        ),
+    )
+
     report = sub.add_parser(
         "report",
         help="run every table/figure and emit a markdown report",
@@ -822,6 +877,85 @@ def cmd_fleet(args: argparse.Namespace) -> str:
     return "\n".join(lines)
 
 
+def cmd_ecosystem(args: argparse.Namespace) -> str:
+    import json
+
+    from repro.config import EcosystemConfig
+    from repro.ecosystem import (
+        EcosystemSpec,
+        STUB,
+        TIER2,
+        as_table1_row,
+        build_ecosystem,
+        design_for_as,
+        measured_flowset_for,
+        render_ecosystem,
+        verify_valley_free,
+    )
+    from repro.netflow.codec import encode_packets
+
+    config = EcosystemConfig.resolve(cli=args)
+    spec = EcosystemSpec.from_counts(
+        ases=config.ases, ixps=config.ixps, seed=config.seed
+    )
+    eco = build_ecosystem(spec)
+    lines = [
+        f"ecosystem: {spec.n_ases} ASes (seed {spec.seed}, "
+        f"digest {spec.digest()[:12]})",
+        "summary: " + json.dumps(eco.summary(), sort_keys=True),
+    ]
+
+    if args.emit_netflow:
+        import pathlib
+
+        out_dir = pathlib.Path(args.emit_netflow)
+        out_dir.mkdir(parents=True, exist_ok=True)
+        engines = eco.engine_map()
+        total_packets = 0
+        for a in eco.ases:
+            packets = encode_packets(eco.netflow_records_for(a.asn), engines)
+            (out_dir / f"{a.name}.nf5").write_bytes(b"".join(packets))
+            total_packets += len(packets)
+        lines.append(
+            f"netflow: wrote {len(eco.ases)} .nf5 files "
+            f"({total_packets} packets) to {out_dir}"
+        )
+
+    if args.selftest:
+        checked = verify_valley_free(eco)
+        lines.append(f"selftest: {checked} paths valley-free")
+        rebuilt = render_ecosystem(spec)
+        identical = (
+            eco.up_edges.tobytes() == rebuilt.up_edges.tobytes()
+            and eco.peer_edges.tobytes() == rebuilt.peer_edges.tobytes()
+            and eco.tables.path_len.tobytes()
+            == rebuilt.tables.path_len.tobytes()
+            and eco.tables.next_hop.tobytes()
+            == rebuilt.tables.next_hop.tobytes()
+        )
+        if not identical:
+            raise DataError("rebuild of the same spec diverged")
+        lines.append("selftest: rebuild byte-identical")
+        probes = [eco.ases_of_kind(STUB)[0], eco.ases_of_kind(TIER2)[0]]
+        wired = measured_flowset_for(eco, probes[0].asn, through_wire=True)
+        direct = measured_flowset_for(eco, probes[0].asn, through_wire=False)
+        if wired.demands.tobytes() != direct.demands.tobytes():
+            raise DataError("NetFlow v5 wire round-trip changed demands")
+        lines.append(
+            f"selftest: wire round-trip exact ({len(wired)} flows)"
+        )
+        for probe in probes:
+            design = design_for_as(eco, probe.asn, n_tiers=args.tiers)
+            lines.append(
+                f"design {probe.name}: " + json.dumps(design, sort_keys=True)
+            )
+        lines.append(
+            "table1 "
+            + json.dumps(as_table1_row(eco, probes[0].asn), sort_keys=True)
+        )
+    return "\n".join(lines)
+
+
 def cmd_report(args: argparse.Namespace) -> str:
     from repro.experiments.report import generate_report
 
@@ -917,6 +1051,7 @@ _COMMANDS = {
     "stream": cmd_stream,
     "serve": cmd_serve,
     "fleet": cmd_fleet,
+    "ecosystem": cmd_ecosystem,
     "report": cmd_report,
     "export": cmd_export,
     "offerings": cmd_offerings,

@@ -3,7 +3,7 @@
 Before this module, each subsystem grew its own configuration dialect —
 ``--jobs``/``REPRO_JOBS`` for the experiment runtime, a kwarg soup for
 the stream pipeline, ``--workers/--queue-depth/--timeout-ms`` for the
-quote server.  Everything now resolves through five frozen dataclasses:
+quote server.  Everything now resolves through frozen dataclasses:
 
 * :class:`RuntimeConfig` — experiment fan-out and caching
   (``jobs``/``cache``/``cache_dir``/``metrics``);
@@ -14,6 +14,8 @@ quote server.  Everything now resolves through five frozen dataclasses:
 * :class:`FleetConfig` — the sharded multi-process quote fleet
   (``shards``/``host``/``port``/``queue_depth``/``max_batch``/
   ``timeout_ms``/``heartbeat_ms``);
+* :class:`EcosystemConfig` — generated AS-level worlds
+  (``ases``/``ixps``/``seed``);
 * :class:`ObsConfig` — tracing (``trace`` file path).
 
 Each class offers ``resolve(cli=None, **explicit)`` with one precedence
@@ -384,6 +386,45 @@ class FleetConfig(_Resolvable):
 
 
 # ----------------------------------------------------------------------
+# Ecosystem (AS-level world generation)
+# ----------------------------------------------------------------------
+
+
+def _cli_ecosystem_seed(namespace) -> "Optional[int]":
+    """The ecosystem CLI stores its seed apart from the dataset seed."""
+    return getattr(namespace, "ecosystem_seed", None)
+
+
+@dataclasses.dataclass(frozen=True)
+class EcosystemConfig(_Resolvable):
+    """Defaults for generated AS-level worlds (see :mod:`repro.ecosystem`).
+
+    Attributes:
+        ases: Total AS count, split into kinds by
+            ``EcosystemSpec.from_counts``.  Env: ``REPRO_ECOSYSTEM_ASES``;
+            CLI: ``--ases``.
+        ixps: Internet-exchange sites.  Env: ``REPRO_ECOSYSTEM_IXPS``;
+            CLI: ``--ixps``.
+        seed: World seed — same (ases, ixps, seed) ⇒ byte-identical
+            world.  Env: ``REPRO_ECOSYSTEM_SEED``; CLI: ``--seed``.
+    """
+
+    ases: int = cfg_field(50, env="REPRO_ECOSYSTEM_ASES", parse=_env_int)
+    ixps: int = cfg_field(3, env="REPRO_ECOSYSTEM_IXPS", parse=_env_int)
+    seed: int = cfg_field(
+        0, env="REPRO_ECOSYSTEM_SEED", parse=_env_int, cli=_cli_ecosystem_seed
+    )
+
+    def __post_init__(self) -> None:
+        if self.ases < 5:
+            raise ConfigurationError(
+                f"ases must be >= 5 for a tiered world, got {self.ases}"
+            )
+        if self.ixps < 0:
+            raise ConfigurationError(f"ixps must be >= 0, got {self.ixps}")
+
+
+# ----------------------------------------------------------------------
 # Obs (tracing)
 # ----------------------------------------------------------------------
 
@@ -407,6 +448,7 @@ class ObsConfig(_Resolvable):
 
 __all__ = [
     "DEPRECATION_PREFIX",
+    "EcosystemConfig",
     "FleetConfig",
     "ObsConfig",
     "RuntimeConfig",

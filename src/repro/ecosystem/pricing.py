@@ -1,0 +1,182 @@
+"""Tier pricing over ecosystem paths: snapshots, backbones, exit choice.
+
+This is the paper's deployment loop closed over a generated world.  A
+provider AS publishes a :class:`~repro.serve.snapshot.PricingSnapshot`
+whose destinations are composite ``"<exit city>|<destination AS>"`` keys
+— the provider's price depends on *where* the customer hands traffic
+off, which is exactly the signal §5.1's tier-tagged routes carry.  A
+customer AS turns its own city footprint into a
+:class:`~repro.topology.network.Topology` backbone, wraps the provider's
+snapshot into a :class:`~repro.topology.routing.TierPriceFn`, and lets
+:class:`~repro.topology.routing.ExitSelector` trade backbone miles
+against tier prices per flow.  Tier-aware exit selection beats
+hot-potato whenever the provider's rate card actually varies by exit —
+which these distance-quantile tiers guarantee.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.accounting.tier_designer import TierDesign
+from repro.ecosystem.base import Ecosystem
+from repro.errors import DataError, TopologyError
+from repro.geo.coords import city_distance_miles
+from repro.runtime.cache import config_hash
+from repro.serve.snapshot import PricingSnapshot
+from repro.topology.network import Topology
+from repro.topology.routing import ExitSelector, FlowSpec, TierPriceFn
+
+#: Separator between the exit city key and destination AS name in the
+#: snapshot's composite destination keys.
+KEY_SEP = "|"
+
+
+def composite_key(exit_pop: str, destination: str) -> str:
+    """The snapshot destination key for one (exit, destination) pair."""
+    return f"{exit_pop}{KEY_SEP}{destination}"
+
+
+def published_snapshot_for(
+    eco: Ecosystem,
+    provider_asn: int,
+    n_tiers: int = 3,
+    blended_rate: float = 20.0,
+    version: int = 1,
+) -> PricingSnapshot:
+    """The tier rate card a provider AS publishes to its customers.
+
+    For every (exit city, destination AS) pair in the world the provider
+    measures its own haul — great-circle miles from the hand-off city to
+    the destination's home — buckets the hauls into ``n_tiers`` distance
+    quantiles, and prices tiers on a spread around ``blended_rate``
+    (tier 1 ≈ 0.4x blended for the shortest hauls, the top tier ≈ 1.6x).
+    The result freezes into a versioned, digest-carrying
+    :class:`PricingSnapshot` exactly like the serving path's.
+    """
+    provider = eco.as_by_asn(provider_asn)
+    if n_tiers < 1:
+        raise DataError(f"n_tiers must be >= 1, got {n_tiers}")
+    exits = sorted({city.key for a in eco.ases for city in a.cities})
+    dests = [a for a in eco.ases if a.asn != provider_asn]
+    if not dests:
+        raise TopologyError("provider has no possible destinations")
+    keys = []
+    miles = []
+    for exit_pop in exits:
+        exit_city = next(
+            city
+            for a in eco.ases
+            for city in a.cities
+            if city.key == exit_pop
+        )
+        for dst in dests:
+            keys.append(composite_key(exit_pop, dst.name))
+            miles.append(city_distance_miles(exit_city, dst.home))
+    hauls = np.array(miles)
+    # Inner quantile edges; searchsorted maps each haul to its tier.
+    edges = np.quantile(hauls, [t / n_tiers for t in range(1, n_tiers)])
+    tiers = 1 + np.searchsorted(edges, hauls, side="left")
+    if n_tiers == 1:
+        rates = {1: float(blended_rate)}
+    else:
+        rates = {
+            t: float(blended_rate) * (0.4 + 1.2 * (t - 1) / (n_tiers - 1))
+            for t in range(1, n_tiers + 1)
+        }
+    design = TierDesign(
+        provider_asn=int(provider_asn),
+        rates=rates,
+        tier_of_destination={
+            key: int(tier) for key, tier in zip(keys, tiers)
+        },
+    )
+    reference = float(hauls.max()) if hauls.size else None
+    config_digest = (
+        eco.spec.digest()
+        if eco.spec is not None
+        else config_hash({"ecosystem_seed": eco.seed})
+    )
+    return PricingSnapshot.build(
+        design,
+        version=version,
+        config_digest=config_digest,
+        blended_rate=blended_rate,
+        gamma=blended_rate / max(1.0, reference or 1.0),
+        reference_distance_miles=reference,
+        published_at_ms=0,
+    )
+
+
+def snapshot_tier_price(snapshot: PricingSnapshot) -> TierPriceFn:
+    """Adapt a composite-key snapshot to ``ExitSelector``'s price hook.
+
+    Unknown (exit, destination) pairs fall back to the snapshot's
+    blended rate — the same safe default the quote path uses.
+    """
+
+    def price(exit_pop: str, destination: str) -> float:
+        tiers = snapshot.tiers_for([composite_key(exit_pop, destination)])
+        return float(snapshot.prices_for_tiers(tiers)[0])
+
+    return price
+
+
+def backbone_for(eco: Ecosystem, asn: int) -> Topology:
+    """A customer AS's own backbone: its cities, chained plus a ring.
+
+    One PoP per distinct city (code = the city key), links along the
+    city draw order, and a closing link for three or more PoPs so routed
+    distances stay sane for any exit pair.
+    """
+    source = eco.as_by_asn(asn)
+    backbone = Topology(f"{source.name}-backbone")
+    seen = []
+    for city in source.cities:
+        if city.key in backbone:
+            continue
+        backbone.add_pop(city.key, city)
+        seen.append(city.key)
+    for a, b in zip(seen, seen[1:]):
+        backbone.add_link(a, b)
+    if len(seen) >= 3:
+        backbone.add_link(seen[-1], seen[0])
+    return backbone
+
+
+def transit_flows_for(eco: Ecosystem, asn: int) -> "list[FlowSpec]":
+    """The AS's flow table as backbone flows, sources spread over PoPs."""
+    source = eco.as_by_asn(asn)
+    pops = list(dict.fromkeys(city.key for city in source.cities))
+    table = eco.flow_table_for(asn)
+    if table.dsts is None:
+        raise DataError("ecosystem flow table lost its destination column")
+    return [
+        FlowSpec(
+            source_pop=pops[i % len(pops)],
+            destination=str(dst),
+            demand_mbps=float(demand),
+        )
+        for i, (demand, dst) in enumerate(zip(table.demands, table.dsts))
+    ]
+
+
+def exit_selector_for(
+    eco: Ecosystem,
+    customer_asn: int,
+    snapshot: PricingSnapshot,
+    backbone_cost_per_mile_mbps: float = 0.004,
+) -> ExitSelector:
+    """Wire one customer AS to one provider's published rate card.
+
+    Every backbone PoP doubles as a hand-off (transit providers
+    interconnect wherever the customer has presence), so the selector's
+    hot-potato/tier-aware comparison runs directly on ecosystem data.
+    """
+    backbone = backbone_for(eco, customer_asn)
+    return ExitSelector(
+        backbone=backbone,
+        handoff_pops=backbone.pop_codes,
+        tier_price=snapshot_tier_price(snapshot),
+        backbone_cost_per_mile_mbps=backbone_cost_per_mile_mbps,
+    )

@@ -1,0 +1,182 @@
+"""Customer/provider and peering edges between the generated ASes.
+
+The relationship fabric follows the standard transit hierarchy:
+
+* tier-1 ASes form a full settlement-free peering clique (the connected
+  core that guarantees global reachability);
+* tier-2 ASes buy transit from one or more tier-1s, preferring
+  geographically close providers;
+* content ASes buy transit from tier-1/tier-2 providers and peer
+  aggressively at IXPs;
+* stub ASes buy transit from one or two nearby tier-2s.
+
+Edges within one kind never point "up", so the customer→provider graph
+is acyclic by construction — the routing layer still topologically sorts
+it rather than assuming so.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ecosystem.base import (
+    CONTENT,
+    Ecosystem,
+    Layer,
+    STUB,
+    TIER1,
+    TIER2,
+)
+from repro.errors import DataError
+from repro.geo.coords import city_distance_miles
+from repro.obs import METRICS
+
+#: An AS can join an IXP when one of its cities is within this radius.
+IXP_REACH_MILES = 500.0
+
+#: Probability an in-reach AS joins an IXP, by kind.
+IXP_JOIN_PROB = {TIER1: 1.0, TIER2: 0.7, CONTENT: 0.9, STUB: 0.15}
+
+#: Peering propensity between two co-located IXP members, by kind pair
+#: (scaled by the layer's ``peering_density``).
+def _peer_propensity(kind_a: str, kind_b: str) -> float:
+    if CONTENT in (kind_a, kind_b):
+        return 0.9 if kind_a == kind_b else 0.6
+    return 0.3
+
+
+class Relationships(Layer):
+    """The customer/provider/peer edge fabric.
+
+    Args:
+        peering_density: Scales the probability of IXP peer edges
+            (0 disables IXP peering entirely; the tier-1 clique always
+            exists).
+        max_providers: Upper bound on transit providers per multihomed
+            AS.
+    """
+
+    name = "relationships"
+    requires = ("base",)
+
+    def __init__(
+        self, peering_density: float = 0.5, max_providers: int = 3
+    ) -> None:
+        if not 0.0 <= peering_density <= 1.0:
+            raise DataError(
+                f"peering_density must be in [0, 1], got {peering_density}"
+            )
+        if max_providers < 1:
+            raise DataError(f"max_providers must be >= 1, got {max_providers}")
+        self.peering_density = float(peering_density)
+        self.max_providers = int(max_providers)
+
+    # ------------------------------------------------------------------
+
+    def render(self, eco: Ecosystem, rng: np.random.Generator) -> None:
+        tier1 = [a.index for a in eco.ases_of_kind(TIER1)]
+        tier2 = [a.index for a in eco.ases_of_kind(TIER2)]
+        content = [a.index for a in eco.ases_of_kind(CONTENT)]
+        stubs = [a.index for a in eco.ases_of_kind(STUB)]
+        if tier2 == [] and (stubs or content):
+            # Stubs/content then home directly onto tier-1s.
+            tier2_pool = tier1
+        else:
+            tier2_pool = tier2
+
+        up: "list[tuple[int, int]]" = []
+        peer: "set[tuple[int, int]]" = set()
+
+        # 1. The tier-1 clique.
+        for i, a in enumerate(tier1):
+            for b in tier1[i + 1 :]:
+                peer.add((a, b))
+
+        # 2. Transit: every non-tier-1 AS picks providers above it,
+        #    proximity-weighted so the hierarchy is geographically
+        #    coherent.
+        for customer in tier2:
+            up.extend(
+                (customer, p)
+                for p in self._pick_providers(eco, rng, customer, tier1)
+            )
+        for customer in content:
+            pool = sorted(set(tier1) | set(tier2))
+            up.extend(
+                (customer, p)
+                for p in self._pick_providers(eco, rng, customer, pool)
+            )
+        for customer in stubs:
+            up.extend(
+                (customer, p)
+                for p in self._pick_providers(
+                    eco, rng, customer, tier2_pool, cap=2
+                )
+            )
+
+        up_pairs = set(up)
+
+        # 3. IXP membership and the peering meshes.  Loop order is fixed
+        #    (IXPs then AS index) so the draw sequence is deterministic.
+        ixps = []
+        for ixp in eco.ixps:
+            members = []
+            for a in eco.ases:
+                reach = min(
+                    city_distance_miles(city, ixp.city) for city in a.cities
+                )
+                if reach > IXP_REACH_MILES:
+                    continue
+                if rng.random() < IXP_JOIN_PROB[a.kind]:
+                    members.append(a)
+            for m in members:
+                ixp = ixp.with_member(m.name)
+            ixps.append(ixp)
+            mesh = [m for m in members if m.kind != TIER1]
+            for i, a in enumerate(mesh):
+                for b in mesh[i + 1 :]:
+                    lo, hi = min(a.index, b.index), max(a.index, b.index)
+                    if (lo, hi) in peer:
+                        continue
+                    if (lo, hi) in up_pairs or (hi, lo) in up_pairs:
+                        continue
+                    propensity = self.peering_density * _peer_propensity(
+                        a.kind, b.kind
+                    )
+                    if rng.random() < propensity:
+                        peer.add((lo, hi))
+        eco.ixps = tuple(ixps)
+
+        up_edges = np.array(sorted(set(up)), dtype=np.int32).reshape(-1, 2)
+        peer_edges = np.array(sorted(peer), dtype=np.int32).reshape(-1, 2)
+        eco._adopt_edges(up_edges, peer_edges)
+        METRICS.incr("ecosystem.up_edges", int(up_edges.shape[0]))
+        METRICS.incr("ecosystem.peer_edges", int(peer_edges.shape[0]))
+
+    # ------------------------------------------------------------------
+
+    def _pick_providers(
+        self,
+        eco: Ecosystem,
+        rng: np.random.Generator,
+        customer: int,
+        pool: "list[int]",
+        cap: "int | None" = None,
+    ) -> "list[int]":
+        """1..max proximity-weighted providers, sampled without replacement."""
+        pool = [p for p in pool if p != customer]
+        if not pool:
+            return []
+        limit = min(cap or self.max_providers, self.max_providers, len(pool))
+        count = 1 + int(rng.integers(0, limit)) if limit > 1 else 1
+        count = min(count, len(pool))
+        home = eco.ases[customer].home
+        weights = np.array(
+            [
+                1.0 / (1.0 + city_distance_miles(home, eco.ases[p].home))
+                for p in pool
+            ]
+        )
+        weights /= weights.sum()
+        picks = rng.choice(len(pool), size=count, replace=False, p=weights)
+        return sorted(pool[int(i)] for i in picks)

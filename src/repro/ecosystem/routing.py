@@ -1,0 +1,331 @@
+"""Gao–Rexford valley-free interdomain routing over the relationship graph.
+
+Route selection follows the classic export rules:
+
+* a route learned from a **customer** is exported to everyone;
+* a route learned from a **peer** or **provider** is exported only to
+  customers;
+
+so every best path is *valley-free*: zero or more customer→provider
+("up") edges, at most one peer edge, then zero or more provider→customer
+("down") edges.  Preference is by route class — customer > peer >
+provider, regardless of length — then shortest AS-path, then lowest
+next-hop index (the deterministic tie-break).
+
+The computation is columnar: three dense ``int32`` length matrices
+(customer-learned, peer-learned, provider-learned) built with per-node
+vector row updates over the topologically sorted customer→provider DAG —
+``O(edges)`` numpy operations of length N, no per-pair Python.  The
+result is a :class:`RoutingTables` of ``path_len``/``next_hop``/
+``route_class`` matrices, which is all the traffic and pricing layers
+ever touch.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import heapq
+
+import numpy as np
+
+from repro.ecosystem.base import Ecosystem, Layer
+from repro.errors import TopologyError
+from repro.obs import METRICS
+
+#: Route-class codes in the ``route_class`` matrix.
+CLASS_LOCAL = 0
+CLASS_CUSTOMER = 1
+CLASS_PEER = 2
+CLASS_PROVIDER = 3
+#: ``path_len``/``next_hop``/``route_class`` value for "no route".
+UNREACHABLE = -1
+
+#: Internal infinity; small enough that +1 hops never overflow int32.
+_INF = np.int32(2**30)
+
+
+@dataclasses.dataclass(frozen=True)
+class RoutingTables:
+    """Dense all-pairs valley-free routing state.
+
+    Attributes:
+        path_len: ``int32 (N, N)`` AS-path hop count;
+            :data:`UNREACHABLE` where no valley-free route exists.
+        next_hop: ``int32 (N, N)`` first hop of the selected route (the
+            diagonal points at itself); :data:`UNREACHABLE` for no route.
+        route_class: ``int8 (N, N)`` class of the selected route
+            (:data:`CLASS_LOCAL`/:data:`CLASS_CUSTOMER`/
+            :data:`CLASS_PEER`/:data:`CLASS_PROVIDER`), or
+            :data:`UNREACHABLE`.
+    """
+
+    path_len: np.ndarray
+    next_hop: np.ndarray
+    route_class: np.ndarray
+
+    @property
+    def n_ases(self) -> int:
+        return int(self.path_len.shape[0])
+
+    def path(self, src: int, dst: int) -> "list[int]":
+        """The selected AS-level path, reconstructed hop by hop."""
+        n = self.n_ases
+        if not (0 <= src < n and 0 <= dst < n):
+            raise TopologyError(f"AS index out of range: {src}->{dst}")
+        if src != dst and self.path_len[src, dst] == UNREACHABLE:
+            raise TopologyError(f"no valley-free route {src}->{dst}")
+        node = src
+        hops = [src]
+        while node != dst:
+            node = int(self.next_hop[node, dst])
+            hops.append(node)
+            if len(hops) > n:
+                raise TopologyError(
+                    f"routing loop reconstructing {src}->{dst}"
+                )
+        return hops
+
+    def reachable_fraction(self) -> float:
+        """Fraction of ordered off-diagonal pairs with a route."""
+        n = self.n_ases
+        if n < 2:
+            return 1.0
+        reachable = int(np.count_nonzero(self.path_len >= 0)) - n
+        return reachable / (n * (n - 1))
+
+    def summary(self) -> dict:
+        """Deterministic route statistics for reports and the CLI."""
+        off = ~np.eye(self.n_ases, dtype=bool)
+        routed = off & (self.path_len >= 0)
+        lens = self.path_len[routed]
+        classes = self.route_class[routed]
+        return {
+            "reachable_fraction": round(self.reachable_fraction(), 6),
+            "mean_path_len": round(float(lens.mean()), 4) if lens.size else 0.0,
+            "max_path_len": int(lens.max()) if lens.size else 0,
+            "class_mix": {
+                "customer": int(np.count_nonzero(classes == CLASS_CUSTOMER)),
+                "peer": int(np.count_nonzero(classes == CLASS_PEER)),
+                "provider": int(np.count_nonzero(classes == CLASS_PROVIDER)),
+            },
+        }
+
+
+def _topological_order(n: int, up_edges: np.ndarray) -> "list[int]":
+    """Kahn's algorithm over customer→provider edges, lowest index first.
+
+    Returns an order where every customer appears before each of its
+    providers; raises if the up-edge graph has a cycle (the generator
+    never builds one, but hand-built worlds might).
+    """
+    providers_of: "list[list[int]]" = [[] for _ in range(n)]
+    indegree = [0] * n
+    for c, p in up_edges:
+        providers_of[int(c)].append(int(p))
+        indegree[int(p)] += 1
+    ready = [v for v in range(n) if indegree[v] == 0]
+    heapq.heapify(ready)
+    order = []
+    while ready:
+        v = heapq.heappop(ready)
+        order.append(v)
+        for p in providers_of[v]:
+            indegree[p] -= 1
+            if indegree[p] == 0:
+                heapq.heappush(ready, p)
+    if len(order) != n:
+        raise TopologyError(
+            "customer->provider relationships contain a cycle"
+        )
+    return order
+
+
+def compute_routes(
+    n: int, up_edges: np.ndarray, peer_edges: np.ndarray
+) -> RoutingTables:
+    """All-pairs valley-free best routes for one relationship graph.
+
+    Three sweeps, each a sequence of length-``n`` vector row updates:
+
+    1. **customer-learned** routes propagate up the hierarchy (nodes in
+       topological order, every customer finalized before its provider);
+    2. **peer-learned** routes are one exchange of customer routes
+       across each peer edge;
+    3. **provider-learned** routes propagate back down (reverse order),
+       where each node inherits its provider's *selected* route — which
+       is exactly what providers export to customers.
+    """
+    customers_of: "list[list[int]]" = [[] for _ in range(n)]
+    providers_of: "list[list[int]]" = [[] for _ in range(n)]
+    peers_of: "list[list[int]]" = [[] for _ in range(n)]
+    for c, p in up_edges:
+        customers_of[int(p)].append(int(c))
+        providers_of[int(c)].append(int(p))
+    for a, b in peer_edges:
+        peers_of[int(a)].append(int(b))
+        peers_of[int(b)].append(int(a))
+    for adjacency in (customers_of, providers_of, peers_of):
+        for neighbors in adjacency:
+            neighbors.sort()
+
+    order = _topological_order(n, up_edges)
+    one = np.int32(1)
+
+    # Sweep 1: customer-learned routes, leaves -> roots.
+    cust_len = np.full((n, n), _INF, dtype=np.int32)
+    np.fill_diagonal(cust_len, 0)
+    cust_nh = np.full((n, n), UNREACHABLE, dtype=np.int32)
+    np.fill_diagonal(cust_nh, np.arange(n, dtype=np.int32))
+    for v in order:
+        row_len = cust_len[v]
+        row_nh = cust_nh[v]
+        for c in customers_of[v]:
+            candidate = cust_len[c] + one
+            better = candidate < row_len
+            if better.any():
+                row_len[better] = candidate[better]
+                row_nh[better] = c
+
+    # Sweep 2: peers exchange customer routes only.
+    peer_len = np.full((n, n), _INF, dtype=np.int32)
+    peer_nh = np.full((n, n), UNREACHABLE, dtype=np.int32)
+    for v in range(n):
+        row_len = peer_len[v]
+        row_nh = peer_nh[v]
+        for u in peers_of[v]:
+            candidate = cust_len[u] + one
+            better = candidate < row_len
+            if better.any():
+                row_len[better] = candidate[better]
+                row_nh[better] = u
+
+    # Sweep 3: selection + provider-learned routes, roots -> leaves.
+    # A node's selected route (customer > peer > provider, then length,
+    # then the update order's lowest-index tie-break) is what it exports
+    # to customers, so providers must select before their customers can
+    # inherit.
+    sel_len = np.empty((n, n), dtype=np.int32)
+    sel_nh = np.empty((n, n), dtype=np.int32)
+    sel_cls = np.empty((n, n), dtype=np.int8)
+    prov_len = np.full((n, n), _INF, dtype=np.int32)
+    prov_nh = np.full((n, n), UNREACHABLE, dtype=np.int32)
+    for v in reversed(order):
+        p_len = prov_len[v]
+        p_nh = prov_nh[v]
+        for p in providers_of[v]:
+            candidate = sel_len[p] + one
+            better = candidate < p_len
+            if better.any():
+                p_len[better] = candidate[better]
+                p_nh[better] = p
+        row_len = cust_len[v].copy()
+        row_nh = cust_nh[v].copy()
+        row_cls = np.where(
+            row_len < _INF, CLASS_CUSTOMER, UNREACHABLE
+        ).astype(np.int8)
+        use = (row_len >= _INF) & (peer_len[v] < _INF)
+        row_len[use] = peer_len[v][use]
+        row_nh[use] = peer_nh[v][use]
+        row_cls[use] = CLASS_PEER
+        use = (row_cls == UNREACHABLE) & (p_len < _INF)
+        row_len[use] = p_len[use]
+        row_nh[use] = p_nh[use]
+        row_cls[use] = CLASS_PROVIDER
+        row_cls[v] = CLASS_LOCAL
+        sel_len[v] = row_len
+        sel_nh[v] = row_nh
+        sel_cls[v] = row_cls
+
+    path_len = np.where(sel_len >= _INF, UNREACHABLE, sel_len).astype(np.int32)
+    for matrix in (path_len, sel_nh, sel_cls):
+        matrix.setflags(write=False)
+    return RoutingTables(
+        path_len=path_len, next_hop=sel_nh, route_class=sel_cls
+    )
+
+
+class Routing(Layer):
+    """The layer wrapper around :func:`compute_routes`."""
+
+    name = "routing"
+    requires = ("base", "relationships")
+
+    def render(self, eco: Ecosystem, rng: np.random.Generator) -> None:
+        del rng  # routing is a pure function of the relationship graph
+        eco.tables = compute_routes(
+            eco.n_ases, eco.up_edges, eco.peer_edges
+        )
+        METRICS.incr(
+            "ecosystem.routed_pairs",
+            int(np.count_nonzero(eco.tables.path_len >= 0)),
+        )
+
+
+# ----------------------------------------------------------------------
+# Verification
+# ----------------------------------------------------------------------
+
+
+def verify_path_valley_free(eco: Ecosystem, hops: "list[int]") -> None:
+    """Assert one AS path has the up* peer? down* Gao–Rexford shape.
+
+    Raises :class:`~repro.errors.TopologyError` naming the offending edge
+    if a route climbs to a provider after a peer or provider edge, or
+    crosses a second peering link.
+    """
+    phase = "up"  # up -> peered -> down
+    for a, b in zip(hops, hops[1:]):
+        kind = eco.relationship(a, b)
+        if kind is None:
+            raise TopologyError(f"{a}->{b} is not an edge of the ecosystem")
+        if kind == "up":
+            if phase != "up":
+                raise TopologyError(
+                    f"valley: {a}->{b} climbs to a provider after a "
+                    f"peer/provider edge in {hops}"
+                )
+        elif kind == "peer":
+            if phase != "up":
+                raise TopologyError(
+                    f"second peering edge {a}->{b} in {hops}"
+                )
+            phase = "peered"
+        else:  # down
+            phase = "down"
+
+
+def verify_valley_free(eco: Ecosystem, max_pairs: int = 1000) -> int:
+    """Reconstruct and check a deterministic sample of routed pairs.
+
+    Returns the number of paths checked.  Worlds small enough are checked
+    exhaustively; larger ones sample ``max_pairs`` pairs from a seeded
+    RNG so the same world always checks the same pairs.
+    """
+    if eco.tables is None:
+        raise TopologyError("ecosystem has no routes; add a Routing layer")
+    n = eco.n_ases
+    tables = eco.tables
+    pairs: "list[tuple[int, int]]" = []
+    if n * (n - 1) <= max_pairs:
+        pairs = [(s, d) for s in range(n) for d in range(n) if s != d]
+    else:
+        rng = np.random.default_rng(
+            np.random.SeedSequence(entropy=(eco.seed, 0x76657269))
+        )
+        while len(pairs) < max_pairs:
+            s, d = (int(x) for x in rng.integers(0, n, size=2))
+            if s != d:
+                pairs.append((s, d))
+    checked = 0
+    for s, d in pairs:
+        if tables.path_len[s, d] == UNREACHABLE:
+            continue
+        hops = tables.path(s, d)
+        if len(hops) - 1 != int(tables.path_len[s, d]):
+            raise TopologyError(
+                f"path {s}->{d} reconstructs to {len(hops) - 1} hops but "
+                f"path_len says {int(tables.path_len[s, d])}"
+            )
+        verify_path_valley_free(eco, hops)
+        checked += 1
+    return checked

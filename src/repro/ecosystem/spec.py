@@ -1,0 +1,180 @@
+"""Seeded, cacheable ecosystem specifications.
+
+:class:`EcosystemSpec` plays the same role for generated worlds that
+:class:`~repro.runtime.spec.ExperimentSpec` plays for experiments: a
+frozen, hashable value naming everything that determines the world, with
+a :meth:`key`/:meth:`digest` identity that plugs into the runtime
+content-addressed cache.  ``build_ecosystem(spec)`` memoizes rendered
+worlds per process, and ``render_ecosystem(spec)`` is the uncached path
+(determinism checks rebuild through it and compare byte-for-byte).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro import obs
+from repro.ecosystem.base import Ecosystem, EcosystemBuilder, MAX_ASES
+from repro.ecosystem.relationships import Relationships
+from repro.ecosystem.routing import Routing
+from repro.ecosystem.base import Base
+from repro.ecosystem.traffic import Traffic
+from repro.errors import ConfigurationError
+from repro.runtime.cache import cached, config_hash
+
+
+@dataclasses.dataclass(frozen=True)
+class EcosystemSpec:
+    """One fully-determined ecosystem.
+
+    Attributes:
+        n_tier1 / n_tier2 / n_content / n_stub: AS population by kind.
+        n_ixps: Internet-exchange sites.
+        seed: World RNG seed (drives every layer's stream).
+        peering_density: IXP peering propensity scale in [0, 1].
+        window_seconds: NetFlow capture-window length.
+        sampling_interval: NetFlow 1-in-N packet sampling.
+        traffic_scale: Global multiplier on per-AS egress.
+    """
+
+    n_tier1: int = 4
+    n_tier2: int = 12
+    n_content: int = 4
+    n_stub: int = 30
+    n_ixps: int = 3
+    seed: int = 0
+    peering_density: float = 0.5
+    window_seconds: float = 120.0
+    sampling_interval: int = 500
+    traffic_scale: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.n_tier1 < 1:
+            raise ConfigurationError(
+                f"n_tier1 must be >= 1, got {self.n_tier1}"
+            )
+        for label in ("n_tier2", "n_content", "n_stub", "n_ixps"):
+            if getattr(self, label) < 0:
+                raise ConfigurationError(
+                    f"{label} must be >= 0, got {getattr(self, label)}"
+                )
+        if self.n_ases < 2:
+            raise ConfigurationError("an ecosystem needs at least two ASes")
+        if self.n_ases > MAX_ASES:
+            raise ConfigurationError(
+                f"{self.n_ases} ASes exceed the address plan's {MAX_ASES}"
+            )
+        if not 0.0 <= self.peering_density <= 1.0:
+            raise ConfigurationError(
+                f"peering_density must be in [0, 1], got {self.peering_density}"
+            )
+        if self.window_seconds <= 0:
+            raise ConfigurationError(
+                f"window_seconds must be positive, got {self.window_seconds}"
+            )
+        if self.sampling_interval < 1:
+            raise ConfigurationError(
+                f"sampling_interval must be >= 1, got {self.sampling_interval}"
+            )
+        if self.traffic_scale <= 0:
+            raise ConfigurationError(
+                f"traffic_scale must be positive, got {self.traffic_scale}"
+            )
+
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_counts(
+        cls, ases: int = 50, ixps: int = 3, seed: int = 0, **overrides
+    ) -> "EcosystemSpec":
+        """Split a total AS count into the default kind mix.
+
+        Roughly 6% tier-1, 22% tier-2, 8% content, the rest stubs — the
+        CLI's ``--ases/--ixps/--seed`` surface.
+        """
+        if ases < 5:
+            raise ConfigurationError(
+                f"need at least 5 ASes for a tiered world, got {ases}"
+            )
+        n_tier1 = max(2, round(ases * 0.06))
+        n_tier2 = max(2, round(ases * 0.22))
+        n_content = max(1, round(ases * 0.08))
+        n_stub = ases - n_tier1 - n_tier2 - n_content
+        if n_stub < 0:
+            n_tier2 += n_stub
+            n_stub = 0
+        fields = dict(
+            n_tier1=n_tier1,
+            n_tier2=n_tier2,
+            n_content=n_content,
+            n_stub=n_stub,
+            n_ixps=ixps,
+            seed=seed,
+        )
+        fields.update(overrides)
+        return cls(**fields)
+
+    @property
+    def n_ases(self) -> int:
+        return self.n_tier1 + self.n_tier2 + self.n_content + self.n_stub
+
+    # ------------------------------------------------------------------
+    # Identity
+    # ------------------------------------------------------------------
+
+    def key(self) -> dict:
+        """The full configuration that determines the world."""
+        return dataclasses.asdict(self)
+
+    def digest(self) -> str:
+        """Content hash naming this world in the runtime cache."""
+        return config_hash(self.key())
+
+    # ------------------------------------------------------------------
+
+    def build(self) -> Ecosystem:
+        """The memoized build (see :func:`build_ecosystem`)."""
+        return build_ecosystem(self)
+
+
+def render_ecosystem(spec: EcosystemSpec) -> Ecosystem:
+    """Generate, relate, route, and fit traffic — uncached."""
+    with obs.span(
+        "ecosystem.build", ases=spec.n_ases, ixps=spec.n_ixps, seed=spec.seed
+    ):
+        builder = (
+            EcosystemBuilder(seed=spec.seed)
+            .add_layer(
+                Base(
+                    n_tier1=spec.n_tier1,
+                    n_tier2=spec.n_tier2,
+                    n_stub=spec.n_stub,
+                    n_content=spec.n_content,
+                    n_ixps=spec.n_ixps,
+                )
+            )
+            .add_layer(Relationships(peering_density=spec.peering_density))
+            .add_layer(Routing())
+            .add_layer(
+                Traffic(
+                    window_seconds=spec.window_seconds,
+                    sampling_interval=spec.sampling_interval,
+                    scale=spec.traffic_scale,
+                )
+            )
+        )
+        eco = builder.render()
+        eco.spec = spec
+        return eco
+
+
+def build_ecosystem(spec: EcosystemSpec) -> Ecosystem:
+    """Memoized :func:`render_ecosystem` under the spec's cache key.
+
+    Worlds are memory-only cache entries, like markets: cheap to rebuild
+    relative to their pickled size, valuable to share within a process
+    across the CLI, sweeps, and tests.
+    """
+    return cached(
+        "ecosystem", spec.key(), lambda: render_ecosystem(spec), disk=False
+    )

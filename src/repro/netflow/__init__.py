@@ -4,6 +4,7 @@ and the binary v5 wire codec."""
 from repro.netflow.aggregation import aggregate_to_flowset
 from repro.netflow.codec import (
     EngineMap,
+    MAX_ENGINES,
     MAX_RECORDS_PER_PACKET,
     decode_packet,
     decode_packets,
@@ -24,6 +25,7 @@ __all__ = [
     "EngineMap",
     "FlowCollector",
     "FlowKey",
+    "MAX_ENGINES",
     "MAX_RECORDS_PER_PACKET",
     "NetFlowRecord",
     "PROTO_TCP",

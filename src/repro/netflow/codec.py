@@ -19,8 +19,11 @@ A v5 packet carries at most 30 records; :func:`encode_packets` splits
 larger batches, and :func:`decode_packets` reassembles a stream.
 
 The abstract record's free-form ``router`` string does not exist on the
-wire; exporters are identified by ``engine_id``, so the codec takes a
-router <-> engine-id mapping.
+wire; exporters are identified by the engine fields, so the codec takes
+a router <-> engine mapping.  ``engine_id`` alone is one byte; to serve
+fleets past 256 exporters the codec spreads the engine number across
+``(engine_type << 8) | engine_id`` — 65536 routers — which decodes
+identically for classic single-byte exporters (engine_type 0).
 """
 
 from __future__ import annotations
@@ -55,15 +58,27 @@ def _int_to_ip(value: int) -> str:
     return str(ipaddress.IPv4Address(value))
 
 
+#: Engine numbers span engine_type + engine_id, one byte each.
+MAX_ENGINES = 1 << 16
+
+
 class EngineMap:
-    """Bidirectional router-name <-> engine-id mapping."""
+    """Bidirectional router-name <-> engine-number mapping.
+
+    Engine numbers 0..255 occupy ``engine_id`` alone (byte-compatible
+    with single-byte exporters); 256 and up spill into ``engine_type``
+    as the high byte.
+    """
 
     def __init__(self, routers: Sequence[str]) -> None:
         routers = list(routers)
         if len(routers) != len(set(routers)):
             raise DataError("router names must be unique")
-        if len(routers) > 256:
-            raise DataError("NetFlow v5 engine_id is one byte (max 256 routers)")
+        if len(routers) > MAX_ENGINES:
+            raise DataError(
+                "NetFlow v5 engine fields are two bytes combined "
+                f"(max {MAX_ENGINES} routers, got {len(routers)})"
+            )
         self._to_id = {router: i for i, router in enumerate(routers)}
         self._to_router = dict(enumerate(routers))
 
@@ -114,6 +129,7 @@ def encode_packet(
     sampling = 0
     if interval > 1:
         sampling = (_SAMPLING_MODE_PACKET_INTERVAL << 14) | interval
+    engine = engines.engine_id(records[0].router)
     header = _HEADER.pack(
         VERSION,
         len(records),
@@ -121,8 +137,8 @@ def encode_packet(
         unix_secs,
         0,
         flow_sequence,
-        0,  # engine_type
-        engines.engine_id(records[0].router),
+        (engine >> 8) & 0xFF,  # engine_type: high byte of the engine number
+        engine & 0xFF,
         sampling,
     )
     body = bytearray()
@@ -167,7 +183,7 @@ def decode_packet(data: bytes, engines: EngineMap) -> "list[NetFlowRecord]":
         _unix_secs,
         _unix_nsecs,
         _flow_sequence,
-        _engine_type,
+        engine_type,
         engine_id,
         sampling,
     ) = _HEADER.unpack_from(data, 0)
@@ -182,7 +198,7 @@ def decode_packet(data: bytes, engines: EngineMap) -> "list[NetFlowRecord]":
     interval = sampling & 0x3FFF
     if interval == 0:
         interval = 1
-    router = engines.router(engine_id)
+    router = engines.router((engine_type << 8) | engine_id)
 
     records = []
     offset = _HEADER.size

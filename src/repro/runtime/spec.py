@@ -74,6 +74,10 @@ class ExperimentSpec:
         s0: Logit outside share (ignored by CED).
         n_flows: Destination aggregates in the synthetic dataset.
         seed: Dataset RNG seed.
+        distance_model: How flow distances are drawn — ``"synthetic"``
+            (Table 1 calibrated lognormals, the default) or
+            ``"ecosystem"`` (valley-free path lengths over a generated
+            AS-level world; see :mod:`repro.ecosystem`).
         strategies: Bundling-strategy names (figure-legend names).
         class_aware: Wrap each strategy in
             :class:`~repro.core.bundling.ClassAwareBundling` (the paper's
@@ -94,6 +98,7 @@ class ExperimentSpec:
     s0: float = 0.2
     n_flows: int = 120
     seed: int = 7
+    distance_model: str = "synthetic"
     strategies: "tuple[str, ...]" = ("profit-weighted",)
     class_aware: bool = False
     bundle_counts: "tuple[int, ...]" = (1, 2, 3, 4, 5, 6)
@@ -126,8 +131,13 @@ class ExperimentSpec:
     # ------------------------------------------------------------------
 
     def market_key(self) -> dict:
-        """The sub-configuration that determines the calibrated market."""
-        return {
+        """The sub-configuration that determines the calibrated market.
+
+        ``distance_model`` joins the key only when it deviates from the
+        default, so every pre-existing digest (and warm disk cache) stays
+        valid.
+        """
+        key = {
             "dataset": self.dataset,
             "family": self.family,
             "cost_model": self.cost_model,
@@ -138,6 +148,9 @@ class ExperimentSpec:
             "n_flows": self.n_flows,
             "seed": self.seed,
         }
+        if self.distance_model != "synthetic":
+            key["distance_model"] = self.distance_model
+        return key
 
     def key(self) -> dict:
         """The full configuration that determines the result."""
@@ -194,7 +207,10 @@ class ExperimentSpec:
     def _build_market(self) -> Market:
         with METRICS.stage("build_market"):
             flows = load_dataset(
-                self.dataset, n_flows=self.n_flows, seed=self.seed
+                self.dataset,
+                n_flows=self.n_flows,
+                seed=self.seed,
+                distance_model=self.distance_model,
             )
             return Market(
                 flows,

@@ -3,6 +3,7 @@
 from repro.synth.datasets import (
     DATASET_NAMES,
     DATASETS,
+    DISTANCE_MODELS,
     DatasetSpec,
     dataset_spec,
     generate_flow_table,
@@ -34,6 +35,7 @@ from repro.synth.workloads import (
 __all__ = [
     "DATASETS",
     "DATASET_NAMES",
+    "DISTANCE_MODELS",
     "DatasetSpec",
     "GroundTruthFlow",
     "MEAN_PACKET_BYTES",

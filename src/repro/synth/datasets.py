@@ -136,7 +136,26 @@ def dataset_spec(name: str) -> DatasetSpec:
         ) from exc
 
 
-def load_dataset(name: str, n_flows: int = 200, seed: int = 0) -> FlowSet:
+#: Distance models :func:`load_dataset`/:func:`generate_flow_table` accept.
+DISTANCE_MODELS = ("synthetic", "ecosystem")
+
+
+def _dataset_cache_key(
+    name: str, n_flows: int, seed: int, distance_model: str
+) -> dict:
+    """Cache identity; the default model keeps pre-existing digests."""
+    key = {"name": name, "n_flows": n_flows, "seed": seed}
+    if distance_model != "synthetic":
+        key["distance_model"] = distance_model
+    return key
+
+
+def load_dataset(
+    name: str,
+    n_flows: int = 200,
+    seed: int = 0,
+    distance_model: str = "synthetic",
+) -> FlowSet:
     """A seeded synthetic flow set matching the dataset's Table 1 row.
 
     Demands and distances are drawn from heavy-tailed lognormals coupled
@@ -146,8 +165,9 @@ def load_dataset(name: str, n_flows: int = 200, seed: int = 0) -> FlowSet:
     attached with the network's distance thresholds.
 
     Generation is memoized through the runtime cache: ``(name, n_flows,
-    seed)`` fully determines the flows, and :class:`FlowSet` is
-    immutable, so every caller shares one instance per configuration.
+    seed, distance_model)`` fully determines the flows, and
+    :class:`FlowSet` is immutable, so every caller shares one instance
+    per configuration.
 
     Args:
         name: ``eu_isp``, ``cdn``, or ``internet2``.
@@ -155,12 +175,18 @@ def load_dataset(name: str, n_flows: int = 200, seed: int = 0) -> FlowSet:
             operates on aggregated flows for tractability).
         seed: RNG seed; the same (name, n_flows, seed) always yields the
             same flows.
+        distance_model: ``"synthetic"`` calibrates lognormal distances to
+            Table 1 (the default); ``"ecosystem"`` draws flow endpoints
+            from a generated AS-level world and derives distances from
+            its valley-free path lengths (see :mod:`repro.ecosystem`),
+            rescaled to the dataset's demand-weighted mean.
     """
     dataset_spec(name)  # fail fast on unknown names, even on a cache hit
+    _check_distance_model(distance_model)
     return cached(
         "dataset",
-        {"name": name, "n_flows": n_flows, "seed": seed},
-        lambda: _generate_dataset(name, n_flows, seed),
+        _dataset_cache_key(name, n_flows, seed, distance_model),
+        lambda: _generate_dataset(name, n_flows, seed, distance_model),
     )
 
 
@@ -170,7 +196,12 @@ def load_dataset(name: str, n_flows: int = 200, seed: int = 0) -> FlowSet:
 _DISK_CACHE_MAX_FLOWS = 100_000
 
 
-def generate_flow_table(name: str, size: int, seed: int = 0) -> FlowTable:
+def generate_flow_table(
+    name: str,
+    size: int,
+    seed: int = 0,
+    distance_model: str = "synthetic",
+) -> FlowTable:
     """A ``size``-scalable columnar dataset generator (million-flow path).
 
     Identical statistics machinery to :func:`load_dataset` — same copula,
@@ -181,17 +212,32 @@ def generate_flow_table(name: str, size: int, seed: int = 0) -> FlowTable:
     ever materializing a :class:`~repro.core.flow.Flow` object, so
     ``generate_flow_table("eu_isp", size=1_000_000)`` is a handful of
     numpy allocations.
+
+    ``distance_model="ecosystem"`` swaps the calibrated lognormal
+    distances for valley-free path lengths over a generated AS-level
+    substrate world (see :mod:`repro.ecosystem` and ``docs/scaling.md``).
     """
     dataset_spec(name)  # fail fast on unknown names, even on a cache hit
+    _check_distance_model(distance_model)
     return cached(
         "dataset",
-        {"name": name, "n_flows": size, "seed": seed},
-        lambda: _generate_dataset(name, size, seed),
+        _dataset_cache_key(name, size, seed, distance_model),
+        lambda: _generate_dataset(name, size, seed, distance_model),
         disk=size <= _DISK_CACHE_MAX_FLOWS,
     )
 
 
-def _generate_dataset(name: str, n_flows: int, seed: int) -> FlowSet:
+def _check_distance_model(distance_model: str) -> None:
+    if distance_model not in DISTANCE_MODELS:
+        raise DataError(
+            f"unknown distance model {distance_model!r}; expected one of "
+            f"{DISTANCE_MODELS}"
+        )
+
+
+def _generate_dataset(
+    name: str, n_flows: int, seed: int, distance_model: str = "synthetic"
+) -> FlowSet:
     """The uncached generation path behind :func:`load_dataset`."""
     METRICS.incr("datasets_generated")
     spec = dataset_spec(name)
@@ -227,12 +273,17 @@ def _generate_dataset(name: str, n_flows: int, seed: int) -> FlowSet:
         cv_target=spec.demand_cv,
         total_target=spec.aggregate_gbps * 1000.0,
     )
-    distances = _calibrated_distances(raw_distance, demands, spec)
-    region_codes = region_codes_by_distance(
-        distances,
-        metro_miles=spec.metro_miles,
-        national_miles=spec.national_miles,
-    )
+    if distance_model == "ecosystem":
+        distances, region_codes = _ecosystem_distances(
+            spec, demands, n_flows, seed
+        )
+    else:
+        distances = _calibrated_distances(raw_distance, demands, spec)
+        region_codes = region_codes_by_distance(
+            distances,
+            metro_miles=spec.metro_miles,
+            national_miles=spec.national_miles,
+        )
     # Columns come straight out of the calibration (finite, positive by
     # construction) and codes from the classifier, so adopt them zero-copy
     # without re-validating or materializing any Flow objects.
@@ -273,6 +324,64 @@ def _calibrated_distances(
     )
     weighted = float(np.average(shaped, weights=demands))
     return shaped * (spec.w_avg_distance_miles / weighted)
+
+
+#: The substrate world behind ``distance_model="ecosystem"``: big enough
+#: for a real hierarchy, small enough that endpoint sampling dominates.
+_SUBSTRATE_ASES = 60
+_SUBSTRATE_IXPS = 3
+_SUBSTRATE_SEED = 0
+
+
+def _ecosystem_distances(
+    spec: DatasetSpec, demands: np.ndarray, n_flows: int, seed: int
+) -> "tuple[np.ndarray, np.ndarray]":
+    """Distances/regions drawn from a generated AS-level world.
+
+    Flow endpoints sample (src, dst) AS pairs of a fixed substrate
+    ecosystem; each flow's distance is its valley-free path length times
+    the endpoint region's hop miles, rescaled so the demand-weighted mean
+    hits the dataset's Table 1 value.  The distance *distribution* (and
+    its CV) is then emergent from the topology instead of calibrated.
+    """
+    from repro.core.flow import REGION_CODE
+    from repro.ecosystem import EcosystemSpec, build_ecosystem
+    from repro.ecosystem.traffic import HOP_MILES
+    from repro.geo.regions import classify_by_endpoints
+
+    eco = build_ecosystem(
+        EcosystemSpec.from_counts(
+            ases=_SUBSTRATE_ASES, ixps=_SUBSTRATE_IXPS, seed=_SUBSTRATE_SEED
+        )
+    )
+    n = eco.n_ases
+    rng = np.random.default_rng(
+        np.random.SeedSequence(entropy=(seed, n_flows, 0x65636F))
+    )
+    src = rng.integers(0, n, size=n_flows)
+    dst = rng.integers(0, n, size=n_flows)
+    dst = np.where(dst == src, (dst + 1) % n, dst)
+    lens = eco.tables.path_len[src, dst].astype(float)
+    if lens.min() < 0:
+        raise DataError("substrate ecosystem has unreachable AS pairs")
+    region_matrix = np.array(
+        [
+            [
+                REGION_CODE[classify_by_endpoints(a.home, b.home)]
+                for b in eco.ases
+            ]
+            for a in eco.ases
+        ],
+        dtype=np.int32,
+    )
+    region_codes = region_matrix[src, dst]
+    hop_miles = np.array(
+        [HOP_MILES[label] for label in REGION_CODE], dtype=float
+    )[region_codes]
+    raw = np.maximum(lens, 1.0) * hop_miles
+    weighted = float(np.average(raw, weights=demands))
+    distances = raw * (spec.w_avg_distance_miles / weighted)
+    return distances, region_codes
 
 
 def table1_row(name: str, n_flows: int = 200, seed: int = 0) -> dict:

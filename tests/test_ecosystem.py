@@ -1,0 +1,378 @@
+"""Tests for the AS-level ecosystem generator (repro.ecosystem)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.config import EcosystemConfig
+from repro.ecosystem import (
+    Base,
+    CLASS_CUSTOMER,
+    CLASS_PEER,
+    CLASS_PROVIDER,
+    CONTENT,
+    EcosystemBuilder,
+    EcosystemSpec,
+    Relationships,
+    Routing,
+    STUB,
+    TIER1,
+    TIER2,
+    Traffic,
+    UNREACHABLE,
+    as_address,
+    build_ecosystem,
+    compute_routes,
+    design_for_as,
+    exit_selector_for,
+    index_for_address,
+    measured_flowset_for,
+    published_snapshot_for,
+    render_ecosystem,
+    transit_flows_for,
+    verify_path_valley_free,
+    verify_valley_free,
+)
+from repro.errors import ConfigurationError, DataError, TopologyError
+from repro.runtime.spec import ExperimentSpec
+from repro.synth.datasets import load_dataset
+
+
+@pytest.fixture(scope="module")
+def world():
+    """One 50-AS world shared across read-only tests."""
+    return build_ecosystem(EcosystemSpec.from_counts(ases=50, ixps=3, seed=0))
+
+
+# ----------------------------------------------------------------------
+# Builder layers
+# ----------------------------------------------------------------------
+
+
+class TestBuilder:
+    def test_layers_render_in_order(self):
+        eco = (
+            EcosystemBuilder(seed=3)
+            .add_layer(Base(n_tier1=2, n_tier2=4, n_stub=8, n_content=2))
+            .add_layer(Relationships())
+            .add_layer(Routing())
+            .add_layer(Traffic())
+            .render()
+        )
+        assert eco.n_ases == 16
+        assert eco.tables is not None
+        assert eco.traffic is not None
+
+    def test_missing_dependency_rejected(self):
+        builder = EcosystemBuilder().add_layer(Base()).add_layer(Routing())
+        with pytest.raises(DataError, match="requires"):
+            builder.render()
+
+    def test_duplicate_layer_rejected(self):
+        with pytest.raises(DataError, match="base"):
+            EcosystemBuilder().add_layer(Base()).add_layer(Base())
+
+    def test_empty_builder_rejected(self):
+        with pytest.raises(DataError):
+            EcosystemBuilder().render()
+
+    def test_address_plan_round_trips(self):
+        for index in (0, 255, 256, 300):
+            assert index_for_address(as_address(index, 7)) == index
+        with pytest.raises(DataError):
+            index_for_address("192.0.2.1")
+
+
+# ----------------------------------------------------------------------
+# Valley-free routing invariants
+# ----------------------------------------------------------------------
+
+
+class TestValleyFree:
+    def test_full_reachability_under_tier1_clique(self, world):
+        assert world.tables.reachable_fraction() == 1.0
+
+    def test_paths_are_valley_free(self, world):
+        # Exhaustive over the sampled pairs: reconstruction length checks
+        # and the up* peer? down* phase machine both run per path.
+        assert verify_valley_free(world, max_pairs=2000) > 0
+
+    def test_no_valley_passes_verifier(self, world):
+        # The verifier itself must reject a fabricated valley: customer
+        # -> provider -> customer -> provider climbs after descending.
+        c, p = (int(x) for x in world.up_edges[0])
+        other_customers = [
+            int(cc) for cc, pp in world.up_edges if int(pp) == p and int(cc) != c
+        ]
+        if not other_customers:
+            pytest.skip("provider with a single customer")
+        c2 = other_customers[0]
+        providers_of_c2 = [
+            int(pp) for cc, pp in world.up_edges if int(cc) == c2
+        ]
+        valley = [c, p, c2, providers_of_c2[0]]
+        with pytest.raises(TopologyError, match="valley"):
+            verify_path_valley_free(world, valley)
+
+    def test_class_preference_customer_over_peer_over_provider(self, world):
+        # Wherever a customer route exists, it must have been selected.
+        tables = world.tables
+        n = world.n_ases
+        for c, p in world.up_edges[:20]:
+            # The provider reaches its customer via a customer route.
+            assert tables.route_class[int(p), int(c)] == CLASS_CUSTOMER
+        for a, b in world.peer_edges:
+            a, b = int(a), int(b)
+            assert tables.route_class[a, b] in (CLASS_CUSTOMER, CLASS_PEER)
+        assert np.all(tables.path_len[np.eye(n, dtype=bool)] == 0)
+
+    def test_peer_routes_not_re_exported_upward(self):
+        # Two providers peered at the top, one customer each: customers
+        # reach across (up, peer, down) but the providers must not learn
+        # a path to each other's customer via their own customer.
+        up = np.array([[2, 0], [3, 1]], dtype=np.int32)
+        peer = np.array([[0, 1]], dtype=np.int32)
+        tables = compute_routes(4, up, peer)
+        assert tables.path_len[2, 3] == 3  # 2 -> 0 -> 1 -> 3
+        assert tables.route_class[0, 3] == CLASS_PEER
+        assert tables.route_class[2, 3] == CLASS_PROVIDER
+
+    def test_unreachable_without_clique(self):
+        # Two disconnected provider trees: cross-tree pairs unreachable.
+        up = np.array([[1, 0], [3, 2]], dtype=np.int32)
+        peer = np.zeros((0, 2), dtype=np.int32)
+        tables = compute_routes(4, up, peer)
+        assert tables.path_len[0, 2] == UNREACHABLE
+        assert tables.path_len[1, 3] == UNREACHABLE
+        assert tables.path_len[1, 0] == 1
+        assert tables.reachable_fraction() < 1.0
+
+    def test_provider_cycle_rejected(self):
+        up = np.array([[0, 1], [1, 2], [2, 0]], dtype=np.int32)
+        with pytest.raises(TopologyError, match="cycle"):
+            compute_routes(3, up, np.zeros((0, 2), dtype=np.int32))
+
+
+# ----------------------------------------------------------------------
+# Determinism
+# ----------------------------------------------------------------------
+
+
+class TestDeterminism:
+    def test_same_seed_byte_identical(self):
+        spec = EcosystemSpec.from_counts(ases=40, ixps=2, seed=11)
+        a, b = render_ecosystem(spec), render_ecosystem(spec)
+        assert a.up_edges.tobytes() == b.up_edges.tobytes()
+        assert a.peer_edges.tobytes() == b.peer_edges.tobytes()
+        assert a.tables.path_len.tobytes() == b.tables.path_len.tobytes()
+        assert a.tables.next_hop.tobytes() == b.tables.next_hop.tobytes()
+        assert a.tables.route_class.tobytes() == b.tables.route_class.tobytes()
+        for probe in (a.ases[0].asn, a.ases[-1].asn):
+            fa, fb = a.flow_table_for(probe), b.flow_table_for(probe)
+            assert fa.demands.tobytes() == fb.demands.tobytes()
+            assert fa.distances.tobytes() == fb.distances.tobytes()
+        assert a.netflow_records_for(a.ases[3].asn) == b.netflow_records_for(
+            b.ases[3].asn
+        )
+
+    def test_different_seeds_differ(self):
+        a = render_ecosystem(EcosystemSpec.from_counts(ases=40, seed=1))
+        b = render_ecosystem(EcosystemSpec.from_counts(ases=40, seed=2))
+        assert (
+            a.up_edges.tobytes() != b.up_edges.tobytes()
+            or a.peer_edges.tobytes() != b.peer_edges.tobytes()
+        )
+
+    def test_build_is_memoized(self):
+        spec = EcosystemSpec.from_counts(ases=40, ixps=2, seed=11)
+        assert build_ecosystem(spec) is build_ecosystem(spec)
+
+    def test_spec_digest_tracks_fields(self):
+        base = EcosystemSpec.from_counts(ases=50, seed=0)
+        assert base.digest() == EcosystemSpec.from_counts(ases=50, seed=0).digest()
+        assert base.digest() != EcosystemSpec.from_counts(ases=50, seed=1).digest()
+        assert base.digest() != EcosystemSpec.from_counts(ases=60, seed=0).digest()
+
+    def test_spec_validation(self):
+        with pytest.raises(ConfigurationError):
+            EcosystemSpec.from_counts(ases=3)
+        with pytest.raises(ConfigurationError):
+            EcosystemSpec(n_tier1=0)
+        with pytest.raises(ConfigurationError):
+            EcosystemSpec(peering_density=1.5)
+        with pytest.raises(ConfigurationError):
+            EcosystemSpec(sampling_interval=0)
+
+
+# ----------------------------------------------------------------------
+# Traffic and the measure chain
+# ----------------------------------------------------------------------
+
+
+class TestTraffic:
+    def test_content_ases_source_most_traffic(self, world):
+        content = world.flow_table_for(world.ases_of_kind(CONTENT)[0].asn)
+        stub = world.flow_table_for(world.ases_of_kind(STUB)[0].asn)
+        assert content.aggregate_gbps() > stub.aggregate_gbps()
+
+    def test_measured_matches_ground_truth_scale(self, world):
+        asn = world.ases_of_kind(TIER2)[0].asn
+        truth = world.flow_table_for(asn)
+        measured = measured_flowset_for(world, asn, through_wire=True)
+        assert len(measured) == len(truth)
+        # Sampling quantizes each flow, so totals agree loosely only.
+        assert measured.aggregate_gbps() == pytest.approx(
+            truth.aggregate_gbps(), rel=0.05
+        )
+
+    def test_wire_roundtrip_is_lossless(self, world):
+        asn = world.ases_of_kind(STUB)[0].asn
+        wired = measured_flowset_for(world, asn, through_wire=True)
+        direct = measured_flowset_for(world, asn, through_wire=False)
+        assert wired.demands.tobytes() == direct.demands.tobytes()
+        assert wired.distances.tobytes() == direct.distances.tobytes()
+
+    def test_wire_roundtrip_past_255_routers(self):
+        # A 200-AS world has >255 routers, exercising the widened
+        # engine mapping end to end.
+        eco = build_ecosystem(EcosystemSpec.from_counts(ases=200, ixps=4, seed=1))
+        assert len(eco.router_names()) > 255
+        asn = eco.ases[-1].asn
+        wired = measured_flowset_for(eco, asn, through_wire=True)
+        direct = measured_flowset_for(eco, asn, through_wire=False)
+        assert wired.demands.tobytes() == direct.demands.tobytes()
+
+    def test_design_for_stub_and_tier2(self, world):
+        for kind in (STUB, TIER2):
+            asn = world.ases_of_kind(kind)[0].asn
+            result = design_for_as(world, asn, n_tiers=3)
+            assert result["kind"] == kind
+            assert result["n_flows"] == world.n_ases - 1
+            assert 0.0 < result["profit_capture"] <= 1.0
+            assert len(result["tier_prices"]) == 3
+
+    def test_unknown_asn_rejected(self, world):
+        with pytest.raises(TopologyError):
+            world.flow_table_for(1)
+        with pytest.raises(TopologyError):
+            measured_flowset_for(world, 1)
+
+
+# ----------------------------------------------------------------------
+# Tier pricing over ecosystem paths
+# ----------------------------------------------------------------------
+
+
+class TestEcosystemPricing:
+    def test_tier_aware_beats_hot_potato(self, world):
+        provider = world.ases_of_kind(TIER1)[0]
+        # A multi-city customer has real exit choices.
+        customer = next(
+            a
+            for a in world.ases_of_kind(TIER2) + world.ases_of_kind(CONTENT)
+            if len({c.key for c in a.cities}) >= 2
+        )
+        snapshot = published_snapshot_for(world, provider.asn, n_tiers=3)
+        selector = exit_selector_for(world, customer.asn, snapshot)
+        result = selector.savings(transit_flows_for(world, customer.asn))
+        assert result["savings"] > 0
+        assert 0 < result["savings_fraction"] < 1
+
+    def test_snapshot_prices_increase_with_distance_tier(self, world):
+        provider = world.ases_of_kind(TIER1)[0]
+        snapshot = published_snapshot_for(world, provider.asn, n_tiers=4)
+        rates = [snapshot.rates[t] for t in sorted(snapshot.rates)]
+        assert rates == sorted(rates)
+        assert rates[0] < snapshot.blended_rate < rates[-1]
+
+    def test_unknown_pair_falls_back_to_blended(self, world):
+        from repro.ecosystem import snapshot_tier_price
+
+        provider = world.ases_of_kind(TIER1)[0]
+        snapshot = published_snapshot_for(world, provider.asn)
+        price = snapshot_tier_price(snapshot)
+        assert price("no-such-city", "no-such-as") == snapshot.blended_rate
+
+
+# ----------------------------------------------------------------------
+# Config and CLI
+# ----------------------------------------------------------------------
+
+
+class TestEcosystemConfig:
+    def test_defaults(self):
+        config = EcosystemConfig.resolve()
+        assert (config.ases, config.ixps, config.seed) == (50, 3, 0)
+
+    def test_env_resolution(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ECOSYSTEM_ASES", "80")
+        monkeypatch.setenv("REPRO_ECOSYSTEM_SEED", "5")
+        config = EcosystemConfig.resolve()
+        assert (config.ases, config.seed) == (80, 5)
+
+    def test_malformed_env_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ECOSYSTEM_ASES", "many")
+        with pytest.raises(ConfigurationError, match="REPRO_ECOSYSTEM_ASES"):
+            EcosystemConfig.resolve()
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            EcosystemConfig(ases=2)
+        with pytest.raises(ConfigurationError):
+            EcosystemConfig(ixps=-1)
+
+
+class TestEcosystemCli:
+    def test_selftest_runs_clean(self, capsys):
+        assert main(["ecosystem", "--ases", "30", "--seed", "2", "--selftest"]) == 0
+        out = capsys.readouterr().out
+        assert "valley-free" in out
+        assert "rebuild byte-identical" in out
+        assert "design as" in out
+
+    def test_emit_netflow(self, tmp_path, capsys):
+        out_dir = tmp_path / "nf"
+        assert (
+            main(["ecosystem", "--ases", "30", "--emit-netflow", str(out_dir)])
+            == 0
+        )
+        files = sorted(out_dir.glob("*.nf5"))
+        assert len(files) == 30
+        assert all(f.stat().st_size > 0 for f in files)
+
+
+# ----------------------------------------------------------------------
+# The synth distance-model hook
+# ----------------------------------------------------------------------
+
+
+class TestEcosystemDistanceModel:
+    def test_deterministic_and_distinct_from_synthetic(self):
+        a = load_dataset("cdn", n_flows=60, seed=4, distance_model="ecosystem")
+        b = load_dataset("cdn", n_flows=60, seed=4, distance_model="ecosystem")
+        assert a.demands.tobytes() == b.demands.tobytes()
+        assert a.distances.tobytes() == b.distances.tobytes()
+        synthetic = load_dataset("cdn", n_flows=60, seed=4)
+        assert a.distances.tobytes() != synthetic.distances.tobytes()
+        # Demand calibration is shared; only distances change model.
+        assert a.demands.tobytes() == synthetic.demands.tobytes()
+
+    def test_weighted_mean_matches_table1(self):
+        flows = load_dataset(
+            "internet2", n_flows=80, seed=0, distance_model="ecosystem"
+        )
+        row = flows.table1_row()
+        assert row["w_avg_distance_miles"] == pytest.approx(660.0)
+
+    def test_invalid_model_rejected(self):
+        with pytest.raises(DataError, match="distance model"):
+            load_dataset("eu_isp", distance_model="geodesic")
+
+    def test_spec_digest_gains_field_only_when_non_default(self):
+        default = ExperimentSpec(dataset="eu_isp")
+        eco = ExperimentSpec(dataset="eu_isp", distance_model="ecosystem")
+        assert "distance_model" not in default.market_key()
+        assert eco.market_key()["distance_model"] == "ecosystem"
+        assert default.digest() != eco.digest()

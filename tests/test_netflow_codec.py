@@ -5,6 +5,7 @@ import pytest
 from repro.errors import DataError
 from repro.netflow.codec import (
     EngineMap,
+    MAX_ENGINES,
     MAX_RECORDS_PER_PACKET,
     decode_packet,
     decode_packets,
@@ -50,9 +51,28 @@ class TestEngineMap:
         with pytest.raises(DataError):
             EngineMap(["R1", "R1"])
 
-    def test_byte_limit(self):
-        with pytest.raises(DataError):
-            EngineMap([f"R{i}" for i in range(257)])
+    def test_two_byte_limit(self):
+        # 257 routers fit now that engine_type carries the high byte.
+        EngineMap([f"R{i}" for i in range(257)])
+        with pytest.raises(DataError, match="two bytes"):
+            EngineMap([f"R{i}" for i in range(MAX_ENGINES + 1)])
+
+    def test_roundtrip_past_one_byte(self):
+        """Regression: engine numbers above 255 survive the wire.
+
+        The engine number spreads over (engine_type << 8) | engine_id,
+        so a fleet of >255 exporters round-trips; router 0 still encodes
+        with engine_type 0 (byte-compatible with classic exporters).
+        """
+        engines = EngineMap([f"R{i}" for i in range(300)])
+        for router in ("R0", "R255", "R256", "R299"):
+            packet = encode_packet([record(0, router=router)], engines)
+            decoded = decode_packet(packet, engines)
+            assert decoded[0].router == router
+        # engine_type (header byte 20) is the high byte of the number.
+        packet = encode_packet([record(0, router="R299")], engines)
+        assert packet[20] == 299 >> 8
+        assert packet[21] == 299 & 0xFF
 
 
 class TestSinglePacket:
