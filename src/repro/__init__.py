@@ -35,9 +35,10 @@ Subpackages:
 * :mod:`repro.fleet` — sharded multi-process quote serving over
   shared-memory snapshot segments, with an asyncio socket front door.
 * :mod:`repro.config` — typed configuration objects
-  (:class:`RuntimeConfig`, :class:`StreamConfig`, :class:`ServeConfig`,
-  :class:`FleetConfig`, :class:`EcosystemConfig`, :class:`ObsConfig`)
-  with one explicit > CLI > env > default precedence chain.
+  (:class:`RuntimeConfig`, :class:`ExecutorConfig`,
+  :class:`StreamConfig`, :class:`ServeConfig`, :class:`FleetConfig`,
+  :class:`EcosystemConfig`, :class:`ObsConfig`) with one explicit >
+  CLI > env > default precedence chain.
 * :mod:`repro.ecosystem` — AS-level internet ecosystem generation:
   seeded multi-AS worlds with valley-free routing whose every AS emits
   NetFlow and can run measure → model → design.
@@ -79,6 +80,7 @@ from repro.core import (
 )
 from repro.config import (
     EcosystemConfig,
+    ExecutorConfig,
     FleetConfig,
     ObsConfig,
     RuntimeConfig,
@@ -91,12 +93,14 @@ from repro.errors import (
     CalibrationError,
     ConfigurationError,
     DataError,
+    ExecutorError,
     ModelParameterError,
     OptimizationError,
     QuoteTimeoutError,
     ReproError,
     SnapshotUnavailableError,
     TopologyError,
+    WorkerLostError,
     exit_code_for,
 )
 from repro.obs import (
@@ -132,6 +136,8 @@ __all__ = [
     "ClassAwareBundling",
     "ConfigurationError",
     "EcosystemConfig",
+    "ExecutorConfig",
+    "ExecutorError",
     "CommitContract",
     "CommitMarket",
     "CompetitionEquilibrium",
@@ -176,6 +182,7 @@ __all__ = [
     "TraceContext",
     "TraceExporter",
     "Tracer",
+    "WorkerLostError",
     "capture_table",
     "configure_tracing",
     "exit_code_for",

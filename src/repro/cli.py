@@ -24,10 +24,13 @@ Commands:
   optionally self-test it end to end.
 * ``trace summarize`` — roll a ``--trace`` JSONL file up into per-stage
   latency/error statistics.
+* ``workers`` — join a running socket-executor coordinator (``--executor
+  socket`` sweep) as one or more sweep worker processes.
 
 Everything honors ``--flows`` and ``--seed`` so results are reproducible
 and fast to experiment with.  Every subcommand additionally honors the
-runtime flags ``--jobs`` (parallel fan-out), ``--no-cache`` (disable the
+runtime flags ``--jobs`` (parallel fan-out), ``--executor`` (sweep
+backend: serial/pool/socket), ``--no-cache`` (disable the
 dataset/market/result cache), ``--metrics`` (emit a structured-JSON run
 report), and ``--trace`` (append every span of the run to a JSONL trace
 file) — none of which change the computed output.
@@ -48,9 +51,21 @@ import warnings
 from collections.abc import Sequence
 
 from repro import obs
-from repro.config import ObsConfig, RuntimeConfig, ServeConfig, StreamConfig
+from repro.config import (
+    EXECUTOR_BACKENDS,
+    ExecutorConfig,
+    ObsConfig,
+    RuntimeConfig,
+    ServeConfig,
+    StreamConfig,
+)
 from repro.core.bundling import strategy_by_name
-from repro.errors import DataError, ReproError, exit_code_for
+from repro.errors import (
+    ConfigurationError,
+    DataError,
+    ReproError,
+    exit_code_for,
+)
 from repro.experiments import figures, render, sweeps, tables
 from repro.experiments.config import DEFAULT_CONFIG
 from repro.experiments.runner import build_market
@@ -134,6 +149,17 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "worker processes for experiment fan-out "
             "(default: $REPRO_JOBS, else 1 = serial; 0 = all cores)"
+        ),
+    )
+    runtime.add_argument(
+        "--executor",
+        choices=EXECUTOR_BACKENDS,
+        default=None,
+        help=(
+            "sweep execution backend: serial (inline), pool (process "
+            "pool; the default), or socket (work-stealing coordinator "
+            "+ local/remote workers, see 'repro workers') "
+            "(default: $REPRO_EXECUTOR, else pool)"
         ),
     )
     runtime.add_argument(
@@ -555,18 +581,46 @@ def build_parser() -> argparse.ArgumentParser:
         help="per-stage latency/error rollup of a JSONL trace file",
     )
     summarize.add_argument("path", help="JSONL trace file to summarize")
+
+    workers = sub.add_parser(
+        "workers",
+        help=(
+            "join a socket-executor coordinator as sweep worker "
+            "process(es); exits when the coordinator does"
+        ),
+        parents=[runtime],
+    )
+    workers.add_argument(
+        "--connect",
+        required=True,
+        metavar="HOST:PORT",
+        help="the coordinator address printed/configured by the sweep run",
+    )
+    workers.add_argument(
+        "--processes",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes to run from this command (default 1)",
+    )
     return parser
 
 
 def _config(args: argparse.Namespace):
-    """The experiment config for a run: CLI flags over one RuntimeConfig."""
+    """The experiment config for a run: CLI flags over resolved configs.
+
+    Fan-out (``--jobs``/``--executor``) resolves through
+    :class:`ExecutorConfig`; caching through :class:`RuntimeConfig`.
+    """
+    executor_config = ExecutorConfig.resolve(cli=args)
     runtime_config = RuntimeConfig.resolve(cli=args)
     return dataclasses.replace(
         DEFAULT_CONFIG,
         n_flows=args.flows,
         seed=args.seed,
-        jobs=runtime_config.jobs,
+        jobs=executor_config.jobs,
         cache=runtime_config.cache,
+        executor=executor_config.backend,
     )
 
 
@@ -1033,6 +1087,46 @@ def cmd_drift(args: argparse.Namespace) -> str:
     )
 
 
+def cmd_workers(args: argparse.Namespace) -> str:
+    import multiprocessing
+
+    from repro.runtime.executor import worker_main
+
+    host, _, port_text = args.connect.rpartition(":")
+    if not host or not port_text.isdigit():
+        raise ConfigurationError(
+            f"--connect expects HOST:PORT, got {args.connect!r}"
+        )
+    port = int(port_text)
+    if args.processes < 1:
+        raise ConfigurationError(
+            f"--processes must be >= 1, got {args.processes}"
+        )
+    heartbeat_ms = ExecutorConfig.resolve(cli=args).heartbeat_ms
+    if args.processes == 1:
+        executed = worker_main(host, port, heartbeat_ms=heartbeat_ms)
+        return f"worker exited after {executed} spec(s)"
+    context = multiprocessing.get_context(
+        "fork"
+        if "fork" in multiprocessing.get_all_start_methods()
+        else None
+    )
+    procs = [
+        context.Process(
+            target=worker_main,
+            args=(host, port),
+            kwargs={"heartbeat_ms": heartbeat_ms},
+            name=f"repro-workers-{i}",
+        )
+        for i in range(args.processes)
+    ]
+    for proc in procs:
+        proc.start()
+    for proc in procs:
+        proc.join()
+    return f"{len(procs)} workers exited"
+
+
 def cmd_trace(args: argparse.Namespace) -> str:
     from repro.obs import read_trace, render_trace_summary, summarize_trace
 
@@ -1057,6 +1151,7 @@ _COMMANDS = {
     "offerings": cmd_offerings,
     "drift": cmd_drift,
     "trace": cmd_trace,
+    "workers": cmd_workers,
 }
 
 
@@ -1095,10 +1190,12 @@ def _emit_metrics(
     :func:`repro.obs.to_json` merges the metrics registry with the
     tracer's per-span rollup, so one file carries counters and latency.
     """
+    executor_config = ExecutorConfig.resolve(cli=args)
     payload = obs.to_json(
         command=args.command,
         wall_time_s=wall_time_s,
-        jobs=RuntimeConfig.resolve(cli=args).worker_count(),
+        jobs=executor_config.worker_count(),
+        executor=executor_config.backend,
         cache_enabled=cache_enabled,
     )
     if args.metrics == "-":

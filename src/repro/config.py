@@ -7,6 +7,9 @@ quote server.  Everything now resolves through frozen dataclasses:
 
 * :class:`RuntimeConfig` — experiment fan-out and caching
   (``jobs``/``cache``/``cache_dir``/``metrics``);
+* :class:`ExecutorConfig` — sweep execution backend and wire knobs
+  (``backend``/``jobs``/``host``/``port``/``heartbeat_ms``/
+  ``lease_timeout_ms``/``max_retries``/``spawn``);
 * :class:`StreamConfig` — the streaming repricing knobs (windows, queue,
   drift gate), also re-exported from :mod:`repro.stream`;
 * :class:`ServeConfig` — the quote server (``workers``/``queue_depth``/
@@ -197,6 +200,128 @@ class RuntimeConfig(_Resolvable):
         if self.jobs <= 0:
             return os.cpu_count() or 1
         return self.jobs
+
+
+# ----------------------------------------------------------------------
+# Executor (pluggable sweep execution)
+# ----------------------------------------------------------------------
+
+#: Executor backends selectable via ``--executor`` / ``REPRO_EXECUTOR``.
+EXECUTOR_BACKENDS = ("serial", "pool", "socket")
+
+
+def _parse_backend(name: str, text: str) -> str:
+    if text not in EXECUTOR_BACKENDS:
+        raise ConfigurationError(
+            f"{name} must be one of {', '.join(EXECUTOR_BACKENDS)}, "
+            f"got {text!r}"
+        )
+    return text
+
+
+def _cli_backend(namespace) -> "Optional[str]":
+    return getattr(namespace, "executor", None)
+
+
+@dataclasses.dataclass(frozen=True)
+class ExecutorConfig(_Resolvable):
+    """How experiment sweeps execute: which backend, how wide, what wire.
+
+    This is the single resolution point for sweep fan-out — the old
+    ``resolve_jobs`` helper is gone and ``--jobs``/``REPRO_JOBS`` land
+    here (same precedence chain, same :class:`ConfigurationError` on
+    malformed values).
+
+    Attributes:
+        backend: Executor implementation — ``serial`` (inline),
+            ``pool`` (process pool, the default) or ``socket``
+            (work-stealing coordinator + socket workers).  Env:
+            ``REPRO_EXECUTOR``; CLI: ``--executor``.
+        jobs: Worker count.  ``None`` = one worker (the pool backend
+            then runs inline, exactly like the historical serial path);
+            ``0`` or negative = one per CPU core.  Env: ``REPRO_JOBS``;
+            CLI: ``--jobs``.
+        host: Socket-coordinator listen address.  Env:
+            ``REPRO_EXECUTOR_HOST``.
+        port: Socket-coordinator listen port; ``0`` = ephemeral (the
+            bound port is reported after start).  Env:
+            ``REPRO_EXECUTOR_PORT``.
+        heartbeat_ms: Worker lease-heartbeat cadence.  Env:
+            ``REPRO_EXECUTOR_HEARTBEAT_MS``.
+        lease_timeout_ms: A lease with no heartbeat for this long is
+            reclaimed and its spec re-queued.  Env:
+            ``REPRO_EXECUTOR_LEASE_TIMEOUT_MS``.
+        max_retries: Times one spec's lost lease is re-queued before the
+            sweep fails with :class:`~repro.errors.WorkerLostError`.
+            Env: ``REPRO_EXECUTOR_MAX_RETRIES``.
+        spawn: Local worker processes the socket coordinator forks at
+            start (``None`` = ``worker_count()``, ``0`` = none — wait
+            for remote ``repro workers`` joins).  Env:
+            ``REPRO_EXECUTOR_SPAWN``.
+    """
+
+    backend: str = cfg_field(
+        "pool", env="REPRO_EXECUTOR", parse=_parse_backend, cli=_cli_backend
+    )
+    jobs: "Optional[int]" = cfg_field(None, env="REPRO_JOBS", parse=_parse_jobs)
+    host: str = cfg_field("127.0.0.1", env="REPRO_EXECUTOR_HOST")
+    port: int = cfg_field(0, env="REPRO_EXECUTOR_PORT", parse=_env_int)
+    heartbeat_ms: float = cfg_field(
+        1000.0, env="REPRO_EXECUTOR_HEARTBEAT_MS", parse=_env_float
+    )
+    lease_timeout_ms: float = cfg_field(
+        30_000.0, env="REPRO_EXECUTOR_LEASE_TIMEOUT_MS", parse=_env_float
+    )
+    max_retries: int = cfg_field(
+        2, env="REPRO_EXECUTOR_MAX_RETRIES", parse=_env_int
+    )
+    spawn: "Optional[int]" = cfg_field(
+        None, env="REPRO_EXECUTOR_SPAWN", parse=_env_int
+    )
+
+    def __post_init__(self) -> None:
+        if self.backend not in EXECUTOR_BACKENDS:
+            raise ConfigurationError(
+                f"executor backend must be one of "
+                f"{', '.join(EXECUTOR_BACKENDS)}, got {self.backend!r}"
+            )
+        if not self.host:
+            raise ConfigurationError("executor host must be non-empty")
+        if not 0 <= self.port <= 65535:
+            raise ConfigurationError(
+                f"port must be in [0, 65535], got {self.port}"
+            )
+        if self.heartbeat_ms <= 0:
+            raise ConfigurationError(
+                f"heartbeat_ms must be positive, got {self.heartbeat_ms}"
+            )
+        if self.lease_timeout_ms <= 0:
+            raise ConfigurationError(
+                f"lease_timeout_ms must be positive, got "
+                f"{self.lease_timeout_ms}"
+            )
+        if self.max_retries < 0:
+            raise ConfigurationError(
+                f"max_retries must be >= 0, got {self.max_retries}"
+            )
+        if self.spawn is not None and self.spawn < 0:
+            raise ConfigurationError(
+                f"spawn must be >= 0, got {self.spawn}"
+            )
+
+    def worker_count(self) -> int:
+        """The concrete worker width (resolves the 0-means-all-cores rule)."""
+        if self.jobs is None:
+            return 1
+        if self.jobs <= 0:
+            return os.cpu_count() or 1
+        return self.jobs
+
+    def spawn_count(self) -> int:
+        """Local workers the socket coordinator forks (``None`` = width)."""
+        if self.spawn is None:
+            return self.worker_count()
+        return self.spawn
 
 
 # ----------------------------------------------------------------------
@@ -448,7 +573,9 @@ class ObsConfig(_Resolvable):
 
 __all__ = [
     "DEPRECATION_PREFIX",
+    "EXECUTOR_BACKENDS",
     "EcosystemConfig",
+    "ExecutorConfig",
     "FleetConfig",
     "ObsConfig",
     "RuntimeConfig",

@@ -89,6 +89,25 @@ class QuoteTimeoutError(ReproError, TimeoutError):
     """
 
 
+class ExecutorError(ReproError, RuntimeError):
+    """A sweep executor failed to run its work units.
+
+    Covers backend-level failures that are not a property of any single
+    spec: an unusable backend configuration, a worker reporting an
+    execution exception, or a coordinator shut down mid-sweep.
+    """
+
+
+class WorkerLostError(ExecutorError):
+    """A worker died holding a work-unit lease and retries are exhausted.
+
+    Raised by the distributed sweep backends instead of hanging when the
+    processes executing a spec keep disappearing (crash, SIGKILL, network
+    partition).  Completed results were already spilled to the disk
+    cache, so rerunning the sweep resumes where it left off.
+    """
+
+
 #: Exception class -> CLI exit code, one distinct nonzero code per
 #: :class:`ReproError` subclass (the base class itself backstops at 10).
 #: Codes are part of the CLI contract — append, never renumber.
@@ -104,6 +123,8 @@ EXIT_CODES = {
     AccountingError: 18,
     SnapshotUnavailableError: 19,
     QuoteTimeoutError: 20,
+    ExecutorError: 21,
+    WorkerLostError: 22,
 }
 
 

@@ -41,7 +41,7 @@ from repro.core.flow import FlowSet
 from repro.core.market import Market
 from repro.experiments.config import DEFAULT_CONFIG, ExperimentConfig
 from repro.experiments.runner import spec_for
-from repro.runtime.parallel import ParallelMap
+from repro.runtime.executor import get_executor
 from repro.runtime.spec import run_specs
 from repro.synth.datasets import load_dataset
 from repro.synth.distributions import (
@@ -181,7 +181,9 @@ def granularity_ablation(
         )
         for n_flows in flow_counts
     ]
-    results = run_specs(specs, jobs=config.jobs, use_cache=config.cache)
+    results = run_specs(
+        specs, jobs=config.jobs, use_cache=config.cache, executor=config.executor
+    )
     return {
         "flow_counts": list(flow_counts),
         "n_bundles": n_bundles,
@@ -196,6 +198,7 @@ def sampling_ablation(
     n_bundles: int = 3,
     seed: int = 19,
     jobs: "int | None" = None,
+    executor: "str | None" = None,
 ) -> dict:
     """How NetFlow sampling coarseness affects tier design and billing.
 
@@ -217,7 +220,8 @@ def sampling_ablation(
         }
         for interval in intervals
     ]
-    rows = ParallelMap(jobs).map(_sampling_point, points)
+    with get_executor(backend=executor, jobs=jobs) as ex:
+        rows = ex.map(_sampling_point, points)
     return {"dataset": dataset, "n_bundles": n_bundles, "rows": rows}
 
 

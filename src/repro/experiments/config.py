@@ -32,12 +32,15 @@ DEFAULT_SEED = 7
 class ExperimentConfig:
     """Bundle of knobs shared by the figure drivers.
 
-    The last two fields steer the runtime, not the model: ``jobs`` is the
-    worker-process count for driver fan-out (``None`` defers to
-    ``$REPRO_JOBS``, then serial; ``0`` means all cores) and ``cache``
-    toggles the content-addressed result/market/dataset cache.  Neither
-    affects results — serial/parallel and cold/warm runs are
-    byte-identical (asserted by ``tests/test_runtime.py``).
+    The last three fields steer the runtime, not the model: ``jobs`` is
+    the worker count for driver fan-out (``None`` defers to
+    ``$REPRO_JOBS``, then serial; ``0`` means all cores), ``cache``
+    toggles the content-addressed result/market/dataset cache, and
+    ``executor`` picks the sweep backend (``"serial"``/``"pool"``/
+    ``"socket"``; ``None`` defers to ``$REPRO_EXECUTOR``, then pool).
+    None of them affects results — backends and cold/warm runs are
+    byte-identical (asserted by ``tests/test_runtime.py`` and
+    ``tests/test_executor.py``).
     """
 
     alpha: float = DEFAULT_ALPHA
@@ -49,6 +52,7 @@ class ExperimentConfig:
     bundle_counts: tuple = BUNDLE_COUNTS
     jobs: "int | None" = None
     cache: bool = True
+    executor: "str | None" = None
 
 
 DEFAULT_CONFIG = ExperimentConfig()

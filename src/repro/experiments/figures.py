@@ -233,7 +233,9 @@ def _strategy_panels(family: str, config: ExperimentConfig) -> dict:
         )
         for dataset in DATASET_NAMES
     ]
-    results = run_specs(specs, jobs=config.jobs, use_cache=config.cache)
+    results = run_specs(
+        specs, jobs=config.jobs, use_cache=config.cache, executor=config.executor
+    )
     return {
         dataset: {
             "title": DATASET_TITLES[dataset],

@@ -88,7 +88,7 @@ def theta_sweep(
         cells=len(cells),
     ):
         evaluated = dict(
-            zip(cells, run_specs(specs, jobs=config.jobs, use_cache=config.cache))
+            zip(cells, run_specs(specs, jobs=config.jobs, use_cache=config.cache, executor=config.executor))
         )
 
     result: dict = {"cost_model": cost_model_name, "dataset": dataset, "panels": {}}
@@ -180,7 +180,7 @@ def _capture_envelope(
         evaluated = dict(
             zip(
                 [(family, dataset, overrides) for family, dataset, overrides in cells],
-                run_specs(specs, jobs=config.jobs, use_cache=config.cache),
+                run_specs(specs, jobs=config.jobs, use_cache=config.cache, executor=config.executor),
             )
         )
 

@@ -1,4 +1,4 @@
-"""The experiment-execution engine: parallelism, caching, metrics.
+"""The experiment-execution engine: executors, caching, metrics.
 
 Every sweep, figure, and benchmark in this repo reduces to evaluating a
 list of independent, fully-determined work units — "calibrate *this*
@@ -6,9 +6,14 @@ dataset under *this* demand family and cost model, bundle it *these*
 ways, and score the outcomes".  This package owns that execution, in
 three pillars:
 
-* :mod:`repro.runtime.parallel` — :class:`ParallelMap`: ordered,
-  deterministic fan-out over a process pool (``--jobs`` / ``REPRO_JOBS``),
-  falling back to inline serial execution.
+* :mod:`repro.runtime.executor` — the pluggable :class:`Executor`
+  protocol (``submit(specs) -> (digest, result) as they complete``) and
+  its three backends: :class:`SerialExecutor` (inline),
+  :class:`PoolExecutor` (the process pool from
+  :mod:`repro.runtime.parallel`, ``--jobs`` / ``REPRO_JOBS``), and
+  :class:`SocketExecutor` (work-stealing coordinator + socket workers,
+  ``repro workers --connect``).  Build them with :func:`get_executor`;
+  constructing :class:`ParallelMap` directly is deprecated.
 * :mod:`repro.runtime.cache` — content-addressed memoization of datasets,
   calibrated markets, and spec results: in-memory always, mirrored to
   disk under ``.repro_cache/`` when configured (``REPRO_CACHE_DIR``).
@@ -36,9 +41,15 @@ _EXPORTS = {
     "Metrics": "repro.obs.metrics",
     "collect": "repro.obs.metrics",
     "RuntimeConfig": "repro.config",
+    "ExecutorConfig": "repro.config",
     "JOBS_ENV": "repro.runtime.parallel",
     "ParallelMap": "repro.runtime.parallel",
-    "resolve_jobs": "repro.runtime.parallel",
+    "Executor": "repro.runtime.executor",
+    "SerialExecutor": "repro.runtime.executor",
+    "PoolExecutor": "repro.runtime.executor",
+    "SocketExecutor": "repro.runtime.executor",
+    "get_executor": "repro.runtime.executor",
+    "worker_main": "repro.runtime.executor",
     "COST_FACTORIES": "repro.runtime.spec",
     "ExperimentSpec": "repro.runtime.spec",
     "evaluate_spec": "repro.runtime.spec",
@@ -64,18 +75,24 @@ def __dir__():
 __all__ = [
     "CacheStore",
     "COST_FACTORIES",
+    "Executor",
+    "ExecutorConfig",
     "ExperimentSpec",
     "JOBS_ENV",
     "METRICS",
     "Metrics",
     "ParallelMap",
+    "PoolExecutor",
     "RuntimeConfig",
+    "SerialExecutor",
+    "SocketExecutor",
     "cache_enabled",
     "cached",
     "collect",
     "config_hash",
     "configure",
     "evaluate_spec",
-    "resolve_jobs",
+    "get_executor",
     "run_specs",
+    "worker_main",
 ]

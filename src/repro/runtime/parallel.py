@@ -1,9 +1,9 @@
-"""Parallel fan-out for independent experiment work units.
+"""The process-pool fan-out engine behind :class:`PoolExecutor`.
 
 The sweeps and figure drivers all reduce to the same shape: a list of
 independent (dataset, family, parameter-point) work units, each mapping
 to one calibrated market and a handful of counterfactuals.
-:class:`ParallelMap` runs such a list either serially (the default — the
+:class:`_ProcessMap` runs such a list either serially (the default — the
 work units are sub-second, so workers only pay off for real sweeps) or
 across a :class:`concurrent.futures.ProcessPoolExecutor`.
 
@@ -12,44 +12,41 @@ every work unit is a pure function of its (picklable) argument, so the
 serial and parallel backends produce byte-identical driver output — the
 test suite asserts this.
 
-Worker-side observability is not lost: each call runs inside a wrapper
-that diffs the worker process's :data:`~repro.obs.METRICS` around the
-call and ships the delta back with the result, where the parent merges
-it.  When tracing is enabled the wrapper also runs the call under a
-fresh buffering tracer seeded with the submitting span's
-:class:`~repro.obs.TraceContext`, ships the finished spans back, and the
-parent adopts them — so a parallel run's trace file contains correctly
-re-parented spans from every worker process, and its metrics JSON still
-counts every market built and every cache hit, wherever it happened.
+Worker-side observability is not lost: each call runs inside
+:func:`_instrumented_call`, which diffs the worker process's
+:data:`~repro.obs.METRICS` around the call and ships the delta back with
+the result, where the parent merges it.  When tracing is enabled the
+wrapper also runs the call under a fresh buffering tracer seeded with
+the submitting span's :class:`~repro.obs.TraceContext`, ships the
+finished spans back, and the parent adopts them — so a parallel run's
+trace file contains correctly re-parented spans from every worker
+process, and its metrics JSON still counts every market built and every
+cache hit, wherever it happened.  The socket-distributed backend reuses
+the same wrapper, so a result means the same thing however it traveled.
 
-Worker counts resolve through :class:`repro.config.RuntimeConfig`:
+Worker counts resolve through :class:`repro.config.ExecutorConfig`:
 explicit ``jobs`` argument > ``REPRO_JOBS`` environment variable > 1
 (serial).  ``0`` or a negative value means "all cores".
+
+.. deprecated::
+    Constructing :class:`ParallelMap` directly is deprecated; build
+    executors with :func:`repro.runtime.get_executor` (the ``pool``
+    backend wraps this engine, byte-identical).
 """
 
 from __future__ import annotations
 
 import concurrent.futures
+import warnings
 from collections.abc import Callable, Sequence
 from typing import Any, Optional
 
 from repro import obs
-from repro.config import RuntimeConfig
+from repro.config import ExecutorConfig
 from repro.obs import METRICS, TraceContext
 
 #: Environment variable consulted when no explicit job count is given.
 JOBS_ENV = "REPRO_JOBS"
-
-
-def resolve_jobs(jobs: "Optional[int]" = None) -> int:
-    """Resolve a worker count from the argument, environment, or default.
-
-    ``None`` falls back to ``$REPRO_JOBS`` (then 1); zero or negative
-    means one worker per CPU core.  This is
-    ``RuntimeConfig.resolve(jobs=...).worker_count()`` — kept as the
-    long-standing call-site spelling.
-    """
-    return RuntimeConfig.resolve(jobs=jobs).worker_count()
 
 
 def _instrumented_call(
@@ -95,25 +92,28 @@ def _instrumented_call(
     return result, delta, [span.to_dict() for span in tracer.drain()]
 
 
-class ParallelMap:
+class _ProcessMap:
     """Ordered map over independent work units, serial or multi-process.
 
     Args:
-        jobs: Worker processes; see :func:`resolve_jobs` for resolution.
-            One worker runs everything inline (no pool, no pickling).
-        config: A :class:`~repro.config.RuntimeConfig` supplying the
-            worker count when ``jobs`` is not given explicitly.
+        jobs: Worker processes; ``None`` falls back to ``$REPRO_JOBS``
+            (then 1), zero or negative means one per CPU core.  One
+            worker runs everything inline (no pool, no pickling).
+        config: A config object with a ``worker_count()`` method
+            (:class:`~repro.config.ExecutorConfig` or
+            :class:`~repro.config.RuntimeConfig`) supplying the worker
+            count when ``jobs`` is not given explicitly.
     """
 
     def __init__(
         self,
         jobs: "Optional[int]" = None,
-        config: "Optional[RuntimeConfig]" = None,
+        config=None,
     ) -> None:
         if jobs is None and config is not None:
             self.jobs = config.worker_count()
         else:
-            self.jobs = resolve_jobs(jobs)
+            self.jobs = ExecutorConfig.resolve(jobs=jobs).worker_count()
 
     def map(self, fn: Callable[[Any], Any], items: Sequence) -> list:
         """Apply ``fn`` to every item, preserving order.
@@ -150,3 +150,25 @@ class ParallelMap:
                     obs.adopt_spans(spans, context)
                     results.append(result)
         return results
+
+
+class ParallelMap(_ProcessMap):
+    """Deprecated spelling of the pool engine (one-release shim).
+
+    .. deprecated::
+        Use ``repro.runtime.get_executor(...)`` — the ``pool`` backend
+        is this engine with the executor protocol on top.
+    """
+
+    def __init__(
+        self,
+        jobs: "Optional[int]" = None,
+        config=None,
+    ) -> None:
+        warnings.warn(
+            "repro.runtime.ParallelMap is deprecated; build executors "
+            "with repro.runtime.get_executor(...) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        super().__init__(jobs=jobs, config=config)

@@ -5,8 +5,9 @@ experiment work unit — dataset, demand family, cost model and its
 ``theta``, calibration parameters, bundling strategies, and tier budgets
 — as a frozen, hashable, picklable value.  That one object is:
 
-* the **unit of parallelism**: :func:`run_specs` fans a spec list across
-  a :class:`~repro.runtime.parallel.ParallelMap`;
+* the **unit of parallelism**: :func:`run_specs` fans a spec list
+  across an :class:`~repro.runtime.executor.Executor` (serial, process
+  pool, or socket-distributed workers);
 * the **cache key**: results memoize under the spec's content hash, and
   markets memoize under the sub-key that excludes strategies/budgets;
 * the **shared vocabulary**: the CLI, every sweep/figure driver, and the
@@ -41,10 +42,11 @@ from repro.core.logit import LogitDemand
 from repro.core.market import Market
 from repro import obs
 from repro.obs import METRICS, TraceContext
+from repro.errors import ExecutorError
 from repro.runtime.cache import cached, config_hash
 from repro.runtime.cache import lookup as cache_lookup
 from repro.runtime.cache import store as cache_store
-from repro.runtime.parallel import ParallelMap
+from repro.runtime.executor import Executor, get_executor
 from repro.synth.datasets import load_dataset
 
 #: Cost-model name -> constructor, the §3.3 menu by CLI/driver name.
@@ -262,16 +264,33 @@ def run_specs(
     specs: "list[ExperimentSpec]",
     jobs: "Optional[int]" = None,
     use_cache: bool = True,
+    executor: "Optional[Executor | str]" = None,
 ) -> "list[dict]":
     """Evaluate many specs: cache-check, fan out the misses, memoize.
 
-    The cache is consulted **before** the fan-out and populated after it,
-    in the parent process — so a warm rerun touches no worker pool and
-    builds zero markets, and results computed by workers are reusable by
-    the next driver in the same process.
+    The cache is consulted **before** the fan-out, in the parent
+    process — a warm rerun touches no worker pool and builds zero
+    markets — and populated **as each result arrives**, so a sweep
+    killed mid-flight (driver, coordinator, or worker) resumes from the
+    disk cache exactly where it stopped.
 
-    Results come back aligned with ``specs`` and are byte-identical
-    across backends: each spec is a pure function of its fields.
+    Args:
+        specs: The work units; results come back aligned with them and
+            are byte-identical across backends (each spec is a pure
+            function of its fields).
+        jobs: Worker-count override threaded into the executor config.
+        use_cache: Consult/populate the result cache.
+        executor: An :class:`~repro.runtime.executor.Executor` instance
+            (left open for the caller to reuse), a backend name
+            (``"serial"``/``"pool"``/``"socket"``), or ``None`` —
+            resolve from ``REPRO_EXECUTOR``/``REPRO_JOBS`` (default: a
+            pool, which runs inline at width one).
+
+    Raises:
+        WorkerLostError: A distributed worker died holding a spec's
+            lease and retries are exhausted.
+        ExecutorError: The backend failed or returned an incomplete
+            sweep.
     """
     results: "list[Optional[dict]]" = [None] * len(specs)
     missing: "list[tuple[int, ExperimentSpec]]" = []
@@ -289,20 +308,41 @@ def run_specs(
         if missing:
             # Stamp the submitting span's context into each shipped spec
             # so worker-side spans re-join this trace (wire-form tuples
-            # pickle with the spec; the cache key ignores them).
+            # travel with the spec; the cache key ignores them).
             context = obs.current_context()
             wire = None if context is None else context.to_wire()
-            computed = ParallelMap(jobs).map(
-                evaluate_spec,
-                [
-                    dataclasses.replace(spec, trace_context=wire)
-                    for _, spec in missing
-                ],
-            )
-            for (i, spec), result in zip(missing, computed):
-                results[i] = result
-                if use_cache:
-                    _store_result(spec, result)
+            stamped = [
+                dataclasses.replace(spec, trace_context=wire)
+                for _, spec in missing
+            ]
+            # Specs may repeat in one sweep; every copy shares a digest,
+            # so the first completion fills all of its slots.
+            slots: "dict[str, list[int]]" = {}
+            for (i, _spec), spec in zip(missing, stamped):
+                slots.setdefault(spec.digest(), []).append(i)
+            owned = not isinstance(executor, Executor)
+            if owned:
+                backend = executor if isinstance(executor, str) else None
+                active = get_executor(backend=backend, jobs=jobs)
+            else:
+                active = executor
+            try:
+                for digest, result in active.submit(stamped):
+                    for i in slots.get(digest, ()):
+                        results[i] = result
+                    slots[digest] = []
+                    if use_cache:
+                        cache_store("result", digest, result)
+            finally:
+                if owned:
+                    active.close()
+            unfilled = sum(1 for r in results if r is None)
+            if unfilled:
+                raise ExecutorError(
+                    f"{active.name} executor returned an incomplete "
+                    f"sweep: {unfilled} of {len(specs)} spec(s) have no "
+                    f"result"
+                )
     return results  # type: ignore[return-value]
 
 

@@ -11,12 +11,14 @@ from repro.errors import (
     CalibrationError,
     ConfigurationError,
     DataError,
+    ExecutorError,
     ModelParameterError,
     OptimizationError,
     QuoteTimeoutError,
     ReproError,
     SnapshotUnavailableError,
     TopologyError,
+    WorkerLostError,
 )
 
 ALL_ERRORS = [
@@ -25,11 +27,13 @@ ALL_ERRORS = [
     CalibrationError,
     ConfigurationError,
     DataError,
+    ExecutorError,
     ModelParameterError,
     OptimizationError,
     QuoteTimeoutError,
     SnapshotUnavailableError,
     TopologyError,
+    WorkerLostError,
 ]
 
 
@@ -72,8 +76,14 @@ def test_runtime_like_errors_are_runtime_errors():
         OptimizationError,
         AccountingError,
         SnapshotUnavailableError,
+        ExecutorError,
+        WorkerLostError,
     ):
         assert issubclass(exc_type, RuntimeError)
+
+
+def test_worker_lost_is_an_executor_error():
+    assert issubclass(WorkerLostError, ExecutorError)
 
 
 def test_quote_timeout_is_a_timeout_error():

@@ -21,7 +21,7 @@ from repro.obs import (
     render_trace_summary,
     summarize_trace,
 )
-from repro.runtime.parallel import ParallelMap
+from repro.runtime.executor import PoolExecutor
 from repro.serve import (
     QuoteEngine,
     QuoteRequest,
@@ -202,9 +202,9 @@ class TestPropagation:
         assert span.trace_id == remote.trace_id
         assert span.parent_id == remote.span_id
 
-    def test_parallel_map_ships_worker_spans_home(self, tracer):
+    def test_pool_map_ships_worker_spans_home(self, tracer):
         with tracer.span("driver") as driver:
-            result = ParallelMap(jobs=2).map(_square, list(range(6)))
+            result = PoolExecutor(jobs=2).map(_square, list(range(6)))
         assert result == [x * x for x in range(6)]
         spans = tracer.drain()
         units = [s for s in spans if s.name == "runtime.work_unit"]

@@ -16,12 +16,14 @@ import json
 
 import pytest
 
+from repro.config import ExecutorConfig
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.sweeps import figure14_data, theta_sweep
 from repro.runtime import cache as runtime_cache
 from repro.runtime.cache import CacheStore, config_hash
+from repro.runtime.executor import PoolExecutor
 from repro.runtime.metrics import METRICS, RESERVOIR_CAPACITY, Metrics
-from repro.runtime.parallel import ParallelMap, resolve_jobs
+from repro.runtime.parallel import ParallelMap
 from repro.runtime.spec import ExperimentSpec, evaluate_spec, run_specs
 
 #: Small config so runtime tests stay fast.
@@ -83,50 +85,62 @@ class TestCacheStore:
         assert CacheStore(tmp_path).get("result", "abc") == (False, None)
 
 
-class TestParallelMap:
+def _jobs(jobs=None):
+    """The worker count the executors would use — the resolve_jobs heir."""
+    return ExecutorConfig.resolve(jobs=jobs).worker_count()
+
+
+class TestPoolMap:
     def test_serial_preserves_order(self):
-        assert ParallelMap(jobs=1).map(_square, [3, 1, 2]) == [9, 1, 4]
+        assert PoolExecutor(jobs=1).map(_square, [3, 1, 2]) == [9, 1, 4]
 
     def test_process_pool_matches_serial(self):
         items = list(range(20))
-        serial = ParallelMap(jobs=1).map(_square, items)
-        parallel = ParallelMap(jobs=2).map(_square, items)
+        serial = PoolExecutor(jobs=1).map(_square, items)
+        parallel = PoolExecutor(jobs=2).map(_square, items)
         assert parallel == serial
 
-    def test_resolve_jobs_env(self, monkeypatch):
+    def test_parallelmap_shim_warns_and_still_maps(self):
+        with pytest.warns(
+            DeprecationWarning, match="^repro.runtime.ParallelMap"
+        ):
+            shim = ParallelMap(jobs=1)
+        assert shim.map(_square, [2, 3]) == [4, 9]
+
+    def test_jobs_env(self, monkeypatch):
         monkeypatch.delenv("REPRO_JOBS", raising=False)
-        assert resolve_jobs(None) == 1
+        assert _jobs(None) == 1
         monkeypatch.setenv("REPRO_JOBS", "3")
-        assert resolve_jobs(None) == 3
-        assert resolve_jobs(2) == 2  # explicit argument wins
+        assert _jobs(None) == 3
+        assert _jobs(2) == 2  # explicit argument wins
         monkeypatch.setenv("REPRO_JOBS", "nope")
         with pytest.raises(ValueError):
-            resolve_jobs(None)
+            _jobs(None)
 
-    def test_resolve_jobs_garbage_env_is_named_error(self, monkeypatch):
+    def test_jobs_garbage_env_is_named_error(self, monkeypatch):
         from repro.errors import ConfigurationError, ReproError
 
         monkeypatch.setenv("REPRO_JOBS", "auto")
         with pytest.raises(ConfigurationError, match="REPRO_JOBS.*'auto'"):
-            resolve_jobs(None)
+            _jobs(None)
         # The named error is part of the library hierarchy, so callers
         # catching ReproError see it too.
         with pytest.raises(ReproError):
-            resolve_jobs(None)
+            _jobs(None)
 
-    def test_resolve_jobs_whitespace_env(self, monkeypatch):
+    def test_jobs_whitespace_env(self, monkeypatch):
         # Pure whitespace counts as unset; padded integers still parse.
         monkeypatch.setenv("REPRO_JOBS", "   ")
-        assert resolve_jobs(None) == 1
+        assert _jobs(None) == 1
         monkeypatch.setenv("REPRO_JOBS", "  4  ")
-        assert resolve_jobs(None) == 4
+        assert _jobs(None) == 4
         monkeypatch.setenv("REPRO_JOBS", "\t2\n")
-        assert resolve_jobs(None) == 2
+        assert _jobs(None) == 2
 
     def test_zero_means_all_cores(self):
         import os
 
-        assert resolve_jobs(0) == (os.cpu_count() or 1)
+        assert _jobs(0) == (os.cpu_count() or 1)
 
 
 class TestMetrics:
