@@ -15,7 +15,7 @@ Run:  python examples/peering_bypass_analysis.py
 
 import numpy as np
 
-from repro.peering import figure1_example, sweep_direct_costs, failure_window
+from repro.peering import BypassTable, figure1_example, failure_window
 
 
 def show_worked_example() -> None:
@@ -54,13 +54,14 @@ def show_bypass_sweep() -> None:
     print(f"  market-failure window: private-link cost in (${lo:.2f}, ${hi:.2f})\n")
 
     print(f"  {'link cost':>10}  {'decision':<18} {'waste $/Mbps':>12}")
-    for point in sweep_direct_costs(
+    table = BypassTable.evaluate(
         blended_rate,
-        isp_unit_cost,
+        isp_unit_costs=isp_unit_cost,
         direct_unit_costs=np.linspace(1.0, 16.0, 16),
         margin=margin,
         accounting_overhead=overhead,
-    ):
+    )
+    for point in table.points():
         print(
             f"  {point.direct_unit_cost:>10.2f}  {point.outcome:<18}"
             f" {point.efficiency_loss_per_mbps:>12.2f}"

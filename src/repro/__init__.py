@@ -42,6 +42,10 @@ Subpackages:
 * :mod:`repro.ecosystem` — AS-level internet ecosystem generation:
   seeded multi-AS worlds with valley-free routing whose every AS emits
   NetFlow and can run measure → model → design.
+* :mod:`repro.mechanisms` — pluggable pricing mechanisms behind one
+  ``design/capture/snapshot`` protocol: posted tiers (the paper's
+  pipeline, byte-identical), per-window spot auctions, paid peering,
+  and a posted+spot hybrid.
 """
 
 from repro.core import (
@@ -82,6 +86,7 @@ from repro.config import (
     EcosystemConfig,
     ExecutorConfig,
     FleetConfig,
+    MechanismConfig,
     ObsConfig,
     RuntimeConfig,
     ServeConfig,
@@ -94,6 +99,7 @@ from repro.errors import (
     ConfigurationError,
     DataError,
     ExecutorError,
+    MechanismError,
     ModelParameterError,
     OptimizationError,
     QuoteTimeoutError,
@@ -102,6 +108,16 @@ from repro.errors import (
     TopologyError,
     WorkerLostError,
     exit_code_for,
+)
+from repro.mechanisms import (
+    MECHANISM_NAMES,
+    Hybrid,
+    Mechanism,
+    MechanismDesign,
+    PaidPeering,
+    PostedTiers,
+    SpotAuction,
+    mechanism_by_name,
 )
 from repro.obs import (
     METRICS,
@@ -159,14 +175,21 @@ __all__ = [
     "IndexDivisionBundling",
     "LinearDistanceCost",
     "LogitDemand",
+    "MECHANISM_NAMES",
     "METRICS",
     "Market",
+    "Mechanism",
+    "MechanismConfig",
+    "MechanismDesign",
+    "MechanismError",
     "Metrics",
     "ModelParameterError",
     "NoopTracer",
     "ObsConfig",
     "OptimalBundling",
     "OptimizationError",
+    "PaidPeering",
+    "PostedTiers",
     "ProfitWeightedBundling",
     "QuoteTimeoutError",
     "RegionalCost",
@@ -175,6 +198,7 @@ __all__ = [
     "ServeConfig",
     "SnapshotUnavailableError",
     "Span",
+    "SpotAuction",
     "StreamConfig",
     "TieredOutcome",
     "TierSummary",
@@ -191,6 +215,7 @@ __all__ = [
     "load_dataset",
     "load_design",
     "load_flowset",
+    "mechanism_by_name",
     "read_trace",
     "save_design",
     "save_flowset",

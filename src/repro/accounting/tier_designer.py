@@ -65,6 +65,31 @@ class TierDesign:
             AccountingError: When destinations are missing or collide
                 across tiers (the same address cannot bill at two rates).
         """
+        return cls.from_bundles(
+            market,
+            outcome.bundles,
+            outcome.prices,
+            provider_asn=provider_asn,
+            destinations=destinations,
+        )
+
+    @classmethod
+    def from_bundles(
+        cls,
+        market: Market,
+        bundles: list,
+        prices,
+        provider_asn: int = 64500,
+        destinations: Optional[list] = None,
+    ) -> "TierDesign":
+        """Freeze an explicit partition + price vector into a design.
+
+        The generalized form of :meth:`from_outcome` used by the pricing
+        mechanisms (:mod:`repro.mechanisms`), whose partitions — spot
+        lots, peering splits, hybrid books — do not come from a
+        :class:`~repro.core.bundling.BundlingStrategy`.  Bundle order
+        defines the 1-based tier ids.
+        """
         if destinations is None:
             if market.flows.dsts is None:
                 raise AccountingError(
@@ -79,8 +104,8 @@ class TierDesign:
             )
         rates = {}
         tier_of_destination: dict = {}
-        for tier_index, members in enumerate(outcome.bundles, start=1):
-            rates[tier_index] = float(outcome.prices[members[0]])
+        for tier_index, members in enumerate(bundles, start=1):
+            rates[tier_index] = float(prices[members[0]])
             for i in members:
                 dst = destinations[int(i)]
                 if dst is None:

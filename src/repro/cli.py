@@ -22,6 +22,11 @@ Commands:
 * ``ecosystem`` — generate a seeded AS-level internet ecosystem (tiered
   AS hierarchy, IXP peering, valley-free routing, per-AS NetFlow) and
   optionally self-test it end to end.
+* ``mechanisms`` — price one dataset under every registered pricing
+  mechanism (posted tiers, spot auction, paid peering, hybrid) across
+  several demand families and print the profit-capture comparison table;
+  ``--selftest`` additionally asserts posted-tiers byte-identity and the
+  spot-auction clearing invariants.
 * ``trace summarize`` — roll a ``--trace`` JSONL file up into per-stage
   latency/error statistics.
 * ``workers`` — join a running socket-executor coordinator (``--executor
@@ -53,7 +58,9 @@ from collections.abc import Sequence
 from repro import obs
 from repro.config import (
     EXECUTOR_BACKENDS,
+    MECHANISMS,
     ExecutorConfig,
+    MechanismConfig,
     ObsConfig,
     RuntimeConfig,
     ServeConfig,
@@ -63,6 +70,7 @@ from repro.core.bundling import strategy_by_name
 from repro.errors import (
     ConfigurationError,
     DataError,
+    MechanismError,
     ReproError,
     exit_code_for,
 )
@@ -117,6 +125,23 @@ _FIGURES = {
         ),
     ),
 }
+
+
+def _add_mechanism_flag(parser: argparse.ArgumentParser) -> None:
+    """``--mechanism`` on every pricing-path subcommand.
+
+    ``None`` (not given) falls through to ``REPRO_MECHANISM`` and the
+    posted-tiers default via :class:`MechanismConfig`.
+    """
+    parser.add_argument(
+        "--mechanism",
+        choices=MECHANISMS,
+        default=None,
+        help=(
+            "pricing mechanism (default $REPRO_MECHANISM, else "
+            "posted-tiers — the paper's pipeline, byte-identical)"
+        ),
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -224,6 +249,7 @@ def build_parser() -> argparse.ArgumentParser:
         default="profit-weighted",
         help="bundling strategy (figure-legend name)",
     )
+    _add_mechanism_flag(design)
 
     stream = sub.add_parser(
         "stream",
@@ -314,6 +340,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     stream.add_argument("--shift-factor", type=float, default=3.0)
     stream.add_argument("--shift-fraction", type=float, default=0.5)
+    _add_mechanism_flag(stream)
 
     serve = sub.add_parser(
         "serve",
@@ -390,6 +417,7 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="SECONDS",
         help="warm-up stream capture length (default 1800)",
     )
+    _add_mechanism_flag(serve)
 
     fleet = sub.add_parser(
         "fleet",
@@ -531,6 +559,45 @@ def build_parser() -> argparse.ArgumentParser:
             "one tier-2 AS"
         ),
     )
+    _add_mechanism_flag(ecosystem)
+
+    mechanisms = sub.add_parser(
+        "mechanisms",
+        help=(
+            "price one dataset under every registered pricing mechanism "
+            "and tabulate profit capture per demand family"
+        ),
+        parents=[runtime],
+    )
+    mechanisms.add_argument(
+        "dataset",
+        nargs="?",
+        default="eu_isp",
+        choices=DATASET_NAMES,
+        help="which synthetic network to price (default eu_isp)",
+    )
+    mechanisms.add_argument(
+        "--tiers",
+        type=int,
+        default=3,
+        help="tier budget for the posted/hybrid mechanisms (default 3)",
+    )
+    mechanisms.add_argument(
+        "--spot-windows",
+        type=int,
+        default=None,
+        metavar="W",
+        help="spot-auction delivery windows (default $REPRO_MECHANISM_SPOT_WINDOWS, else 24)",
+    )
+    mechanisms.add_argument(
+        "--selftest",
+        action="store_true",
+        help=(
+            "additionally assert posted-tiers byte-identity against the "
+            "legacy bundling path (all six strategies) and the "
+            "spot-auction clearing invariants"
+        ),
+    )
 
     report = sub.add_parser(
         "report",
@@ -651,6 +718,28 @@ def cmd_design(args: argparse.Namespace) -> str:
         args.dataset, family=args.demand, config=_config(args)
     )
     strategy = strategy_by_name(args.strategy)
+    mech_cfg = MechanismConfig.resolve(cli=args)
+    if not mech_cfg.is_default:
+        mechanism = mech_cfg.build(strategy=strategy, n_tiers=args.tiers)
+        design = mechanism.design_on(market)
+        lines = [
+            market.describe(),
+            f"mechanism: {mechanism.describe()}",
+            f"profit capture: {design.profit_capture:.1%} "
+            f"(blended ${market.blended_profit():,.0f} -> "
+            f"${design.profit:,.0f} -> ceiling ${market.max_profit():,.0f})",
+            f"tiers: {design.n_tiers} total "
+            f"({design.posted_tiers} posted, {design.spot_tiers} spot)",
+            "",
+            f"{'tier':>4} {'price $/Mbps':>13} {'flows':>7} "
+            f"{'demand Mbps':>13} {'mean cost':>10}",
+        ]
+        for i, tier in enumerate(design.tiers, start=1):
+            lines.append(
+                f"{i:>4} {tier.price:>13.2f} {tier.n_flows:>7} "
+                f"{tier.demand_mbps:>13.1f} {tier.mean_cost:>10.2f}"
+            )
+        return "\n".join(lines)
     outcome = market.tiered_outcome(strategy, args.tiers)
     lines = [
         market.describe(),
@@ -713,6 +802,7 @@ def cmd_stream(args: argparse.Namespace) -> str:
         drift_threshold=args.drift_threshold,
         blended_rate=DEFAULT_CONFIG.blended_rate,
     )
+    mech_cfg = MechanismConfig.resolve(cli=args)
     pipeline = StreamingPipeline(
         source,
         distance_fn=trace.distance_for,
@@ -720,6 +810,9 @@ def cmd_stream(args: argparse.Namespace) -> str:
         cost_model=LinearDistanceCost(theta=DEFAULT_CONFIG.theta),
         config=config,
         checkpoint_path=args.checkpoint,
+        mechanism=(
+            None if mech_cfg.is_default else mech_cfg.build(n_tiers=args.tiers)
+        ),
     )
     report = pipeline.run(max_windows=args.max_windows)
     return report.render()
@@ -760,6 +853,7 @@ def cmd_serve(args: argparse.Namespace) -> str:
         n_tiers=args.tiers,
         blended_rate=DEFAULT_CONFIG.blended_rate,
     )
+    mech_cfg = MechanismConfig.resolve(cli=args)
     registry = SnapshotRegistry()
     pipeline = StreamingPipeline(
         source,
@@ -767,6 +861,9 @@ def cmd_serve(args: argparse.Namespace) -> str:
         demand_model=demand,
         cost_model=cost_model,
         config=config,
+        mechanism=(
+            None if mech_cfg.is_default else mech_cfg.build(n_tiers=args.tiers)
+        ),
     )
     pipeline.repricer.on_design_published = registry.subscriber(
         pipeline.config_digest
@@ -998,14 +1095,173 @@ def cmd_ecosystem(args: argparse.Namespace) -> str:
         lines.append(
             f"selftest: wire round-trip exact ({len(wired)} flows)"
         )
+        mech_cfg = MechanismConfig.resolve(cli=args)
+        mechanism = (
+            None
+            if mech_cfg.is_default
+            else mech_cfg.build(n_tiers=args.tiers)
+        )
         for probe in probes:
-            design = design_for_as(eco, probe.asn, n_tiers=args.tiers)
+            design = design_for_as(
+                eco, probe.asn, n_tiers=args.tiers, mechanism=mechanism
+            )
             lines.append(
                 f"design {probe.name}: " + json.dumps(design, sort_keys=True)
             )
         lines.append(
             "table1 "
             + json.dumps(as_table1_row(eco, probes[0].asn), sort_keys=True)
+        )
+    return "\n".join(lines)
+
+
+def cmd_mechanisms(args: argparse.Namespace) -> str:
+    import numpy as np
+
+    from repro.core.ced import CEDDemand
+    from repro.core.cost import LinearDistanceCost
+    from repro.core.logit import LogitDemand
+    from repro.core.market import Market
+    from repro.mechanisms import (
+        MECHANISM_NAMES,
+        PostedTiers,
+        cleared_supply,
+        clearing_price,
+        mechanism_by_name,
+    )
+    from repro.synth.datasets import load_dataset
+
+    mech_cfg = MechanismConfig.resolve(cli=args)
+    flows = load_dataset(args.dataset, n_flows=args.flows, seed=args.seed)
+    cost_model = LinearDistanceCost(theta=DEFAULT_CONFIG.theta)
+    families = [
+        ("ced a=1.1", CEDDemand(alpha=1.1)),
+        ("ced a=3.0", CEDDemand(alpha=3.0)),
+        (
+            "logit",
+            LogitDemand(alpha=DEFAULT_CONFIG.alpha, s0=DEFAULT_CONFIG.s0),
+        ),
+    ]
+    lines = [
+        f"dataset {args.dataset}: {len(flows)} flows, "
+        f"{flows.aggregate_gbps():.1f} Gbps (seed {args.seed}, "
+        f"blended ${DEFAULT_CONFIG.blended_rate:.0f}/Mbps, "
+        f"tier budget {args.tiers}, "
+        f"spot windows {mech_cfg.spot_windows})",
+        "",
+        f"{'demand family':<13} {'mechanism':<13} {'capture':>9} "
+        f"{'profit $/mo':>13} {'tiers':>6} {'posted':>7}",
+    ]
+    captures: dict = {}
+    markets: dict = {}
+    for label, demand in families:
+        market = Market(
+            flows, demand, cost_model, DEFAULT_CONFIG.blended_rate
+        )
+        markets[label] = market
+        for name in MECHANISM_NAMES:
+            mechanism = mechanism_by_name(
+                name,
+                n_tiers=args.tiers,
+                spot_windows=mech_cfg.spot_windows,
+                elasticity_split=mech_cfg.elasticity_split,
+                exchange_radius_miles=mech_cfg.exchange_radius_miles,
+                bargaining=mech_cfg.bargaining,
+            )
+            try:
+                design = mechanism.design_on(market)
+            except MechanismError as exc:
+                lines.append(
+                    f"{label:<13} {name:<13} {'n/a':>9} "
+                    f"{'—':>13} {'—':>6} {'—':>7}  ({exc})"
+                )
+                continue
+            captures[(label, name)] = design.profit_capture
+            lines.append(
+                f"{label:<13} {name:<13} {design.profit_capture:>9.4f} "
+                f"{design.profit:>13,.0f} {design.n_tiers:>6} "
+                f"{design.posted_tiers:>7}"
+            )
+    lines.append("")
+    lines.append(
+        "capture = (pi_mechanism - pi_blended) / (pi_max - pi_blended); "
+        "negative means the mechanism earns less than blended-rate "
+        "pricing (the paid-peering bypass threat can force near-cost "
+        "peering rates)."
+    )
+
+    if args.selftest:
+        from repro.core.bundling import paper_strategies
+
+        if tuple(MECHANISMS) != tuple(MECHANISM_NAMES):
+            raise MechanismError(
+                "config MECHANISMS and mechanisms MECHANISM_NAMES diverged"
+            )
+        lines.append(f"selftest: registry in sync ({len(MECHANISMS)} mechanisms)")
+
+        # Posted-tiers byte-identity: the mechanism wrapper must score
+        # exactly what the legacy bundling path scores, strategy by
+        # strategy — same prices, same profit, same capture, bit for bit.
+        market = markets["ced a=1.1"]
+        for strategy in paper_strategies():
+            outcome = market.tiered_outcome(strategy, args.tiers)
+            design = PostedTiers(
+                strategy=strategy, n_tiers=args.tiers
+            ).design_on(market)
+            identical = (
+                design.profit == outcome.profit
+                and design.profit_capture == outcome.profit_capture
+                and design.consumer_surplus == outcome.consumer_surplus
+                and [t.price for t in design.tiers]
+                == [t.price for t in outcome.tiers]
+                and [t.n_flows for t in design.tiers]
+                == [t.n_flows for t in outcome.tiers]
+            )
+            if not identical:
+                raise MechanismError(
+                    f"posted-tiers diverged from the legacy path for "
+                    f"strategy {strategy.name!r}"
+                )
+        lines.append(
+            f"selftest: posted-tiers byte-identical to the legacy "
+            f"bundling path ({len(paper_strategies())} strategies)"
+        )
+
+        # Spot clearing invariants: the clearing price is strictly
+        # decreasing in supply, and clearing/cleared_supply are inverses.
+        elastic = markets["ced a=3.0"]
+        valuations = elastic.valuations
+        supply = float(np.sum(flows.demands))
+        prices = [
+            clearing_price(valuations, s, 3.0)
+            for s in (0.5 * supply, supply, 2.0 * supply)
+        ]
+        if not (prices[0] > prices[1] > prices[2]):
+            raise MechanismError(
+                "clearing price is not strictly decreasing in supply"
+            )
+        round_trip = cleared_supply(valuations, prices[1], 3.0)
+        if abs(round_trip - supply) > 1e-6 * supply:
+            raise MechanismError(
+                f"clearing price round-trip drifted: cleared "
+                f"{round_trip:.6f} vs supply {supply:.6f}"
+            )
+        lines.append(
+            "selftest: clearing price monotone in supply, round-trip exact"
+        )
+
+        # On the elastic family, per-window uniform-price clearing must
+        # beat one posted book (the paper's spot-vs-tiers comparison).
+        spot = captures.get(("ced a=3.0", "spot-auction"))
+        posted = captures.get(("ced a=3.0", "posted-tiers"))
+        if spot is None or posted is None or spot < posted:
+            raise MechanismError(
+                f"spot capture {spot} did not reach posted capture "
+                f"{posted} on the elastic family"
+            )
+        lines.append(
+            f"selftest: spot capture {spot:.4f} >= posted {posted:.4f} "
+            f"on ced a=3.0"
         )
     return "\n".join(lines)
 
@@ -1146,6 +1402,7 @@ _COMMANDS = {
     "serve": cmd_serve,
     "fleet": cmd_fleet,
     "ecosystem": cmd_ecosystem,
+    "mechanisms": cmd_mechanisms,
     "report": cmd_report,
     "export": cmd_export,
     "offerings": cmd_offerings,

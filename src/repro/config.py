@@ -19,6 +19,9 @@ quote server.  Everything now resolves through frozen dataclasses:
   ``timeout_ms``/``heartbeat_ms``);
 * :class:`EcosystemConfig` — generated AS-level worlds
   (``ases``/``ixps``/``seed``);
+* :class:`MechanismConfig` — pricing-mechanism selection
+  (``mechanism``/``spot_windows``/``elasticity_split``/
+  ``exchange_radius_miles``/``bargaining``);
 * :class:`ObsConfig` — tracing (``trace`` file path).
 
 Each class offers ``resolve(cli=None, **explicit)`` with one precedence
@@ -550,6 +553,115 @@ class EcosystemConfig(_Resolvable):
 
 
 # ----------------------------------------------------------------------
+# Mechanism (pricing-mechanism selection)
+# ----------------------------------------------------------------------
+
+#: Registered pricing mechanisms selectable via ``--mechanism`` /
+#: ``REPRO_MECHANISM``.  A literal copy of
+#: :data:`repro.mechanisms.MECHANISM_NAMES` (the config layer must not
+#: import the mechanism implementations); a test asserts they match.
+MECHANISMS = ("posted-tiers", "spot-auction", "paid-peering", "hybrid")
+
+
+def _parse_mechanism(name: str, text: str) -> str:
+    if text not in MECHANISMS:
+        raise ConfigurationError(
+            f"{name} must be one of {', '.join(MECHANISMS)}, got {text!r}"
+        )
+    return text
+
+
+@dataclasses.dataclass(frozen=True)
+class MechanismConfig(_Resolvable):
+    """Which pricing mechanism runs, and its knobs.
+
+    The default (``posted-tiers``) reproduces the paper's pipeline
+    byte-for-byte — same designs, same cache digests.  Every other value
+    selects one of the :mod:`repro.mechanisms` implementations and tags
+    downstream config digests with ``|mechanism=<name>``.
+
+    Attributes:
+        mechanism: One of :data:`MECHANISMS`.  Env: ``REPRO_MECHANISM``;
+            CLI: ``--mechanism``.
+        spot_windows: Auction windows per billing period (spot and the
+            hybrid's spot side).  Env: ``REPRO_MECHANISM_SPOT_WINDOWS``.
+        elasticity_split: Fraction of flows the hybrid sends to spot.
+            Env: ``REPRO_MECHANISM_SPLIT``.
+        exchange_radius_miles: Paid-peering exchange catchment; ``None``
+            = median flow distance.  Env:
+            ``REPRO_MECHANISM_PEERING_RADIUS``.
+        bargaining: ISP bargaining weight in the peering negotiation.
+            Env: ``REPRO_MECHANISM_BARGAINING``.
+    """
+
+    mechanism: str = cfg_field(
+        "posted-tiers", env="REPRO_MECHANISM", parse=_parse_mechanism
+    )
+    spot_windows: int = cfg_field(
+        24, env="REPRO_MECHANISM_SPOT_WINDOWS", parse=_env_int
+    )
+    elasticity_split: float = cfg_field(
+        0.5, env="REPRO_MECHANISM_SPLIT", parse=_env_float
+    )
+    exchange_radius_miles: "Optional[float]" = cfg_field(
+        None, env="REPRO_MECHANISM_PEERING_RADIUS", parse=_env_float
+    )
+    bargaining: float = cfg_field(
+        0.5, env="REPRO_MECHANISM_BARGAINING", parse=_env_float
+    )
+
+    def __post_init__(self) -> None:
+        if self.mechanism not in MECHANISMS:
+            raise ConfigurationError(
+                f"mechanism must be one of {', '.join(MECHANISMS)}, "
+                f"got {self.mechanism!r}"
+            )
+        if self.spot_windows < 1:
+            raise ConfigurationError(
+                f"spot_windows must be >= 1, got {self.spot_windows}"
+            )
+        if not 0.0 <= self.elasticity_split <= 1.0:
+            raise ConfigurationError(
+                f"elasticity_split must be in [0, 1], "
+                f"got {self.elasticity_split}"
+            )
+        if (
+            self.exchange_radius_miles is not None
+            and self.exchange_radius_miles <= 0
+        ):
+            raise ConfigurationError(
+                f"exchange_radius_miles must be positive, "
+                f"got {self.exchange_radius_miles}"
+            )
+        if not 0.0 <= self.bargaining <= 1.0:
+            raise ConfigurationError(
+                f"bargaining must be in [0, 1], got {self.bargaining}"
+            )
+
+    @property
+    def is_default(self) -> bool:
+        """True when the paper's posted-tiers mechanism is selected."""
+        return self.mechanism == "posted-tiers"
+
+    def build(self, strategy=None, n_tiers: int = 3):
+        """Instantiate the selected :class:`~repro.mechanisms.Mechanism`.
+
+        Imported lazily so the config layer stays import-light.
+        """
+        from repro.mechanisms import mechanism_by_name
+
+        return mechanism_by_name(
+            self.mechanism,
+            strategy=strategy,
+            n_tiers=n_tiers,
+            spot_windows=self.spot_windows,
+            elasticity_split=self.elasticity_split,
+            exchange_radius_miles=self.exchange_radius_miles,
+            bargaining=self.bargaining,
+        )
+
+
+# ----------------------------------------------------------------------
 # Obs (tracing)
 # ----------------------------------------------------------------------
 
@@ -574,9 +686,11 @@ class ObsConfig(_Resolvable):
 __all__ = [
     "DEPRECATION_PREFIX",
     "EXECUTOR_BACKENDS",
+    "MECHANISMS",
     "EcosystemConfig",
     "ExecutorConfig",
     "FleetConfig",
+    "MechanismConfig",
     "ObsConfig",
     "RuntimeConfig",
     "ServeConfig",

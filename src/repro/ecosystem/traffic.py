@@ -291,6 +291,7 @@ def design_for_as(
     theta: float = 0.2,
     blended_rate: float = 20.0,
     through_wire: bool = True,
+    mechanism=None,
 ) -> dict:
     """Measure -> model -> design for one AS of the ecosystem.
 
@@ -298,12 +299,25 @@ def design_for_as(
 
         {"asn", "kind", "n_flows", "aggregate_gbps", "profit_capture",
          "tier_prices", "tier_flows"}
+
+    ``mechanism`` selects a :mod:`repro.mechanisms` pricing mechanism —
+    a :class:`~repro.mechanisms.Mechanism` instance or registry name.
+    The default (``None`` / posted-tiers) keeps the summary byte-
+    identical to the pre-mechanism output; any other mechanism prices
+    the AS's traffic through the seam and adds a ``"mechanism"`` key.
     """
     from repro.core.bundling import ProfitWeightedBundling
     from repro.core.ced import CEDDemand
     from repro.core.cost import LinearDistanceCost
     from repro.core.logit import LogitDemand
     from repro.core.market import Market
+
+    if isinstance(mechanism, str):
+        from repro.mechanisms import mechanism_by_name
+
+        mechanism = mechanism_by_name(mechanism, n_tiers=n_tiers)
+    if mechanism is not None and mechanism.name == "posted-tiers":
+        mechanism = None  # the default path *is* posted tiers
 
     source = eco.as_by_asn(asn)
     flows = measured_flowset_for(eco, asn, through_wire=through_wire)
@@ -322,8 +336,11 @@ def design_for_as(
             LinearDistanceCost(theta=theta),
             blended_rate=blended_rate,
         )
-        outcome = market.tiered_outcome(ProfitWeightedBundling(), n_tiers)
-    return {
+        if mechanism is None:
+            outcome = market.tiered_outcome(ProfitWeightedBundling(), n_tiers)
+        else:
+            outcome = mechanism.design_on(market)
+    summary = {
         "asn": int(asn),
         "kind": source.kind,
         "n_flows": len(flows),
@@ -332,6 +349,9 @@ def design_for_as(
         "tier_prices": [round(t.price, 4) for t in outcome.tiers],
         "tier_flows": [int(t.n_flows) for t in outcome.tiers],
     }
+    if mechanism is not None:
+        summary["mechanism"] = mechanism.name
+    return summary
 
 
 def as_table1_row(eco: Ecosystem, asn: int) -> dict:

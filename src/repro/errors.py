@@ -108,6 +108,15 @@ class WorkerLostError(ExecutorError):
     """
 
 
+class MechanismError(ReproError, ValueError):
+    """A pricing mechanism was misconfigured or degenerated.
+
+    Examples: an unregistered ``--mechanism`` name, a spot auction with
+    zero windows, or a paid-peering negotiation with no eligible (or no
+    transit-side) flows on the given traffic matrix.
+    """
+
+
 #: Exception class -> CLI exit code, one distinct nonzero code per
 #: :class:`ReproError` subclass (the base class itself backstops at 10).
 #: Codes are part of the CLI contract — append, never renumber.
@@ -125,6 +134,7 @@ EXIT_CODES = {
     QuoteTimeoutError: 20,
     ExecutorError: 21,
     WorkerLostError: 22,
+    MechanismError: 23,
 }
 
 

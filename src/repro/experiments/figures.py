@@ -16,7 +16,7 @@ from repro.core.cost import fit_concave_price_curve
 from repro.core.logit import LogitDemand
 from repro.experiments.config import DEFAULT_CONFIG, ExperimentConfig
 from repro.experiments.runner import spec_for
-from repro.peering.bypass import failure_window, sweep_direct_costs
+from repro.peering.bypass import BypassTable, failure_window
 from repro.peering.worked_example import figure1_example
 from repro.runtime.spec import run_specs
 from repro.synth.datasets import DATASET_NAMES
@@ -72,13 +72,13 @@ def figure2_data(
 ) -> dict:
     """Sweep the customer's private-link cost across the bypass regimes."""
     costs = np.linspace(0.5, 1.5 * blended_rate, n_points)
-    points = sweep_direct_costs(
+    points = BypassTable.evaluate(
         blended_rate=blended_rate,
-        isp_unit_cost=isp_unit_cost,
+        isp_unit_costs=isp_unit_cost,
         direct_unit_costs=costs,
         margin=margin,
         accounting_overhead=accounting_overhead,
-    )
+    ).points()
     lo, hi = failure_window(
         blended_rate, isp_unit_cost, margin, accounting_overhead
     )

@@ -1,0 +1,48 @@
+"""Pluggable pricing mechanisms: posted tiers, spot, peering, hybrid.
+
+One seam for every market design (see :mod:`repro.mechanisms.base`): a
+:class:`Mechanism` turns columnar flows into a :class:`MechanismDesign`
+whose tier-shaped output every downstream layer — streaming repricer,
+pricing snapshots, quote serving, ecosystem — consumes unchanged.  The
+default :class:`PostedTiers` reproduces the paper's pipeline
+byte-for-byte; :class:`SpotAuction`, :class:`PaidPeering`, and
+:class:`Hybrid` add the PAPERS.md result families behind the same
+protocol.
+"""
+
+from repro.mechanisms.base import (
+    ASSIGN_PEERED,
+    ASSIGN_POSTED,
+    ASSIGN_SPOT,
+    DEFAULT_MECHANISM,
+    MECHANISM_NAMES,
+    Mechanism,
+    MechanismDesign,
+    mechanism_by_name,
+    score_partition,
+    tag_config_digest,
+)
+from repro.mechanisms.hybrid import Hybrid
+from repro.mechanisms.peering import PaidPeering, PeeringTerms
+from repro.mechanisms.posted import PostedTiers
+from repro.mechanisms.spot import SpotAuction, cleared_supply, clearing_price
+
+__all__ = [
+    "ASSIGN_PEERED",
+    "ASSIGN_POSTED",
+    "ASSIGN_SPOT",
+    "DEFAULT_MECHANISM",
+    "MECHANISM_NAMES",
+    "Hybrid",
+    "Mechanism",
+    "MechanismDesign",
+    "PaidPeering",
+    "PeeringTerms",
+    "PostedTiers",
+    "SpotAuction",
+    "cleared_supply",
+    "clearing_price",
+    "mechanism_by_name",
+    "score_partition",
+    "tag_config_digest",
+]

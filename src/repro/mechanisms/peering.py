@@ -1,0 +1,201 @@
+"""Paid peering priced against transit via advertising-profit valuations.
+
+Extends the §2.2.2 bypass economics (:mod:`repro.peering.bypass`) into a
+full pricing mechanism, following the *From advertising profits to
+bandwidth prices* direction in PAPERS.md: the peer is a content network
+whose willingness to pay for premium interconnection is capped by the
+advertising profit its traffic earns — which is exactly what the
+calibrated valuations ``v_i`` encode (demand observed at the blended
+rate reveals value).  The negotiation:
+
+* **Eligible flows** terminate within the exchange catchment *and* would
+  bypass the blended rate — their self-provisioned link (amortized at
+  ``direct_cost_factor`` times the ISP's cost) undercuts ``P0``.  This
+  is :attr:`BypassScenario.customer_bypasses`, vectorized.
+* **Floor**: the ISP's tiered reservation price ``(M+1)·c + A``
+  (:attr:`BypassScenario.tiered_price`) on the eligible flows'
+  demand-weighted unit cost.
+* **Cap**: the peer's best outside option — the smaller of its direct
+  build cost and the advertising-profit monopoly price the ISP could
+  post on those valuations (``demand_model.uniform_price``), never above
+  the blended rate it pays today.
+* **Rate**: a Nash split of ``[floor, cap]`` at the ISP's bargaining
+  weight.
+
+The design is a two-tier book — tier 1 the negotiated peering rate on
+eligible flows, tier 2 the uniform-optimal transit rate on the rest —
+so every downstream consumer (snapshots, quotes, fleet) serves it
+unchanged.  Both tiers are posted contracts: the mechanism does not
+re-clear per window, the drift gate governs it whole.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+import numpy as np
+
+from repro.core.market import Market
+from repro.errors import MechanismError
+from repro.mechanisms.base import (
+    ASSIGN_PEERED,
+    ASSIGN_POSTED,
+    Mechanism,
+    MechanismDesign,
+    score_partition,
+)
+from repro.peering.bypass import BypassScenario
+
+
+@dataclasses.dataclass(frozen=True)
+class PeeringTerms:
+    """The negotiated terms, for provenance and rendering.
+
+    ``outcome`` is the :meth:`BypassScenario.outcome` of the aggregate
+    eligible bundle — the regime the negotiation happened in.
+    """
+
+    rate: float
+    floor: float
+    cap: float
+    ad_value: float
+    build_cost: float
+    outcome: str
+    n_peered: int
+    n_transit: int
+
+
+class PaidPeering(Mechanism):
+    """Premium peering negotiated against transit for bypass-prone flows.
+
+    Args:
+        exchange_radius_miles: Physical catchment of the exchange; flows
+            at or under this haul distance can peer.  ``None`` (default)
+            uses the median flow distance — "the nearer half of the
+            traffic" — which stays non-degenerate on any traffic matrix.
+        bargaining: ISP bargaining weight in ``[0, 1]``; 0 prices at the
+            floor (peer captures the surplus), 1 at the cap.
+        direct_cost_factor: The peer's self-provisioning cost premium
+            over the ISP's unit cost (> 0; 1.5 = 50 % less efficient).
+        margin: ISP margin ``M`` in the tiered reservation price.
+        accounting_overhead: Per-unit overhead ``A`` of the peering
+            contract.
+    """
+
+    name = "paid-peering"
+    reclears = False
+
+    def __init__(
+        self,
+        exchange_radius_miles: Optional[float] = None,
+        bargaining: float = 0.5,
+        direct_cost_factor: float = 1.5,
+        margin: float = 0.25,
+        accounting_overhead: float = 0.0,
+    ) -> None:
+        if exchange_radius_miles is not None and exchange_radius_miles <= 0:
+            raise MechanismError("exchange_radius_miles must be positive")
+        if not 0.0 <= bargaining <= 1.0:
+            raise MechanismError(f"bargaining must be in [0, 1], got {bargaining}")
+        if direct_cost_factor <= 0:
+            raise MechanismError("direct_cost_factor must be positive")
+        self.exchange_radius_miles = (
+            None if exchange_radius_miles is None else float(exchange_radius_miles)
+        )
+        self.bargaining = float(bargaining)
+        self.direct_cost_factor = float(direct_cost_factor)
+        self.margin = float(margin)
+        self.accounting_overhead = float(accounting_overhead)
+
+    # ------------------------------------------------------------------
+
+    def eligible_flows(self, market: Market) -> np.ndarray:
+        """Indices of flows that can (and would) move to paid peering.
+
+        Vectorized bypass test over the FlowTable columns: within the
+        exchange catchment and ``direct cost < blended rate``.
+        """
+        distances = market.flows.distances
+        radius = self.exchange_radius_miles
+        if radius is None:
+            radius = float(np.median(distances))
+        local = distances <= radius
+        would_bypass = self.direct_cost_factor * market.costs < market.blended_rate
+        return np.flatnonzero(local & would_bypass)
+
+    def negotiate(self, market: Market) -> PeeringTerms:
+        """Run the negotiation on the eligible bundle (no design yet)."""
+        eligible = self.eligible_flows(market)
+        if eligible.size == 0:
+            raise MechanismError(
+                "paid peering degenerates: no flow is both exchange-local "
+                "and bypass-prone at this blended rate"
+            )
+        if eligible.size == market.n_flows:
+            raise MechanismError(
+                "paid peering degenerates: every flow would peer; "
+                "no transit side to price against"
+            )
+        demands = market.flows.demands[eligible]
+        c_peer = float(
+            np.sum(market.costs[eligible] * demands) / np.sum(demands)
+        )
+        build_cost = self.direct_cost_factor * c_peer
+        # The advertising-profit cap: the monopoly uniform price posted
+        # tiers would extract from the eligible flows' fitted valuations.
+        ad_value = float(
+            market.demand_model.uniform_price(
+                market.valuations[eligible], market.costs[eligible]
+            )
+        )
+        scenario = BypassScenario(
+            blended_rate=market.blended_rate,
+            isp_unit_cost=c_peer,
+            direct_unit_cost=build_cost,
+            margin=self.margin,
+            accounting_overhead=self.accounting_overhead,
+        )
+        floor = scenario.tiered_price
+        cap = min(ad_value, build_cost, market.blended_rate)
+        rate = floor + self.bargaining * (cap - floor) if cap > floor else floor
+        return PeeringTerms(
+            rate=float(rate),
+            floor=float(floor),
+            cap=float(cap),
+            ad_value=ad_value,
+            build_cost=float(build_cost),
+            outcome=scenario.outcome(),
+            n_peered=int(eligible.size),
+            n_transit=int(market.n_flows - eligible.size),
+        )
+
+    def design_on(self, market: Market, provider_asn: int = 64500) -> MechanismDesign:
+        terms = self.negotiate(market)
+        eligible = self.eligible_flows(market)
+        mask = np.zeros(market.n_flows, dtype=bool)
+        mask[eligible] = True
+        transit = np.flatnonzero(~mask)
+        bundles = [eligible, transit]
+        prices = np.empty(market.n_flows, dtype=float)
+        prices[eligible] = terms.rate
+        prices[transit] = market.demand_model.uniform_price(
+            market.valuations[transit], market.costs[transit]
+        )
+        assignment = np.where(mask, ASSIGN_PEERED, ASSIGN_POSTED).astype(np.int8)
+        return score_partition(
+            market,
+            bundles,
+            prices,
+            mechanism=self.name,
+            posted_tiers=len(bundles),
+            provider_asn=provider_asn,
+            assignment=assignment,
+        )
+
+    def describe(self) -> str:
+        radius = (
+            "median" if self.exchange_radius_miles is None
+            else f"{self.exchange_radius_miles:g}mi"
+        )
+        return f"{self.name}({radius}, b={self.bargaining:g})"

@@ -1,8 +1,11 @@
 """Peering economics: worked example, bypass model, product taxonomy."""
 
 from repro.peering.bypass import (
+    OUTCOME_LABELS,
     BypassScenario,
     BypassSweepPoint,
+    BypassTable,
+    bypass_for_flows,
     failure_window,
     sweep_direct_costs,
 )
@@ -13,6 +16,7 @@ from repro.peering.offerings import (
     RegionalPricingOffering,
     backplane_bundles,
     compare_offerings,
+    offerings_for_flows,
     render_offerings,
 )
 from repro.peering.worked_example import (
@@ -29,17 +33,21 @@ __all__ = [
     "BlendedRateOffering",
     "BypassScenario",
     "BypassSweepPoint",
+    "BypassTable",
     "COSTS",
     "MarketSnapshot",
+    "OUTCOME_LABELS",
     "OfferingResult",
     "PaidPeeringOffering",
     "RegionalPricingOffering",
     "VALUATIONS",
     "WorkedExample",
     "backplane_bundles",
+    "bypass_for_flows",
     "compare_offerings",
     "failure_window",
     "figure1_example",
+    "offerings_for_flows",
     "render_offerings",
     "sweep_direct_costs",
 ]

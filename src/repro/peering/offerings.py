@@ -194,6 +194,27 @@ def compare_offerings(
     return results
 
 
+def offerings_for_flows(
+    flows,
+    demand_model,
+    cost_model,
+    blended_rate: float = 20.0,
+    exchange_radius_miles: Optional[float] = 25.0,
+    proposal_tiers: int = 3,
+) -> "list[OfferingResult]":
+    """Price the §2.1 taxonomy straight from columnar flows.
+
+    The FlowTable-direct entry point: calibrates one
+    :class:`~repro.core.market.Market` on the columns and hands it to
+    :func:`compare_offerings` — no per-object flow round-trip.
+    """
+    return compare_offerings(
+        Market(flows, demand_model, cost_model, blended_rate),
+        exchange_radius_miles=exchange_radius_miles,
+        proposal_tiers=proposal_tiers,
+    )
+
+
 def render_offerings(results: "list[OfferingResult]") -> str:
     """Aligned comparison table of the offering taxonomy."""
     header = f"{'offering':<28}{'tiers':>6}{'profit $':>16}{'capture':>9}"

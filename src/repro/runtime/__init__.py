@@ -12,8 +12,7 @@ three pillars:
   :class:`PoolExecutor` (the process pool from
   :mod:`repro.runtime.parallel`, ``--jobs`` / ``REPRO_JOBS``), and
   :class:`SocketExecutor` (work-stealing coordinator + socket workers,
-  ``repro workers --connect``).  Build them with :func:`get_executor`;
-  constructing :class:`ParallelMap` directly is deprecated.
+  ``repro workers --connect``).  Build them with :func:`get_executor`.
 * :mod:`repro.runtime.cache` — content-addressed memoization of datasets,
   calibrated markets, and spec results: in-memory always, mirrored to
   disk under ``.repro_cache/`` when configured (``REPRO_CACHE_DIR``).
@@ -43,7 +42,6 @@ _EXPORTS = {
     "RuntimeConfig": "repro.config",
     "ExecutorConfig": "repro.config",
     "JOBS_ENV": "repro.runtime.parallel",
-    "ParallelMap": "repro.runtime.parallel",
     "Executor": "repro.runtime.executor",
     "SerialExecutor": "repro.runtime.executor",
     "PoolExecutor": "repro.runtime.executor",
@@ -81,7 +79,6 @@ __all__ = [
     "JOBS_ENV",
     "METRICS",
     "Metrics",
-    "ParallelMap",
     "PoolExecutor",
     "RuntimeConfig",
     "SerialExecutor",

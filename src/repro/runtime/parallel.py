@@ -27,17 +27,11 @@ the same wrapper, so a result means the same thing however it traveled.
 Worker counts resolve through :class:`repro.config.ExecutorConfig`:
 explicit ``jobs`` argument > ``REPRO_JOBS`` environment variable > 1
 (serial).  ``0`` or a negative value means "all cores".
-
-.. deprecated::
-    Constructing :class:`ParallelMap` directly is deprecated; build
-    executors with :func:`repro.runtime.get_executor` (the ``pool``
-    backend wraps this engine, byte-identical).
 """
 
 from __future__ import annotations
 
 import concurrent.futures
-import warnings
 from collections.abc import Callable, Sequence
 from typing import Any, Optional
 
@@ -150,25 +144,3 @@ class _ProcessMap:
                     obs.adopt_spans(spans, context)
                     results.append(result)
         return results
-
-
-class ParallelMap(_ProcessMap):
-    """Deprecated spelling of the pool engine (one-release shim).
-
-    .. deprecated::
-        Use ``repro.runtime.get_executor(...)`` — the ``pool`` backend
-        is this engine with the executor protocol on top.
-    """
-
-    def __init__(
-        self,
-        jobs: "Optional[int]" = None,
-        config=None,
-    ) -> None:
-        warnings.warn(
-            "repro.runtime.ParallelMap is deprecated; build executors "
-            "with repro.runtime.get_executor(...) instead",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        super().__init__(jobs=jobs, config=config)

@@ -85,6 +85,12 @@ class ExperimentSpec:
             :class:`~repro.core.bundling.ClassAwareBundling` (the paper's
             fix for the destination-type cost model, §4.3.1).
         bundle_counts: Tier budgets to evaluate.
+        mechanism: Pricing mechanism (:data:`repro.config.MECHANISMS`).
+            The default ``"posted-tiers"`` evaluates the paper's posted
+            pipeline and keeps the spec digest byte-identical to
+            pre-mechanism specs (the warm cache survives); any other
+            mechanism joins the cache key and adds a ``"mechanism"``
+            block to the result.
         trace_context: The submitting span's context in wire form, so a
             spec evaluated in another process re-joins its caller's
             trace.  Excluded from equality, hashing, and the cache key —
@@ -104,6 +110,7 @@ class ExperimentSpec:
     strategies: "tuple[str, ...]" = ("profit-weighted",)
     class_aware: bool = False
     bundle_counts: "tuple[int, ...]" = (1, 2, 3, 4, 5, 6)
+    mechanism: str = "posted-tiers"
     trace_context: "Optional[tuple[str, str]]" = dataclasses.field(
         default=None, compare=False, repr=False
     )
@@ -155,13 +162,21 @@ class ExperimentSpec:
         return key
 
     def key(self) -> dict:
-        """The full configuration that determines the result."""
+        """The full configuration that determines the result.
+
+        ``mechanism`` joins the key only when it deviates from the
+        posted-tiers default — same conditional-inclusion rule as
+        ``distance_model`` in :meth:`market_key` — so every
+        pre-mechanism digest (and warm result cache) stays valid.
+        """
         full = self.market_key()
         full.update(
             strategies=list(self.strategies),
             class_aware=self.class_aware,
             bundle_counts=list(self.bundle_counts),
         )
+        if self.mechanism != "posted-tiers":
+            full["mechanism"] = self.mechanism
         return full
 
     def digest(self) -> str:
@@ -257,6 +272,20 @@ def evaluate_spec(spec: ExperimentSpec) -> dict:
                     o.profit_capture for o in outcomes
                 ]
                 result["profit"][strategy.name] = [o.profit for o in outcomes]
+        if spec.mechanism != "posted-tiers":
+            from repro.mechanisms import mechanism_by_name
+
+            mech = mechanism_by_name(
+                spec.mechanism, n_tiers=max(spec.bundle_counts)
+            )
+            design = mech.design_on(market)
+            result["mechanism"] = {
+                "name": mech.name,
+                "profit": design.profit,
+                "capture": design.profit_capture,
+                "n_tiers": design.n_tiers,
+                "posted_tiers": design.posted_tiers,
+            }
         return result
 
 

@@ -141,6 +141,12 @@ class StreamingPipeline:
             accepted re-tiering — the hook the quote-serving registry
             hot-swaps snapshots from
             (:meth:`repro.serve.SnapshotRegistry.subscriber`).
+        mechanism: Optional :class:`~repro.mechanisms.Mechanism`
+            replacing the posted-tiers design path.  ``None`` (or the
+            posted-tiers mechanism itself) keeps the legacy pipeline and
+            its byte-identical config digest; any other mechanism tags
+            the digest ``|mechanism=<name>``, so checkpoints and quote
+            snapshots from different regimes never mix.
     """
 
     def __init__(
@@ -154,6 +160,7 @@ class StreamingPipeline:
         strategy: "BundlingStrategy | None" = None,
         checkpoint_path=None,
         on_design_published: "Callable | None" = None,
+        mechanism=None,
     ) -> None:
         self.source = source
         self.distance_fn = distance_fn
@@ -161,6 +168,10 @@ class StreamingPipeline:
         self.config = config
         self.checkpoint_path = checkpoint_path
         self._digest = config.digest(demand_model, cost_model)
+        if mechanism is not None:
+            from repro.mechanisms.base import tag_config_digest
+
+            self._digest = tag_config_digest(self._digest, mechanism.name)
 
         self.queue = BoundedQueue(config.queue_capacity, config.queue_policy)
         self.windower = Windower(
@@ -176,6 +187,7 @@ class StreamingPipeline:
             n_tiers=config.n_tiers,
             drift_threshold=config.drift_threshold,
             provider_asn=config.provider_asn,
+            mechanism=mechanism,
         )
         self.repricer.on_design_published = on_design_published
         self.results: "list[WindowResult]" = []

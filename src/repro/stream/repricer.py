@@ -32,7 +32,7 @@ from repro.core.demand import DemandModel
 from repro.core.flow import NO_LABEL, FlowSet
 from repro.core.market import Market
 from repro import obs
-from repro.errors import ReproError
+from repro.errors import MechanismError, ReproError
 from repro.obs import METRICS
 from repro.stream.window import ClosedWindow, WindowBounds
 
@@ -184,6 +184,14 @@ class OnlineRepricer:
         drift_threshold: Re-tier when the refreshed design's profit
             capture exceeds the stale design's by more than this.
         provider_asn: ASN stamped into derived designs.
+        mechanism: Optional :class:`~repro.mechanisms.Mechanism`
+            replacing the posted-tiers design path.  ``None`` keeps the
+            legacy (byte-identical) posted pipeline.  Mechanisms that
+            re-clear per window (spot, hybrid) publish every priced
+            window; the drift gate then governs only whether the
+            *posted* component is re-derived (``retier``), while the
+            spot component re-clears regardless via
+            :meth:`Mechanism.reclear_on`.
     """
 
     def __init__(
@@ -195,6 +203,7 @@ class OnlineRepricer:
         n_tiers: int = 3,
         drift_threshold: float = 0.1,
         provider_asn: int = 64500,
+        mechanism=None,
     ) -> None:
         self.demand_model = demand_model
         self.cost_model = cost_model
@@ -203,6 +212,11 @@ class OnlineRepricer:
         self.n_tiers = int(n_tiers)
         self.drift_threshold = float(drift_threshold)
         self.provider_asn = int(provider_asn)
+        self.mechanism = mechanism
+        #: Leading tiers of the design in force that are posted contracts
+        #: (mechanism mode only; ``None`` after a checkpoint restore, in
+        #: which case the next re-clear falls back to a full redesign).
+        self._posted_tiers: "Optional[int]" = None
         #: The tier design currently in force (``None`` before the first
         #: successfully priced window).
         self.design: "Optional[TierDesign]" = None
@@ -244,6 +258,8 @@ class OnlineRepricer:
         the stream — live traffic does not get to crash the pricer.
         """
         flows = aggregate_by_destination(flows)
+        if self.mechanism is not None:
+            return self._price_mechanism_window(window, flows)
         try:
             with METRICS.stage("stream.calibrate"):
                 market = Market(
@@ -295,6 +311,109 @@ class OnlineRepricer:
                 self.current_tiers,
             )
         if retier:
+            self._publish(market, window)
+        METRICS.incr("stream.windows_priced")
+        return WindowResult(
+            start_ms=window.bounds.start_ms,
+            end_ms=window.bounds.end_ms,
+            status=STATUS_PRICED,
+            n_records=window.n_records,
+            n_flows=len(flows),
+            retier=retier,
+            reason=reason,
+            stale_profit=_opt_float(stale_profit),
+            refreshed_profit=float(refreshed.profit),
+            capture_drop=_opt_float(capture_drop),
+            n_tiers=self.current_tiers,
+        )
+
+    def _price_mechanism_window(
+        self, window: ClosedWindow, flows: FlowSet
+    ) -> WindowResult:
+        """Mechanism-mode window pricing (posted mode stays untouched).
+
+        Same drift machinery as the legacy path — the design in force is
+        replayed and compared against a fresh design — but the re-tier
+        verdict only governs re-*derivation*.  Mechanisms with a spot
+        component (:attr:`Mechanism.reclears`) additionally re-clear
+        that component at every priced window, pinning the held posted
+        book, and publish the result.
+        """
+        mechanism = self.mechanism
+        try:
+            with METRICS.stage("stream.calibrate"):
+                market = Market(
+                    flows, self.demand_model, self.cost_model, self.blended_rate
+                )
+            with METRICS.stage("stream.rebundle"):
+                refreshed = mechanism.design_on(
+                    market, provider_asn=self.provider_asn
+                )
+            if refreshed.tier_design is None:
+                raise MechanismError(
+                    "streaming mechanisms need destination addresses"
+                )
+            adopted: "Optional[object]" = None
+            if self.design is None:
+                stale_profit = None
+                capture_drop = None
+                retier = True
+                reason = "initial design"
+                adopted = refreshed
+            else:
+                prices, unknown, missing = replay_design_prices(
+                    self.design, market
+                )
+                stale_profit = market.profit_at(prices)
+                capture_drop = market.profit_capture(
+                    refreshed.profit
+                ) - market.profit_capture(stale_profit)
+                retier = capture_drop > self.drift_threshold
+                reason = (
+                    f"capture drop {capture_drop:.3f} "
+                    f"{'>' if retier else '<='} threshold "
+                    f"{self.drift_threshold:.3f} "
+                    f"({unknown} unknown / {missing} churned destinations)"
+                )
+                if retier:
+                    adopted = refreshed
+                elif mechanism.reclears:
+                    with METRICS.stage("stream.reclear"):
+                        adopted = mechanism.reclear_on(
+                            market,
+                            self.design,
+                            self._posted_tiers or 0,
+                            provider_asn=self.provider_asn,
+                        )
+                    reason += "; spot re-cleared"
+            obs.event(
+                "drift.decision",
+                retier=retier,
+                capture_drop=_opt_float(capture_drop),
+                threshold=self.drift_threshold,
+                reason=reason,
+            )
+            if adopted is not None:
+                if adopted.tier_design is None:
+                    raise MechanismError(
+                        "streaming mechanisms need destination addresses"
+                    )
+                with METRICS.stage("stream.retier"):
+                    self.design = adopted.tier_design
+                    self._posted_tiers = adopted.posted_tiers
+                if retier:
+                    METRICS.incr("stream.retier_events")
+                else:
+                    METRICS.incr("stream.reclear_events")
+        except ReproError as exc:
+            METRICS.incr("stream.windows_skipped")
+            return WindowResult.skipped(
+                window.bounds,
+                window.n_records,
+                f"{type(exc).__name__}: {exc}",
+                self.current_tiers,
+            )
+        if adopted is not None:
             self._publish(market, window)
         METRICS.incr("stream.windows_priced")
         return WindowResult(

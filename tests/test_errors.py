@@ -12,6 +12,7 @@ from repro.errors import (
     ConfigurationError,
     DataError,
     ExecutorError,
+    MechanismError,
     ModelParameterError,
     OptimizationError,
     QuoteTimeoutError,
@@ -28,6 +29,7 @@ ALL_ERRORS = [
     ConfigurationError,
     DataError,
     ExecutorError,
+    MechanismError,
     ModelParameterError,
     OptimizationError,
     QuoteTimeoutError,
@@ -65,6 +67,7 @@ def test_value_like_errors_are_value_errors():
         BundlingError,
         ConfigurationError,
         DataError,
+        MechanismError,
         TopologyError,
     ):
         assert issubclass(exc_type, ValueError)

@@ -1,14 +1,22 @@
 """Tests for the peering economics (Figures 1 and 2)."""
 
+import numpy as np
 import pytest
 
+from repro.core.ced import CEDDemand
+from repro.core.cost import LinearDistanceCost
 from repro.errors import ModelParameterError
 from repro.peering.bypass import (
+    OUTCOME_LABELS,
     BypassScenario,
+    BypassTable,
+    bypass_for_flows,
     failure_window,
     sweep_direct_costs,
 )
+from repro.peering.offerings import compare_offerings, offerings_for_flows
 from repro.peering.worked_example import figure1_example
+from repro.synth.datasets import load_dataset
 
 
 class TestFigure1Example:
@@ -109,13 +117,13 @@ class TestBypassScenario:
 
 class TestSweep:
     def test_regimes_in_order(self):
-        points = sweep_direct_costs(
+        points = BypassTable.evaluate(
             blended_rate=10.0,
-            isp_unit_cost=4.0,
+            isp_unit_costs=4.0,
             direct_unit_costs=[1.0, 6.0, 9.9, 10.1, 20.0],
             margin=0.25,
             accounting_overhead=0.0,
-        )
+        ).points()
         assert [p.outcome for p in points] == [
             "efficient-bypass",
             "market-failure",
@@ -125,11 +133,12 @@ class TestSweep:
         ]
 
     def test_loss_only_in_failure_regime(self):
-        points = sweep_direct_costs(
+        table = BypassTable.evaluate(
             blended_rate=10.0,
-            isp_unit_cost=4.0,
+            isp_unit_costs=4.0,
             direct_unit_costs=[1.0, 7.0, 15.0],
         )
+        points = table.points()
         assert points[0].efficiency_loss_per_mbps == 0.0
         assert points[1].efficiency_loss_per_mbps > 0.0
         assert points[2].efficiency_loss_per_mbps == 0.0
@@ -142,3 +151,100 @@ class TestSweep:
         # Blended rate already at cost: tiering cannot retain the traffic.
         lo, hi = failure_window(5.0, 4.0, margin=0.25)
         assert lo >= hi
+
+
+class TestBypassTable:
+    def test_matches_scalar_scenarios_exactly(self):
+        costs = np.linspace(0.5, 15.0, 30)
+        table = BypassTable.evaluate(
+            blended_rate=10.0,
+            isp_unit_costs=4.0,
+            direct_unit_costs=costs,
+            margin=0.25,
+            accounting_overhead=0.5,
+        )
+        for i, c_direct in enumerate(costs):
+            scenario = BypassScenario(
+                blended_rate=10.0,
+                isp_unit_cost=4.0,
+                direct_unit_cost=float(c_direct),
+                margin=0.25,
+                accounting_overhead=0.5,
+            )
+            assert OUTCOME_LABELS[table.outcomes[i]] == scenario.outcome()
+            assert (
+                float(table.efficiency_loss_per_mbps[i])
+                == scenario.efficiency_loss_per_mbps
+            )
+            assert float(table.tiered_prices[i]) == scenario.tiered_price
+
+    def test_deprecated_sweep_warns_and_is_byte_identical(self):
+        costs = [1.0, 6.0, 9.9, 10.1, 20.0]
+        with pytest.warns(
+            DeprecationWarning, match="^repro.peering.sweep_direct_costs"
+        ):
+            legacy = sweep_direct_costs(
+                blended_rate=10.0,
+                isp_unit_cost=4.0,
+                direct_unit_costs=costs,
+                margin=0.25,
+                accounting_overhead=0.5,
+            )
+        columnar = BypassTable.evaluate(
+            blended_rate=10.0,
+            isp_unit_costs=4.0,
+            direct_unit_costs=costs,
+            margin=0.25,
+            accounting_overhead=0.5,
+        ).points()
+        assert legacy == columnar
+
+    def test_counts_cover_all_labels(self):
+        table = BypassTable.evaluate(10.0, 4.0, [1.0, 7.0, 15.0])
+        counts = table.counts()
+        assert set(counts) == set(OUTCOME_LABELS)
+        assert counts == {
+            "efficient-bypass": 1,
+            "market-failure": 1,
+            "stays": 1,
+        }
+        assert sum(counts.values()) == len(table)
+
+    def test_total_loss_demand_weighted(self):
+        table = BypassTable.evaluate(10.0, 4.0, [1.0, 7.0, 15.0])
+        loss = float(table.efficiency_loss_per_mbps[1])
+        assert table.total_loss() == pytest.approx(loss)
+        assert table.total_loss([1.0, 10.0, 1.0]) == pytest.approx(10 * loss)
+
+    def test_validation(self):
+        with pytest.raises(ModelParameterError):
+            BypassTable.evaluate(0.0, 4.0, [1.0])
+        with pytest.raises(ModelParameterError):
+            BypassTable.evaluate(10.0, 4.0, [1.0, -1.0])
+        with pytest.raises(ModelParameterError):
+            BypassTable.evaluate(10.0, 4.0, [])
+
+    def test_from_flows_per_flow_columns(self):
+        flows = load_dataset("eu_isp", n_flows=64, seed=3)
+        table = bypass_for_flows(
+            flows,
+            CEDDemand(alpha=1.1),
+            LinearDistanceCost(theta=0.2),
+            blended_rate=20.0,
+        )
+        assert len(table) == 64
+        assert table.outcomes.dtype == np.int8
+        assert sum(table.counts().values()) == 64
+
+
+class TestOfferingsForFlows:
+    def test_matches_market_path(self):
+        flows = load_dataset("eu_isp", n_flows=64, seed=3)
+        demand = CEDDemand(alpha=1.1)
+        cost = LinearDistanceCost(theta=0.2)
+        from repro.core.market import Market
+
+        direct = offerings_for_flows(flows, demand, cost, blended_rate=20.0)
+        via_market = compare_offerings(Market(flows, demand, cost, 20.0))
+        assert direct == via_market
+        assert any(r.offering == "conventional-transit" for r in direct)

@@ -16,6 +16,7 @@ import json
 
 import pytest
 
+import repro.runtime
 from repro.config import ExecutorConfig
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.sweeps import figure14_data, theta_sweep
@@ -23,7 +24,6 @@ from repro.runtime import cache as runtime_cache
 from repro.runtime.cache import CacheStore, config_hash
 from repro.runtime.executor import PoolExecutor
 from repro.runtime.metrics import METRICS, RESERVOIR_CAPACITY, Metrics
-from repro.runtime.parallel import ParallelMap
 from repro.runtime.spec import ExperimentSpec, evaluate_spec, run_specs
 
 #: Small config so runtime tests stay fast.
@@ -100,12 +100,12 @@ class TestPoolMap:
         parallel = PoolExecutor(jobs=2).map(_square, items)
         assert parallel == serial
 
-    def test_parallelmap_shim_warns_and_still_maps(self):
-        with pytest.warns(
-            DeprecationWarning, match="^repro.runtime.ParallelMap"
-        ):
-            shim = ParallelMap(jobs=1)
-        assert shim.map(_square, [2, 3]) == [4, 9]
+    def test_parallelmap_shim_removed(self):
+        # The one-release deprecation shim is gone; the pool backend is
+        # the only spelling of the process-map engine.
+        with pytest.raises(ImportError):
+            from repro.runtime.parallel import ParallelMap  # noqa: F401
+        assert "ParallelMap" not in repro.runtime.__all__
 
     def test_jobs_env(self, monkeypatch):
         monkeypatch.delenv("REPRO_JOBS", raising=False)
